@@ -1,0 +1,96 @@
+// Command decoydb serves real database honeypots on live TCP ports — the
+// deployable half of the system. Each enabled protocol gets a listener;
+// every connection is logged in the pipeline's JSON format, ready for
+// dbreport-style analysis.
+//
+// Usage:
+//
+//	decoydb [-listen 0.0.0.0] [-services mysql,redis,...] [-logs DIR] [-offset N]
+//
+// With -offset (e.g. 10000), services bind to port+offset so the farm can
+// run unprivileged: MySQL on 13306, Redis on 16379, and so on.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"decoydb/internal/core"
+	"decoydb/internal/pipeline"
+	"decoydb/internal/simnet"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("decoydb: ")
+	var (
+		listen   = flag.String("listen", "127.0.0.1", "address to bind")
+		services = flag.String("services", "mysql,mssql,postgres,redis,elastic,mongodb", "comma-separated honeypot services (also: mariadb, couchdb)")
+		dir      = flag.String("logs", "decoydb-logs", "directory for honeypot log files")
+		offset   = flag.Int("offset", 10000, "port offset added to each service's default port (0 = real ports, needs privileges)")
+		fake     = flag.Bool("fakedata", true, "seed medium/high honeypots with bait data")
+		seed     = flag.Int64("seed", 42, "seed for bait data generation")
+	)
+	flag.Parse()
+
+	enabled := map[string]bool{}
+	for _, s := range strings.Split(*services, ",") {
+		enabled[strings.TrimSpace(s)] = true
+	}
+
+	lw, err := pipeline.NewLogWriter(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lw.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	farm := core.NewFarm(core.RealClock{}, lw, core.FarmOptions{})
+	defer farm.Shutdown()
+
+	// One live instance per enabled service, using the same handler
+	// constructors as the full deployment.
+	deploy := &core.Deployment{}
+	for _, dbms := range []string{core.MySQL, core.MSSQL, core.Postgres, core.Redis, core.Elastic, core.MongoDB, core.MariaDB, core.CouchDB} {
+		if !enabled[dbms] {
+			continue
+		}
+		info := core.Info{
+			DBMS: dbms, Port: core.DefaultPort(dbms) + *offset,
+			Config: core.ConfigDefault, Group: core.GroupSingle, VM: "live",
+		}
+		switch dbms {
+		case core.Elastic, core.Redis, core.CouchDB:
+			info.Level = core.Medium
+		case core.MongoDB:
+			info.Level = core.High
+		default:
+			info.Level = core.Low
+		}
+		if *fake && (dbms == core.Redis || dbms == core.MongoDB || dbms == core.CouchDB) {
+			info.Config = core.ConfigFakeData
+		}
+		deploy.Instances = append(deploy.Instances, info)
+	}
+	handlers := simnet.BuildHoneypots(deploy, *seed)
+
+	for _, info := range deploy.Instances {
+		hp := &core.Honeypot{Info: info, Handler: handlers[info.ID()]}
+		addr, err := farm.Listen(ctx, fmt.Sprintf("%s:%d", *listen, info.Port), hp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("%s honeypot (%s interaction) listening on %s", info.DBMS, info.Level, addr)
+	}
+	log.Printf("logging to %s — ctrl-c to stop", *dir)
+	<-ctx.Done()
+	log.Print("shutting down")
+}

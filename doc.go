@@ -1,0 +1,14 @@
+// Package decoydb is a production-quality Go reproduction of "Decoy
+// Databases: Analyzing Attacks on Public Facing Databases" (IMC 2025):
+// a multi-tier database honeypot farm (MySQL, MSSQL, PostgreSQL, Redis,
+// Elasticsearch, MongoDB, plus MariaDB/CouchDB extensions), the
+// enrichment and analysis pipeline behind it, a calibrated Internet
+// simulation standing in for live exposure, and a harness that
+// regenerates every table and figure in the paper's evaluation.
+//
+// Start with README.md for usage, DESIGN.md for the system inventory and
+// substitution arguments, and EXPERIMENTS.md for paper-vs-measured
+// results. The root package carries only the benchmark harness
+// (bench_test.go); the implementation lives under internal/ and the
+// executables under cmd/.
+package decoydb

@@ -1,0 +1,105 @@
+// Ransomwatch: run the high-interaction MongoDB honeypot with bait
+// customer data, let a ransom actor steal/wipe/replace it over real TCP
+// (the paper's Section 6.3 attack), and detect the campaign from the
+// captured events — including the note template that identifies the
+// group.
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"decoydb/internal/analysis"
+	"decoydb/internal/bson"
+	"decoydb/internal/core"
+	"decoydb/internal/evstore"
+	"decoydb/internal/fakedata"
+	"decoydb/internal/geoip"
+	"decoydb/internal/mongo"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. High-interaction MongoDB honeypot, seeded with 200 fake
+	// customer records (names, addresses, Luhn-valid card numbers).
+	mstore := mongo.NewStore()
+	for _, doc := range fakedata.New(7).MongoCustomers(200) {
+		mstore.Insert("customers", "records", doc)
+	}
+	hp := mongo.New(mstore)
+
+	events := evstore.New(time.Now().UTC().Truncate(24*time.Hour), 20, geoip.Default())
+	farm := core.NewFarm(core.RealClock{}, events, core.FarmOptions{})
+	defer farm.Shutdown()
+	info := core.Info{DBMS: core.MongoDB, Level: core.High, Config: core.ConfigFakeData, Group: core.GroupHigh, Region: "NL"}
+	addr, err := farm.Listen(context.Background(), "127.0.0.1:0", &core.Honeypot{Info: info, Handler: hp.Handler()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mongodb honeypot on %s with %d bait records\n",
+		addr, mstore.Count("customers", "records", nil))
+
+	// 2. The attack: enumerate, dump, wipe, leave a ransom note.
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	seq := int32(0)
+	run := func(cmd bson.D) bson.D {
+		seq++
+		b, err := mongo.EncodeMsg(seq, cmd)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := conn.Write(b); err != nil {
+			log.Fatal(err)
+		}
+		reply, err := mongo.ReadMessage(br)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return reply.Body
+	}
+	run(bson.D{{Key: "isMaster", Val: int32(1)}, {Key: "$db", Val: "admin"}})
+	run(bson.D{{Key: "listDatabases", Val: int32(1)}, {Key: "$db", Val: "admin"}})
+	dump := run(bson.D{{Key: "find", Val: "records"}, {Key: "$db", Val: "customers"}})
+	batch, _ := dump.Doc("cursor").Lookup("firstBatch")
+	fmt.Printf("attacker dumped %d documents\n", len(batch.(bson.A)))
+	del := run(bson.D{
+		{Key: "delete", Val: "records"},
+		{Key: "deletes", Val: bson.A{bson.D{{Key: "q", Val: bson.D{}}, {Key: "limit", Val: int32(0)}}}},
+		{Key: "$db", Val: "customers"},
+	})
+	fmt.Printf("attacker deleted %d documents\n", del.Int("n"))
+	note := "All your data is backed up. You must pay 0.0058 BTC to bc1qexample In 48 hours, your data will be publicly disclosed and deleted."
+	run(bson.D{
+		{Key: "insert", Val: "README"},
+		{Key: "documents", Val: bson.A{bson.D{{Key: "content", Val: note}}}},
+		{Key: "$db", Val: "customers"},
+	})
+	conn.Close()
+
+	// 3. Detection: the wipe-and-note pattern in the captured events.
+	deadline := time.Now().Add(2 * time.Second)
+	var st analysis.RansomStats
+	for time.Now().Before(deadline) {
+		st = analysis.Ransom(events.IPs())
+		if st.IPs > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.IPs != 1 || st.Templates != 1 {
+		log.Fatalf("ransom not detected: %+v", st)
+	}
+	fmt.Printf("\nALERT: ransom attack detected from %d source (note template group %d)\n", st.IPs, st.Templates)
+	fmt.Printf("honeypot store after attack: %d records, %d ransom notes\n",
+		mstore.Count("customers", "records", nil), mstore.Count("customers", "README", nil))
+	fmt.Println("ransomwatch OK")
+}

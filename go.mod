@@ -1,0 +1,3 @@
+module decoydb
+
+go 1.24

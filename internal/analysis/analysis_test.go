@@ -1,0 +1,390 @@
+package analysis
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"decoydb/internal/asdb"
+	"decoydb/internal/classify"
+	"decoydb/internal/core"
+	"decoydb/internal/evstore"
+)
+
+func TestRetentionCDF(t *testing.T) {
+	// 4 of 10 single-day, 3 two-day, 3 twenty-day.
+	counts := []int{1, 1, 1, 1, 2, 2, 2, 20, 20, 20}
+	cdf := RetentionCDF(counts, 20)
+	if math.Abs(cdf.At(1)-0.4) > 1e-9 {
+		t.Fatalf("CDF(1) = %v", cdf.At(1))
+	}
+	if math.Abs(cdf.At(2)-0.7) > 1e-9 {
+		t.Fatalf("CDF(2) = %v", cdf.At(2))
+	}
+	if cdf.At(19) != 0.7 || cdf.At(20) != 1 {
+		t.Fatalf("tail = %v %v", cdf.At(19), cdf.At(20))
+	}
+	if cdf.At(0) != 0 || cdf.At(21) != 0 {
+		t.Fatal("out-of-range CDF values")
+	}
+	if got := RetentionCDF(nil, 20); got.At(20) != 0 {
+		t.Fatal("empty CDF")
+	}
+}
+
+// Property: any retention CDF is monotone non-decreasing and ends at 1.
+func TestRetentionCDFMonotoneQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		counts := make([]int, len(raw))
+		for i, v := range raw {
+			counts[i] = 1 + int(v)%20
+		}
+		cdf := RetentionCDF(counts, 20)
+		prev := 0.0
+		for d := 1; d <= 20; d++ {
+			if cdf.At(d) < prev {
+				return false
+			}
+			prev = cdf.At(d)
+		}
+		return math.Abs(cdf.At(20)-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func addr(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{198, 51, byte(i >> 8), byte(i)})
+}
+
+func rec(i int, country string, asType asdb.Type, per map[evstore.PerKey]*evstore.Activity) *evstore.IPRecord {
+	return &evstore.IPRecord{Addr: addr(i), Country: country, ASType: asType, Per: per}
+}
+
+func lowKey(dbms, group string) evstore.PerKey {
+	return evstore.PerKey{DBMS: dbms, Level: core.Low, Config: core.ConfigDefault, Group: group}
+}
+
+func medKey(dbms, config string) evstore.PerKey {
+	return evstore.PerKey{DBMS: dbms, Level: core.Medium, Config: config, Group: core.GroupMedium}
+}
+
+func TestCountryLoginTable(t *testing.T) {
+	recs := []*evstore.IPRecord{
+		rec(1, "RU", asdb.Hosting, map[evstore.PerKey]*evstore.Activity{
+			lowKey(core.MSSQL, core.GroupMulti): {Logins: 1000, ActiveDays: 1},
+		}),
+		rec(2, "RU", asdb.Hosting, map[evstore.PerKey]*evstore.Activity{
+			lowKey(core.MSSQL, core.GroupMulti): {ActiveDays: 1}, // scanner, no logins
+		}),
+		rec(3, "US", asdb.Hosting, map[evstore.PerKey]*evstore.Activity{
+			lowKey(core.MySQL, core.GroupMulti): {Logins: 5, ActiveDays: 1},
+		}),
+		// Medium-tier only: excluded from the low-tier table.
+		rec(4, "US", asdb.Hosting, map[evstore.PerKey]*evstore.Activity{
+			medKey(core.Postgres, core.ConfigDefault): {Logins: 50},
+		}),
+	}
+	rows := CountryLoginTable(recs)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0].Country != "RU" || rows[0].Logins != 1000 || rows[0].LoginIPs != 1 || rows[0].TotalIPs != 2 {
+		t.Fatalf("RU row = %+v", rows[0])
+	}
+	if rows[0].MSSQL != 1000 || rows[0].MySQL != 0 {
+		t.Fatalf("RU split = %+v", rows[0])
+	}
+	if rows[1].Country != "US" || rows[1].MySQL != 5 || rows[1].TotalIPs != 1 {
+		t.Fatalf("US row = %+v", rows[1])
+	}
+}
+
+func TestTopASNs(t *testing.T) {
+	mkRec := func(i int, asn uint32, logins int64) *evstore.IPRecord {
+		r := rec(i, "US", asdb.Hosting, map[evstore.PerKey]*evstore.Activity{
+			lowKey(core.MSSQL, core.GroupMulti): {Logins: logins, ActiveDays: 1},
+		})
+		r.ASN = asn
+		r.ASName = "AS"
+		return r
+	}
+	recs := []*evstore.IPRecord{
+		mkRec(1, 100, 0), mkRec(2, 100, 10), mkRec(3, 200, 5), mkRec(4, 0, 7),
+	}
+	rows := TopASNs(recs)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0].ASN != 100 || rows[0].IPs != 2 || rows[0].Logins != 10 {
+		t.Fatalf("top AS = %+v", rows[0])
+	}
+	if math.Abs(rows[0].Pct-50) > 1e-9 {
+		t.Fatalf("pct = %v", rows[0].Pct)
+	}
+}
+
+func TestLoginIPsByASType(t *testing.T) {
+	recs := []*evstore.IPRecord{
+		rec(1, "US", asdb.Hosting, map[evstore.PerKey]*evstore.Activity{
+			lowKey(core.MSSQL, core.GroupMulti): {Logins: 3},
+		}),
+		rec(2, "CN", asdb.Telecom, map[evstore.PerKey]*evstore.Activity{
+			lowKey(core.MSSQL, core.GroupMulti): {Logins: 3},
+		}),
+		rec(3, "US", asdb.Hosting, map[evstore.PerKey]*evstore.Activity{
+			lowKey(core.MSSQL, core.GroupMulti): {},
+		}),
+	}
+	got := LoginIPsByASType(recs)
+	if got[asdb.Hosting] != 1 || got[asdb.Telecom] != 1 {
+		t.Fatalf("by type = %v", got)
+	}
+}
+
+func TestUpset(t *testing.T) {
+	recs := []*evstore.IPRecord{
+		rec(1, "US", asdb.Hosting, map[evstore.PerKey]*evstore.Activity{
+			medKey(core.Redis, core.ConfigDefault): {},
+		}),
+		rec(2, "US", asdb.Hosting, map[evstore.PerKey]*evstore.Activity{
+			medKey(core.Redis, core.ConfigDefault):    {},
+			medKey(core.Postgres, core.ConfigDefault): {},
+		}),
+		rec(3, "US", asdb.Hosting, map[evstore.PerKey]*evstore.Activity{
+			medKey(core.Redis, core.ConfigDefault): {},
+		}),
+		// Low tier only: not in the upset at all.
+		rec(4, "US", asdb.Hosting, map[evstore.PerKey]*evstore.Activity{
+			lowKey(core.Redis, core.GroupMulti): {},
+		}),
+	}
+	rows := Upset(recs)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0].Combo != "redis" || rows[0].Count != 2 {
+		t.Fatalf("top combo = %+v", rows[0])
+	}
+	if rows[1].Combo != "postgres+redis" || rows[1].Count != 1 {
+		t.Fatalf("second combo = %+v", rows[1])
+	}
+}
+
+func exploitAct() *evstore.Activity {
+	return &evstore.Activity{Actions: []evstore.Action{{Name: "FLUSHALL"}}, ActiveDays: 0b111}
+}
+
+func TestExploiterCountries(t *testing.T) {
+	recs := []*evstore.IPRecord{
+		rec(1, "CN", asdb.Telecom, map[evstore.PerKey]*evstore.Activity{
+			medKey(core.Redis, core.ConfigDefault): exploitAct(),
+		}),
+		rec(2, "CN", asdb.Telecom, map[evstore.PerKey]*evstore.Activity{
+			medKey(core.Redis, core.ConfigDefault): exploitAct(),
+		}),
+		rec(3, "US", asdb.Hosting, map[evstore.PerKey]*evstore.Activity{
+			medKey(core.Redis, core.ConfigDefault): {Actions: []evstore.Action{{Name: "INFO"}}},
+		}),
+	}
+	rows := ExploiterCountries(recs)
+	if len(rows) != 1 || rows[0].Country != "CN" || rows[0].Total != 2 || rows[0].PerDBMS[core.Redis] != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestBehaviorByASType(t *testing.T) {
+	recs := []*evstore.IPRecord{
+		// Scans two honeypot types: two scanning memberships.
+		rec(1, "US", asdb.Hosting, map[evstore.PerKey]*evstore.Activity{
+			medKey(core.Redis, core.ConfigDefault):    {},
+			medKey(core.Postgres, core.ConfigDefault): {},
+		}),
+		rec(2, "CN", asdb.Telecom, map[evstore.PerKey]*evstore.Activity{
+			medKey(core.Redis, core.ConfigDefault): exploitAct(),
+		}),
+	}
+	got := BehaviorByASType(recs)
+	if got[asdb.Hosting].Scanning != 2 {
+		t.Fatalf("hosting = %+v", got[asdb.Hosting])
+	}
+	if got[asdb.Telecom].Exploiting != 1 {
+		t.Fatalf("telecom = %+v", got[asdb.Telecom])
+	}
+}
+
+func TestControlGroup(t *testing.T) {
+	recs := []*evstore.IPRecord{
+		// Both groups, logins only on multi.
+		rec(1, "US", asdb.Hosting, map[evstore.PerKey]*evstore.Activity{
+			lowKey(core.MSSQL, core.GroupMulti):  {Logins: 10},
+			lowKey(core.MSSQL, core.GroupSingle): {},
+		}),
+		// Both groups, logins only on single.
+		rec(2, "US", asdb.Hosting, map[evstore.PerKey]*evstore.Activity{
+			lowKey(core.MSSQL, core.GroupMulti):  {},
+			lowKey(core.MSSQL, core.GroupSingle): {Logins: 3},
+		}),
+		// Single only.
+		rec(3, "US", asdb.Hosting, map[evstore.PerKey]*evstore.Activity{
+			lowKey(core.MySQL, core.GroupSingle): {},
+		}),
+	}
+	st := ControlGroup(recs)
+	if st.SingleIPs != 3 || st.MultiIPs != 2 || st.Overlap != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BruteMultiOnly != 1 || st.BruteSingleOnly != 1 {
+		t.Fatalf("brute split = %+v", st)
+	}
+}
+
+func TestConfigEffect(t *testing.T) {
+	typeActs := func(n int) *evstore.Activity {
+		a := &evstore.Activity{}
+		for i := 0; i < n; i++ {
+			a.Actions = append(a.Actions, evstore.Action{Name: "TYPE"})
+		}
+		return a
+	}
+	recs := []*evstore.IPRecord{
+		rec(1, "US", asdb.Hosting, map[evstore.PerKey]*evstore.Activity{
+			medKey(core.Postgres, core.ConfigNoLogin): {Logins: 200},
+			medKey(core.Postgres, core.ConfigDefault): {Logins: 90},
+			medKey(core.Redis, core.ConfigFakeData):   typeActs(7),
+			medKey(core.Redis, core.ConfigDefault):    typeActs(1),
+		}),
+	}
+	ce := ConfigEffect(recs)
+	if ce.PGRestrictedLogins != 200 || ce.PGOpenLogins != 90 {
+		t.Fatalf("pg = %+v", ce)
+	}
+	if ce.RedisFakeTypeCmds != 7 || ce.RedisDefaultTypeCmds != 1 {
+		t.Fatalf("redis = %+v", ce)
+	}
+}
+
+func TestRansomDetection(t *testing.T) {
+	highKey := evstore.PerKey{DBMS: core.MongoDB, Level: core.High, Config: core.ConfigFakeData, Group: core.GroupHigh}
+	note1 := "doc=content=All your data is backed up. You must pay 0.0058 BTC to bc1qaaaa"
+	note2 := "doc=content=Your DB has been back up. The only way of recovery is you must send 0.007 BTC"
+	mkRansom := func(i int, note string) *evstore.IPRecord {
+		return rec(i, "BG", asdb.Hosting, map[evstore.PerKey]*evstore.Activity{
+			highKey: {Actions: []evstore.Action{
+				{Name: "LISTDATABASES"}, {Name: "FIND"}, {Name: "DELETE"},
+				{Name: "INSERT", Raw: "db=customers cmd=insert coll=README " + note},
+			}},
+		})
+	}
+	recs := []*evstore.IPRecord{
+		mkRansom(1, note1),
+		mkRansom(2, note1),
+		mkRansom(3, note2),
+		// Benign insert without wipe: not ransom.
+		rec(4, "US", asdb.Hosting, map[evstore.PerKey]*evstore.Activity{
+			highKey: {Actions: []evstore.Action{{Name: "INSERT", Raw: "doc=content=hello BTC"}}},
+		}),
+	}
+	st := Ransom(recs)
+	if st.IPs != 3 || st.Templates != 2 || st.Notes != 3 {
+		t.Fatalf("ransom stats = %+v", st)
+	}
+}
+
+func TestInstitutionalShare(t *testing.T) {
+	inst := rec(1, "US", asdb.Security, map[evstore.PerKey]*evstore.Activity{
+		medKey(core.Elastic, core.ConfigDefault): {},
+	})
+	inst.Institutional = true
+	plain := rec(2, "US", asdb.Hosting, map[evstore.PerKey]*evstore.Activity{
+		medKey(core.Elastic, core.ConfigDefault): {},
+	})
+	scout := rec(3, "US", asdb.Hosting, map[evstore.PerKey]*evstore.Activity{
+		medKey(core.Elastic, core.ConfigDefault): {Actions: []evstore.Action{{Name: "GET /_cat/indices"}}},
+	})
+	got := InstitutionalShare([]*evstore.IPRecord{inst, plain, scout})
+	if v := got[core.Elastic]; v[0] != 1 || v[1] != 2 {
+		t.Fatalf("share = %v", got)
+	}
+}
+
+func TestMHRetentionByBehavior(t *testing.T) {
+	recs := []*evstore.IPRecord{
+		rec(1, "US", asdb.Hosting, map[evstore.PerKey]*evstore.Activity{
+			medKey(core.Redis, core.ConfigDefault): {ActiveDays: 0b1},
+		}),
+		rec(2, "US", asdb.Hosting, map[evstore.PerKey]*evstore.Activity{
+			medKey(core.Redis, core.ConfigDefault): exploitAct(), // 3 days
+		}),
+	}
+	got := MHRetentionByBehavior(recs)
+	if len(got[classify.Scanning]) != 1 || got[classify.Scanning][0] != 1 {
+		t.Fatalf("scanning = %v", got[classify.Scanning])
+	}
+	if len(got[classify.Exploiting]) != 1 || got[classify.Exploiting][0] != 3 {
+		t.Fatalf("exploiting = %v", got[classify.Exploiting])
+	}
+}
+
+func TestLowRetentionByDBMS(t *testing.T) {
+	recs := []*evstore.IPRecord{
+		rec(1, "US", asdb.Hosting, map[evstore.PerKey]*evstore.Activity{
+			lowKey(core.MySQL, core.GroupMulti):  {ActiveDays: 0b11},
+			lowKey(core.MySQL, core.GroupSingle): {ActiveDays: 0b100},
+			lowKey(core.MSSQL, core.GroupMulti):  {ActiveDays: 0b1},
+		}),
+	}
+	got := LowRetentionByDBMS(recs)
+	if got[""][0] != 3 { // union of all masks
+		t.Fatalf("overall = %v", got[""])
+	}
+	if got[core.MySQL][0] != 3 || got[core.MSSQL][0] != 1 {
+		t.Fatalf("per dbms = %v", got)
+	}
+}
+
+func TestBruteForceStats(t *testing.T) {
+	s := evstore.New(core.ExperimentStart, 20, nil)
+	mk := func(addr, user, pass string, n int) {
+		for i := 0; i < n; i++ {
+			s.Record(core.Event{
+				Time: core.ExperimentStart,
+				Src:  netip.AddrPortFrom(netip.MustParseAddr(addr), 1),
+				Honeypot: core.Info{
+					DBMS: core.MSSQL, Level: core.Low,
+					Config: core.ConfigDefault, Group: core.GroupMulti,
+				},
+				Kind: core.EventLogin, User: user, Pass: pass,
+			})
+		}
+	}
+	mk("198.51.100.1", "sa", "123", 10)
+	mk("198.51.100.1", "sa", "456", 5)
+	mk("198.51.100.2", "admin", "123", 1)
+	// A pure scanner contributes no brute stats.
+	s.Record(core.Event{
+		Time:     core.ExperimentStart,
+		Src:      netip.AddrPortFrom(netip.MustParseAddr("198.51.100.3"), 1),
+		Honeypot: core.Info{DBMS: core.MSSQL, Level: core.Low, Config: core.ConfigDefault, Group: core.GroupMulti},
+		Kind:     core.EventConnect,
+	})
+
+	st := BruteForce(s)
+	if st.TotalLogins != 16 || st.Clients != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.UniqueCombos != 3 || st.UniqueUsers != 2 || st.UniquePasses != 2 {
+		t.Fatalf("uniques = %+v", st)
+	}
+	if st.AvgPerClient != 8 {
+		t.Fatalf("avg = %v", st.AvgPerClient)
+	}
+	if st.HeaviestIPLogins != 15 {
+		t.Fatalf("heaviest = %+v", st)
+	}
+}

@@ -1,0 +1,72 @@
+package asdb
+
+import "testing"
+
+func TestRegistryIntegrity(t *testing.T) {
+	seen := map[uint32]bool{}
+	for _, a := range All() {
+		if a.ASN == 0 {
+			t.Fatal("ASN 0 must stay reserved for unmapped space")
+		}
+		if seen[a.ASN] {
+			t.Fatalf("duplicate ASN %d", a.ASN)
+		}
+		seen[a.ASN] = true
+		if a.Name == "" || a.Type == "" || a.Registered == "" {
+			t.Fatalf("incomplete record %+v", a)
+		}
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ASN >= all[i].ASN {
+			t.Fatalf("registry not sorted at %d", i)
+		}
+	}
+}
+
+func TestPaperASes(t *testing.T) {
+	cases := []struct {
+		asn  uint32
+		name string
+		typ  Type
+	}{
+		{6939, "HURRICANE", Telecom},
+		{396982, "GOOGLE-CLOUD-PLATFORM", Hosting},
+		{14061, "DIGITALOCEAN-ASN", Hosting},
+		{211298, "Constantine Cybersecurity Ltd.", Security},
+		{4134, "Chinanet", Telecom},
+		{398324, "CENSYS-ARIN-01", Security},
+		{208091, "XHOST-INTERNET-SOLUTIONS", Hosting},
+	}
+	for _, c := range cases {
+		got := Lookup(c.asn)
+		if got.Name != c.name || got.Type != c.typ {
+			t.Errorf("Lookup(%d) = %q/%s, want %q/%s", c.asn, got.Name, got.Type, c.name, c.typ)
+		}
+	}
+}
+
+func TestUnknownLookup(t *testing.T) {
+	if got := Lookup(0); got.Type != Unknown {
+		t.Fatalf("Lookup(0) = %+v", got)
+	}
+	if got := Lookup(4294967295); got.Type != Unknown || got.ASN != 4294967295 {
+		t.Fatalf("Lookup(max) = %+v", got)
+	}
+}
+
+func TestInstitutionalFlags(t *testing.T) {
+	for _, asn := range []uint32{398324, 395092, 59113, 37153, 64496, 48693, 211298} {
+		if !Institutional(asn) {
+			t.Errorf("AS%d should be institutional", asn)
+		}
+	}
+	for _, asn := range []uint32{6939, 4134, 14061} {
+		if Institutional(asn) {
+			t.Errorf("AS%d should not be institutional", asn)
+		}
+	}
+}

@@ -1,0 +1,413 @@
+// Package bson implements the subset of BSON needed by the MongoDB
+// honeypot: ordered documents, arrays, and the scalar types that MongoDB
+// drivers and attack tooling actually send. It is written from scratch on
+// the standard library and, like everything honeypot-facing, decodes
+// hostile input with strict bounds and no panics.
+package bson
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Element type tags.
+const (
+	tDouble    = 0x01
+	tString    = 0x02
+	tDocument  = 0x03
+	tArray     = 0x04
+	tBinary    = 0x05
+	tObjectID  = 0x07
+	tBool      = 0x08
+	tDateTime  = 0x09
+	tNull      = 0x0a
+	tRegex     = 0x0b
+	tInt32     = 0x10
+	tTimestamp = 0x11
+	tInt64     = 0x12
+)
+
+// MaxDocument bounds accepted document sizes (MongoDB's own cap is 16MB;
+// a honeypot accepts far less).
+const MaxDocument = 1 << 20
+
+// MaxDepth bounds document nesting to stop stack exhaustion from crafted
+// deeply-nested payloads.
+const MaxDepth = 64
+
+// ErrCorrupt reports malformed BSON.
+var ErrCorrupt = errors.New("bson: corrupt document")
+
+// E is one key/value element of a document.
+type E struct {
+	Key string
+	Val any
+}
+
+// D is an ordered BSON document. Order matters in MongoDB commands (the
+// command name must be the first key), hence a slice rather than a map.
+type D []E
+
+// A is a BSON array.
+type A []any
+
+// ObjectID is the 12-byte MongoDB object id.
+type ObjectID [12]byte
+
+// String renders the hex form.
+func (o ObjectID) String() string {
+	const hexdigits = "0123456789abcdef"
+	out := make([]byte, 24)
+	for i, b := range o {
+		out[2*i] = hexdigits[b>>4]
+		out[2*i+1] = hexdigits[b&0x0f]
+	}
+	return string(out)
+}
+
+// Timestamp is the BSON internal timestamp type.
+type Timestamp struct {
+	T uint32
+	I uint32
+}
+
+// Regex is a BSON regular expression.
+type Regex struct {
+	Pattern string
+	Options string
+}
+
+// Binary is a BSON binary value.
+type Binary struct {
+	Subtype byte
+	Data    []byte
+}
+
+// Lookup returns the value for key at the top level.
+func (d D) Lookup(key string) (any, bool) {
+	for _, e := range d {
+		if e.Key == key {
+			return e.Val, true
+		}
+	}
+	return nil, false
+}
+
+// Str returns the string value for key, or "".
+func (d D) Str(key string) string {
+	if v, ok := d.Lookup(key); ok {
+		if s, ok := v.(string); ok {
+			return s
+		}
+	}
+	return ""
+}
+
+// Int returns the numeric value for key as int64 (int32/int64/double), or 0.
+func (d D) Int(key string) int64 {
+	v, ok := d.Lookup(key)
+	if !ok {
+		return 0
+	}
+	switch n := v.(type) {
+	case int32:
+		return int64(n)
+	case int64:
+		return n
+	case float64:
+		return int64(n)
+	}
+	return 0
+}
+
+// Doc returns the sub-document for key, or nil.
+func (d D) Doc(key string) D {
+	if v, ok := d.Lookup(key); ok {
+		if sub, ok := v.(D); ok {
+			return sub
+		}
+	}
+	return nil
+}
+
+// CommandName returns the first key of the document, which is how MongoDB
+// identifies commands.
+func (d D) CommandName() string {
+	if len(d) == 0 {
+		return ""
+	}
+	return d[0].Key
+}
+
+// Marshal encodes d to BSON bytes.
+func Marshal(d D) ([]byte, error) {
+	return appendDoc(nil, d, 0)
+}
+
+// MustMarshal encodes d, panicking on error. Only for trusted,
+// honeypot-authored documents (response templates, fake data).
+func MustMarshal(d D) []byte {
+	b, err := Marshal(d)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func appendDoc(dst []byte, d D, depth int) ([]byte, error) {
+	if depth > MaxDepth {
+		return nil, fmt.Errorf("%w: nesting too deep", ErrCorrupt)
+	}
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	var err error
+	for _, e := range d {
+		dst, err = appendElem(dst, e.Key, e.Val, depth)
+		if err != nil {
+			return nil, err
+		}
+	}
+	dst = append(dst, 0)
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start))
+	return dst, nil
+}
+
+func appendElem(dst []byte, key string, v any, depth int) ([]byte, error) {
+	tag := func(t byte) []byte {
+		dst = append(dst, t)
+		dst = append(dst, key...)
+		return append(dst, 0)
+	}
+	var err error
+	switch x := v.(type) {
+	case float64:
+		dst = tag(tDouble)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
+	case string:
+		dst = tag(tString)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(x)+1))
+		dst = append(dst, x...)
+		dst = append(dst, 0)
+	case D:
+		dst = tag(tDocument)
+		dst, err = appendDoc(dst, x, depth+1)
+	case A:
+		dst = tag(tArray)
+		arr := make(D, len(x))
+		for i, el := range x {
+			arr[i] = E{Key: strconv.Itoa(i), Val: el}
+		}
+		dst, err = appendDoc(dst, arr, depth+1)
+	case Binary:
+		dst = tag(tBinary)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(x.Data)))
+		dst = append(dst, x.Subtype)
+		dst = append(dst, x.Data...)
+	case ObjectID:
+		dst = tag(tObjectID)
+		dst = append(dst, x[:]...)
+	case bool:
+		dst = tag(tBool)
+		if x {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case time.Time:
+		dst = tag(tDateTime)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(x.UnixMilli()))
+	case nil:
+		dst = tag(tNull)
+	case Regex:
+		dst = tag(tRegex)
+		dst = append(dst, x.Pattern...)
+		dst = append(dst, 0)
+		dst = append(dst, x.Options...)
+		dst = append(dst, 0)
+	case int32:
+		dst = tag(tInt32)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(x))
+	case int:
+		dst = tag(tInt32)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(x)))
+	case Timestamp:
+		dst = tag(tTimestamp)
+		dst = binary.LittleEndian.AppendUint32(dst, x.I)
+		dst = binary.LittleEndian.AppendUint32(dst, x.T)
+	case int64:
+		dst = tag(tInt64)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(x))
+	default:
+		return nil, fmt.Errorf("bson: unsupported type %T for key %q", v, key)
+	}
+	return dst, err
+}
+
+// Unmarshal decodes one document occupying the whole of b.
+func Unmarshal(b []byte) (D, error) {
+	d, n, err := readDoc(b, 0)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b)-n)
+	}
+	return d, nil
+}
+
+// DocLen reports the declared length of the document starting at b,
+// validating bounds.
+func DocLen(b []byte) (int, error) {
+	if len(b) < 5 {
+		return 0, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	n := int(int32(binary.LittleEndian.Uint32(b)))
+	if n < 5 || n > MaxDocument || n > len(b) {
+		return 0, fmt.Errorf("%w: declared length %d of %d", ErrCorrupt, n, len(b))
+	}
+	return n, nil
+}
+
+func readDoc(b []byte, depth int) (D, int, error) {
+	if depth > MaxDepth {
+		return nil, 0, fmt.Errorf("%w: nesting too deep", ErrCorrupt)
+	}
+	n, err := DocLen(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	body := b[4 : n-1]
+	if b[n-1] != 0 {
+		return nil, 0, fmt.Errorf("%w: missing terminator", ErrCorrupt)
+	}
+	d := D{}
+	off := 0
+	for off < len(body) {
+		tag := body[off]
+		off++
+		key, m, err := readCString(body[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		off += m
+		val, m2, err := readValue(tag, body[off:], depth)
+		if err != nil {
+			return nil, 0, err
+		}
+		off += m2
+		d = append(d, E{Key: key, Val: val})
+	}
+	return d, n, nil
+}
+
+func readCString(b []byte) (string, int, error) {
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i]), i + 1, nil
+		}
+	}
+	return "", 0, fmt.Errorf("%w: unterminated cstring", ErrCorrupt)
+}
+
+func readValue(tag byte, b []byte, depth int) (any, int, error) {
+	need := func(n int) error {
+		if len(b) < n {
+			return fmt.Errorf("%w: truncated value (tag %#x)", ErrCorrupt, tag)
+		}
+		return nil
+	}
+	switch tag {
+	case tDouble:
+		if err := need(8); err != nil {
+			return nil, 0, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(b)), 8, nil
+	case tString:
+		if err := need(4); err != nil {
+			return nil, 0, err
+		}
+		n := int(int32(binary.LittleEndian.Uint32(b)))
+		if n < 1 || n > MaxDocument || len(b) < 4+n {
+			return nil, 0, fmt.Errorf("%w: string length %d", ErrCorrupt, n)
+		}
+		if b[4+n-1] != 0 {
+			return nil, 0, fmt.Errorf("%w: string missing NUL", ErrCorrupt)
+		}
+		return string(b[4 : 4+n-1]), 4 + n, nil
+	case tDocument:
+		d, n, err := readDoc(b, depth+1)
+		return d, n, err
+	case tArray:
+		d, n, err := readDoc(b, depth+1)
+		if err != nil {
+			return nil, 0, err
+		}
+		arr := make(A, len(d))
+		for i, e := range d {
+			arr[i] = e.Val
+		}
+		return arr, n, nil
+	case tBinary:
+		if err := need(5); err != nil {
+			return nil, 0, err
+		}
+		n := int(int32(binary.LittleEndian.Uint32(b)))
+		if n < 0 || n > MaxDocument || len(b) < 5+n {
+			return nil, 0, fmt.Errorf("%w: binary length %d", ErrCorrupt, n)
+		}
+		data := make([]byte, n)
+		copy(data, b[5:5+n])
+		return Binary{Subtype: b[4], Data: data}, 5 + n, nil
+	case tObjectID:
+		if err := need(12); err != nil {
+			return nil, 0, err
+		}
+		var o ObjectID
+		copy(o[:], b)
+		return o, 12, nil
+	case tBool:
+		if err := need(1); err != nil {
+			return nil, 0, err
+		}
+		return b[0] != 0, 1, nil
+	case tDateTime:
+		if err := need(8); err != nil {
+			return nil, 0, err
+		}
+		ms := int64(binary.LittleEndian.Uint64(b))
+		return time.UnixMilli(ms).UTC(), 8, nil
+	case tNull:
+		return nil, 0, nil
+	case tRegex:
+		pat, n1, err := readCString(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		opt, n2, err := readCString(b[n1:])
+		if err != nil {
+			return nil, 0, err
+		}
+		return Regex{Pattern: pat, Options: opt}, n1 + n2, nil
+	case tInt32:
+		if err := need(4); err != nil {
+			return nil, 0, err
+		}
+		return int32(binary.LittleEndian.Uint32(b)), 4, nil
+	case tTimestamp:
+		if err := need(8); err != nil {
+			return nil, 0, err
+		}
+		return Timestamp{I: binary.LittleEndian.Uint32(b), T: binary.LittleEndian.Uint32(b[4:])}, 8, nil
+	case tInt64:
+		if err := need(8); err != nil {
+			return nil, 0, err
+		}
+		return int64(binary.LittleEndian.Uint64(b)), 8, nil
+	default:
+		return nil, 0, fmt.Errorf("%w: unsupported element tag %#x", ErrCorrupt, tag)
+	}
+}

@@ -1,0 +1,199 @@
+package bson
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func roundTrip(t *testing.T, d D) D {
+	t.Helper()
+	b, err := Marshal(d)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	out, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	return out
+}
+
+func TestRoundTripScalars(t *testing.T) {
+	ts := time.Date(2024, 3, 22, 10, 30, 0, 0, time.UTC)
+	in := D{
+		{Key: "double", Val: 3.5},
+		{Key: "string", Val: "hello"},
+		{Key: "doc", Val: D{{Key: "nested", Val: int32(1)}}},
+		{Key: "arr", Val: A{int32(1), "two", true}},
+		{Key: "bin", Val: Binary{Subtype: 0, Data: []byte{1, 2, 3}}},
+		{Key: "oid", Val: ObjectID{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}},
+		{Key: "bool", Val: true},
+		{Key: "date", Val: ts},
+		{Key: "null", Val: nil},
+		{Key: "regex", Val: Regex{Pattern: "^a.*", Options: "i"}},
+		{Key: "i32", Val: int32(-7)},
+		{Key: "ts", Val: Timestamp{T: 100, I: 2}},
+		{Key: "i64", Val: int64(1 << 40)},
+	}
+	out := roundTrip(t, in)
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", out, in)
+	}
+}
+
+func TestIntIsEncodedAsInt32(t *testing.T) {
+	out := roundTrip(t, D{{Key: "n", Val: 42}})
+	if v, _ := out.Lookup("n"); v != int32(42) {
+		t.Fatalf("n = %#v", v)
+	}
+}
+
+func TestLookupHelpers(t *testing.T) {
+	d := D{
+		{Key: "find", Val: "users"},
+		{Key: "limit", Val: int32(5)},
+		{Key: "big", Val: int64(10)},
+		{Key: "f", Val: 2.5},
+		{Key: "filter", Val: D{{Key: "name", Val: "amy"}}},
+	}
+	if d.CommandName() != "find" {
+		t.Fatalf("CommandName = %q", d.CommandName())
+	}
+	if d.Str("find") != "users" || d.Str("missing") != "" {
+		t.Fatal("Str failed")
+	}
+	if d.Int("limit") != 5 || d.Int("big") != 10 || d.Int("f") != 2 {
+		t.Fatal("Int failed")
+	}
+	if d.Doc("filter").Str("name") != "amy" {
+		t.Fatal("Doc failed")
+	}
+	if (D{}).CommandName() != "" {
+		t.Fatal("empty CommandName")
+	}
+}
+
+func TestCorruptInputs(t *testing.T) {
+	good := MustMarshal(D{{Key: "a", Val: "b"}})
+	cases := map[string][]byte{
+		"empty":           {},
+		"tiny":            {4, 0, 0, 0},
+		"declared-long":   {0xff, 0xff, 0xff, 0x7f, 0},
+		"no-terminator":   append(append([]byte{}, good[:len(good)-1]...), 1),
+		"trailing":        append(append([]byte{}, good...), 0),
+		"bad-tag":         {0x08, 0, 0, 0, 0x63, 'k', 0, 0},
+		"string-too-long": {0x10, 0, 0, 0, 0x02, 'k', 0, 0xff, 0xff, 0xff, 0x7f, 'v', 0, 0},
+	}
+	for name, b := range cases {
+		if _, err := Unmarshal(b); err == nil {
+			t.Errorf("%s: corrupt input accepted", name)
+		}
+	}
+}
+
+func TestDeepNestingRejected(t *testing.T) {
+	// Build a document nested beyond MaxDepth by hand.
+	var build func(depth int) D
+	build = func(depth int) D {
+		if depth == 0 {
+			return D{{Key: "leaf", Val: int32(1)}}
+		}
+		return D{{Key: "d", Val: build(depth - 1)}}
+	}
+	if _, err := Marshal(build(MaxDepth + 2)); err == nil {
+		t.Fatal("over-deep document marshalled")
+	}
+	if b, err := Marshal(build(MaxDepth - 2)); err != nil {
+		t.Fatalf("in-bounds depth rejected: %v", err)
+	} else if _, err := Unmarshal(b); err != nil {
+		t.Fatalf("in-bounds depth unmarshal: %v", err)
+	}
+}
+
+func TestObjectIDString(t *testing.T) {
+	o := ObjectID{0x65, 0xfd, 0x01, 0xab, 0, 0, 0, 0, 0, 0, 0x01, 0xff}
+	if got := o.String(); got != "65fd01ab00000000000001ff" {
+		t.Fatalf("ObjectID.String = %q", got)
+	}
+}
+
+// genDoc builds a random document for the property round-trip.
+func genDoc(r *rand.Rand, depth int) D {
+	n := r.Intn(5)
+	d := make(D, 0, n)
+	for i := 0; i < n; i++ {
+		key := string(rune('a'+r.Intn(26))) + string(rune('a'+r.Intn(26))) + string(rune('0'+i))
+		var v any
+		switch k := r.Intn(8); {
+		case k == 0:
+			v = r.NormFloat64()
+		case k == 1:
+			v = randString(r)
+		case k == 2 && depth > 0:
+			v = genDoc(r, depth-1)
+		case k == 3 && depth > 0:
+			m := r.Intn(3)
+			arr := make(A, m)
+			for j := range arr {
+				arr[j] = int32(r.Int31())
+			}
+			v = arr
+		case k == 4:
+			v = r.Intn(2) == 0
+		case k == 5:
+			v = int32(r.Int31())
+		case k == 6:
+			v = int64(r.Uint64())
+		default:
+			v = nil
+		}
+		d = append(d, E{Key: key, Val: v})
+	}
+	return d
+}
+
+func randString(r *rand.Rand) string {
+	n := r.Intn(16)
+	b := make([]rune, n)
+	for i := range b {
+		b[i] = rune('A' + r.Intn(50))
+	}
+	return string(b)
+}
+
+// Property: Marshal→Unmarshal is the identity on generated documents.
+func TestRoundTripQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	f := func() bool {
+		in := genDoc(r, 3)
+		b, err := Marshal(in)
+		if err != nil {
+			return false
+		}
+		out, err := Unmarshal(b)
+		if err != nil {
+			return false
+		}
+		if len(in) == 0 && len(out) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Unmarshal never panics on arbitrary bytes.
+func TestUnmarshalNeverPanicsQuick(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = Unmarshal(b) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

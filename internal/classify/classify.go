@@ -1,0 +1,229 @@
+// Package classify implements the paper's behavioural classification of
+// source IPs (Section 4.3): every source that connects is a *scanner*;
+// sources that attempt logins or issue information-gathering commands are
+// additionally *scouts*; sources that try to alter the DBMS, its data, or
+// the underlying system are *exploiters*. The paper applies regex filters
+// over captured commands; here the honeypots already emit normalised
+// action tokens, so the rules match on those (with raw-payload checks
+// where the action alone is ambiguous).
+package classify
+
+import (
+	"strings"
+
+	"decoydb/internal/core"
+	"decoydb/internal/evstore"
+)
+
+// Behavior is the classification outcome.
+type Behavior int
+
+// Behaviours, ordered by intrusiveness. A source classified Scouting is
+// also a scanner; an exploiter may be all three (paper Section 4.3).
+const (
+	Scanning Behavior = iota
+	Scouting
+	Exploiting
+)
+
+// String returns the paper's category name.
+func (b Behavior) String() string {
+	switch b {
+	case Scanning:
+		return "scanning"
+	case Scouting:
+		return "scouting"
+	case Exploiting:
+		return "exploiting"
+	}
+	return "unknown"
+}
+
+// exploitActions lists, per DBMS, the normalised actions that constitute
+// manipulation of the DBMS, its data, or the host.
+var exploitActions = map[string]map[string]bool{
+	core.Redis: {
+		"SLAVEOF":               true, // rogue-master module loading
+		"REPLICAOF":             true,
+		"MODULE LOAD":           true,
+		"SYSTEM.EXEC":           true,
+		"EVAL":                  true, // CVE-2022-0543 Lua escape
+		"CONFIG SET dir":        true, // cron/ssh-key file drops
+		"CONFIG SET dbfilename": true,
+		"FLUSHDB":               true,
+		"FLUSHALL":              true,
+		"SET":                   true, // payload staging for the file-drop chain
+	},
+	core.Postgres: {
+		"COPY FROM PROGRAM": true, // code execution primitive (Kinsing)
+		"DROP TABLE":        true,
+		"CREATE TABLE":      true,
+		"ALTER USER":        true, // privilege manipulation (Listing 13)
+		"ALTER ROLE":        true,
+		"CREATE USER":       true,
+		"INSERT":            true,
+		"UPDATE":            true,
+		"DELETE":            true,
+	},
+	core.Elastic: {
+		"SEARCH SCRIPT-EXEC": true, // dynamic-scripting RCE (Lucifer)
+	},
+	core.MongoDB: {
+		"INSERT":       true, // ransom-note drops
+		"DELETE":       true,
+		"DROP":         true,
+		"DROPDATABASE": true,
+	},
+	core.MSSQL: {
+		"SQLBATCH-PREAUTH": true,
+	},
+}
+
+// scoutActions lists informational actions that go beyond mere
+// connection but do not alter anything.
+var scoutActions = map[string]map[string]bool{
+	core.Redis: {
+		"INFO": true, "KEYS": true, "TYPE": true, "GET": true, "SCAN": true,
+		"DBSIZE": true, "CLIENT LIST": true, "CONFIG GET": true, "PING": true,
+		"HGETALL": true, "EXISTS": true, "COMMAND": true, "AUTH": true,
+	},
+	core.Postgres: {
+		"SELECT": true, "SELECT VERSION": true, "SHOW": true, "SET": true, "TXN": true,
+	},
+	core.Elastic: {
+		"SEARCH SCRIPT-FIELD":  true,
+		"CVE-2023-41892 PROBE": true, // web-CVE scouting, not DBMS exploitation (paper Table 9)
+		"CVE-2021-22005 PROBE": true,
+	},
+	core.MongoDB: {
+		"BUILDINFO": true, "LISTDATABASES": true, "LISTCOLLECTIONS": true,
+		"FIND": true, "COUNT": true, "AGGREGATE": true, "GETLOG": true,
+		"SERVERSTATUS": true, "GETMORE": true, "AUTH": true,
+	},
+}
+
+// connectionNoise lists actions that amount to protocol housekeeping: a
+// source whose only actions are these is still just scanning. MongoDB
+// drivers send isMaster on every connection, and malformed-protocol junk
+// (RDP cookies, JDWP handshakes, TLS hellos) is port-scan fallout.
+var connectionNoise = map[string]bool{
+	"ISMASTER":         true,
+	"WHATSMYURI":       true,
+	"ENDSESSIONS":      true,
+	"CONNECTIONSTATUS": true,
+	"GETPARAMETER":     true,
+	"QUIT":             true,
+	"PROTOCOL-ERROR":   true,
+	"NON-PG-HANDSHAKE": true,
+	"JDWP-HANDSHAKE":   true,
+	"UNEXPECTED-MSG":   true,
+	"UNEXPECTED-TDS":   true,
+	"MALFORMED-LOGIN":  true,
+	"MALFORMED-LOGIN7": true,
+	"EMPTY":            true,
+}
+
+// serviceScanMarkers match raw payloads of scans for services unrelated
+// to the DBMS (paper Table 9: RDP, JDWP). These classify as scouting —
+// the source sent a deliberate, crafted probe.
+var serviceScanMarkers = []string{
+	"mstshash=",      // RDP negotiation cookie
+	"JDWP-Handshake", // Java Debug Wire Protocol
+}
+
+// Activity classifies one (source, honeypot) activity record.
+func Activity(dbms string, act *evstore.Activity) Behavior {
+	if act == nil {
+		return Scanning
+	}
+	best := Scanning
+	if act.Logins > 0 {
+		best = Scouting
+	}
+	exp := exploitActions[dbms]
+	scout := scoutActions[dbms]
+	for _, a := range act.Actions {
+		if exp[a.Name] {
+			return Exploiting
+		}
+		if best < Scouting {
+			if scout[a.Name] {
+				best = Scouting
+				continue
+			}
+			if connectionNoise[a.Name] {
+				for _, m := range serviceScanMarkers {
+					if strings.Contains(a.Raw, m) {
+						best = Scouting
+						break
+					}
+				}
+				continue
+			}
+			// Unknown deliberate command: the source interacted.
+			best = Scouting
+		}
+	}
+	return best
+}
+
+// IP classifies a source across the honeypots selected by filter
+// (nil = all): the most intrusive behaviour observed anywhere wins.
+func IP(rec *evstore.IPRecord, filter func(evstore.PerKey) bool) Behavior {
+	best := Scanning
+	for k, act := range rec.Per {
+		if filter != nil && !filter(k) {
+			continue
+		}
+		if b := Activity(k.DBMS, act); b > best {
+			best = b
+			if best == Exploiting {
+				break
+			}
+		}
+	}
+	return best
+}
+
+// MediumHigh is a filter selecting medium/high-interaction activity.
+func MediumHigh(k evstore.PerKey) bool { return k.Level >= core.Medium }
+
+// ForDBMS returns a filter selecting medium/high activity on one DBMS.
+func ForDBMS(dbms string) func(evstore.PerKey) bool {
+	return func(k evstore.PerKey) bool { return k.Level >= core.Medium && k.DBMS == dbms }
+}
+
+// Counts tallies behaviours for a set of records under filter.
+type Counts struct {
+	IPs        int
+	Scanning   int
+	Scouting   int
+	Exploiting int
+}
+
+// Count classifies every record that has activity matching filter.
+func Count(recs []*evstore.IPRecord, filter func(evstore.PerKey) bool) Counts {
+	var c Counts
+	for _, r := range recs {
+		touched := false
+		for k := range r.Per {
+			if filter == nil || filter(k) {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			continue
+		}
+		c.IPs++
+		switch IP(r, filter) {
+		case Scanning:
+			c.Scanning++
+		case Scouting:
+			c.Scouting++
+		case Exploiting:
+			c.Exploiting++
+		}
+	}
+	return c
+}

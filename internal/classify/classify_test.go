@@ -1,0 +1,128 @@
+package classify
+
+import (
+	"testing"
+
+	"decoydb/internal/core"
+	"decoydb/internal/evstore"
+)
+
+func act(logins int64, actions ...string) *evstore.Activity {
+	a := &evstore.Activity{Logins: logins}
+	for _, name := range actions {
+		a.Actions = append(a.Actions, evstore.Action{Name: name})
+	}
+	return a
+}
+
+func TestActivityClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		dbms string
+		act  *evstore.Activity
+		want Behavior
+	}{
+		{"connect-only", core.Redis, act(0), Scanning},
+		{"nil", core.Redis, nil, Scanning},
+		{"login", core.MSSQL, act(5), Scouting},
+		{"redis-info", core.Redis, act(0, "INFO", "KEYS"), Scouting},
+		{"redis-type-probe", core.Redis, act(0, "KEYS", "TYPE", "TYPE"), Scouting},
+		{"redis-worm", core.Redis, act(0, "INFO", "SET", "CONFIG SET dir", "SLAVEOF", "MODULE LOAD"), Exploiting},
+		{"redis-flush", core.Redis, act(0, "FLUSHALL"), Exploiting},
+		{"redis-cve", core.Redis, act(0, "EVAL"), Exploiting},
+		{"pg-select", core.Postgres, act(1, "SELECT VERSION", "SELECT"), Scouting},
+		{"pg-kinsing", core.Postgres, act(1, "DROP TABLE", "CREATE TABLE", "COPY FROM PROGRAM"), Exploiting},
+		{"pg-priv", core.Postgres, act(1, "ALTER USER"), Exploiting},
+		{"es-cluster-info", core.Elastic, act(0, "GET /", "GET /_cat/indices"), Scouting},
+		{"es-script-field", core.Elastic, act(0, "SEARCH SCRIPT-FIELD"), Scouting},
+		{"es-lucifer", core.Elastic, act(0, "SEARCH SCRIPT-EXEC"), Exploiting},
+		{"es-craft-probe", core.Elastic, act(0, "CVE-2023-41892 PROBE"), Scouting},
+		{"mongo-handshake", core.MongoDB, act(0, "ISMASTER"), Scanning},
+		{"mongo-enum", core.MongoDB, act(0, "ISMASTER", "LISTDATABASES", "LISTCOLLECTIONS", "FIND"), Scouting},
+		{"mongo-ransom", core.MongoDB, act(0, "FIND", "DELETE", "INSERT"), Exploiting},
+		{"junk-protocol", core.Postgres, act(0, "PROTOCOL-ERROR"), Scanning},
+		{"unknown-deliberate", core.Redis, act(0, "WEIRDCMD"), Scouting},
+	}
+	for _, c := range cases {
+		if got := Activity(c.dbms, c.act); got != c.want {
+			t.Errorf("%s: Activity = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRDPProbeIsScouting(t *testing.T) {
+	a := &evstore.Activity{Actions: []evstore.Action{
+		{Name: "PROTOCOL-ERROR", Raw: "Cookie: mstshash=Administr"},
+	}}
+	if got := Activity(core.Postgres, a); got != Scouting {
+		t.Fatalf("RDP probe = %v, want scouting", got)
+	}
+}
+
+func TestJDWPProbeIsScouting(t *testing.T) {
+	a := &evstore.Activity{Actions: []evstore.Action{
+		{Name: "JDWP-HANDSHAKE", Raw: "JDWP-Handshake"},
+	}}
+	if got := Activity(core.Redis, a); got != Scouting {
+		t.Fatalf("JDWP probe = %v, want scouting", got)
+	}
+}
+
+func mkRecord(per map[evstore.PerKey]*evstore.Activity) *evstore.IPRecord {
+	return &evstore.IPRecord{Per: per}
+}
+
+func TestIPTakesMax(t *testing.T) {
+	redisMed := evstore.PerKey{DBMS: core.Redis, Level: core.Medium}
+	pgLow := evstore.PerKey{DBMS: core.Postgres, Level: core.Low}
+	rec := mkRecord(map[evstore.PerKey]*evstore.Activity{
+		pgLow:    act(100),                         // scouting on low tier
+		redisMed: act(0, "SLAVEOF", "MODULE LOAD"), // exploiting on medium
+	})
+	if got := IP(rec, nil); got != Exploiting {
+		t.Fatalf("IP = %v", got)
+	}
+	if got := IP(rec, func(k evstore.PerKey) bool { return k.Level == core.Low }); got != Scouting {
+		t.Fatalf("IP(low only) = %v", got)
+	}
+}
+
+func TestFilters(t *testing.T) {
+	if !MediumHigh(evstore.PerKey{Level: core.High}) || MediumHigh(evstore.PerKey{Level: core.Low}) {
+		t.Fatal("MediumHigh filter")
+	}
+	f := ForDBMS(core.Redis)
+	if !f(evstore.PerKey{DBMS: core.Redis, Level: core.Medium}) {
+		t.Fatal("ForDBMS accept")
+	}
+	if f(evstore.PerKey{DBMS: core.Redis, Level: core.Low}) {
+		t.Fatal("ForDBMS low accepted")
+	}
+	if f(evstore.PerKey{DBMS: core.MongoDB, Level: core.High}) {
+		t.Fatal("ForDBMS wrong dbms accepted")
+	}
+}
+
+func TestCount(t *testing.T) {
+	redisMed := evstore.PerKey{DBMS: core.Redis, Level: core.Medium}
+	recs := []*evstore.IPRecord{
+		mkRecord(map[evstore.PerKey]*evstore.Activity{redisMed: act(0)}),
+		mkRecord(map[evstore.PerKey]*evstore.Activity{redisMed: act(0, "INFO")}),
+		mkRecord(map[evstore.PerKey]*evstore.Activity{redisMed: act(0, "FLUSHALL")}),
+		// Not on medium tier at all: excluded.
+		mkRecord(map[evstore.PerKey]*evstore.Activity{{DBMS: core.Redis, Level: core.Low}: act(0)}),
+	}
+	c := Count(recs, MediumHigh)
+	if c.IPs != 3 || c.Scanning != 1 || c.Scouting != 1 || c.Exploiting != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestBehaviorString(t *testing.T) {
+	if Scanning.String() != "scanning" || Scouting.String() != "scouting" || Exploiting.String() != "exploiting" {
+		t.Fatal("behaviour names")
+	}
+	if Behavior(9).String() != "unknown" {
+		t.Fatal("unknown behaviour name")
+	}
+}

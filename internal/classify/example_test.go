@@ -1,0 +1,29 @@
+package classify_test
+
+import (
+	"fmt"
+
+	"decoydb/internal/classify"
+	"decoydb/internal/core"
+	"decoydb/internal/evstore"
+)
+
+// Example shows the paper's three-way behaviour classification over a
+// captured activity record.
+func Example() {
+	worm := &evstore.Activity{Actions: []evstore.Action{
+		{Name: "INFO"}, {Name: "SLAVEOF"}, {Name: "MODULE LOAD"},
+	}}
+	scout := &evstore.Activity{Actions: []evstore.Action{
+		{Name: "INFO"}, {Name: "KEYS"},
+	}}
+	scanner := &evstore.Activity{}
+
+	fmt.Println(classify.Activity(core.Redis, worm))
+	fmt.Println(classify.Activity(core.Redis, scout))
+	fmt.Println(classify.Activity(core.Redis, scanner))
+	// Output:
+	// exploiting
+	// scouting
+	// scanning
+}

@@ -1,0 +1,337 @@
+// Package cluster implements the paper's adversary-grouping method
+// (Section 6.1): each source IP's sequence of actions is a document,
+// actions are terms, sequences become term-frequency vectors, and
+// agglomerative hierarchical clustering with Ward linkage (over Euclidean
+// distance) groups similar behaviours. Parameters such as hashes and
+// target paths are already stripped from action tokens, so bot runs that
+// randomise payload names still cluster together — the property the paper
+// relies on.
+//
+// The agglomeration uses the nearest-neighbour-chain algorithm with the
+// Lance–Williams update for Ward linkage, giving O(n²) time and memory,
+// comfortable for the paper-scale populations (≈2,000 sequences per
+// honeypot type).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sequence is one source's ordered action list.
+type Sequence struct {
+	ID      string // typically the source IP
+	Actions []string
+}
+
+// Vector is a dense TF vector over the corpus vocabulary.
+type Vector []float64
+
+// Vectorize converts sequences to TF vectors sharing one vocabulary.
+// tf(t, d) = count(t in d) / len(d), duplicates included, exactly the
+// definition in the paper.
+func Vectorize(seqs []Sequence) ([]Vector, []string) {
+	vocabIndex := map[string]int{}
+	var vocab []string
+	for _, s := range seqs {
+		for _, a := range s.Actions {
+			if _, ok := vocabIndex[a]; !ok {
+				vocabIndex[a] = len(vocab)
+				vocab = append(vocab, a)
+			}
+		}
+	}
+	vecs := make([]Vector, len(seqs))
+	for i, s := range seqs {
+		v := make(Vector, len(vocab))
+		if len(s.Actions) == 0 {
+			vecs[i] = v
+			continue
+		}
+		inc := 1 / float64(len(s.Actions))
+		for _, a := range s.Actions {
+			v[vocabIndex[a]] += inc
+		}
+		vecs[i] = v
+	}
+	return vecs, vocab
+}
+
+// Merge records one agglomeration step: clusters A and B (indexes into
+// the node array, where nodes 0..n-1 are the leaves and node n+i is the
+// result of merge i) joined at the given height.
+type Merge struct {
+	A, B   int
+	Height float64
+}
+
+// Dendrogram is the full merge history of an agglomerative run.
+type Dendrogram struct {
+	Leaves int
+	Merges []Merge
+}
+
+// Linkage selects the inter-cluster distance update rule.
+type Linkage int
+
+// Supported linkages. All three are reducible, so the nearest-neighbour
+// chain algorithm applies. The paper uses Ward; Single and Complete exist
+// for the ablation comparing linkage quality on campaign ground truth.
+const (
+	WardLinkage Linkage = iota
+	SingleLinkage
+	CompleteLinkage
+)
+
+// Ward builds the dendrogram for the given vectors using Ward linkage via
+// the nearest-neighbour chain algorithm.
+func Ward(vecs []Vector) Dendrogram {
+	return Agglomerate(vecs, WardLinkage)
+}
+
+// Agglomerate builds the dendrogram under the chosen linkage.
+func Agglomerate(vecs []Vector, linkage Linkage) Dendrogram {
+	n := len(vecs)
+	dg := Dendrogram{Leaves: n}
+	if n <= 1 {
+		return dg
+	}
+	// Distance state: d holds current inter-cluster Ward distances
+	// (initialised to squared Euclidean), size holds cluster sizes,
+	// alive marks active clusters, node maps slot -> dendrogram node id.
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dist := sqDist(vecs[i], vecs[j])
+			d[i][j], d[j][i] = dist, dist
+		}
+	}
+	size := make([]float64, n)
+	node := make([]int, n)
+	alive := make([]bool, n)
+	for i := range size {
+		size[i] = 1
+		node[i] = i
+		alive[i] = true
+	}
+
+	var chain []int
+	remaining := n
+	next := n // next dendrogram node id
+	for remaining > 1 {
+		if len(chain) == 0 {
+			for i := 0; i < n; i++ {
+				if alive[i] {
+					chain = append(chain, i)
+					break
+				}
+			}
+		}
+		for {
+			c := chain[len(chain)-1]
+			// Find nearest alive neighbour of c.
+			nn, best := -1, 0.0
+			for j := 0; j < n; j++ {
+				if !alive[j] || j == c {
+					continue
+				}
+				if nn == -1 || d[c][j] < best {
+					nn, best = j, d[c][j]
+				}
+			}
+			if len(chain) >= 2 && nn == chain[len(chain)-2] {
+				// Reciprocal nearest neighbours: merge c and nn.
+				a, b := c, nn
+				chain = chain[:len(chain)-2]
+				dg.Merges = append(dg.Merges, Merge{A: node[a], B: node[b], Height: d[a][b]})
+				// Lance–Williams update into slot a.
+				na, nb := size[a], size[b]
+				for k := 0; k < n; k++ {
+					if !alive[k] || k == a || k == b {
+						continue
+					}
+					switch linkage {
+					case SingleLinkage:
+						if d[b][k] < d[a][k] {
+							d[a][k] = d[b][k]
+						}
+					case CompleteLinkage:
+						if d[b][k] > d[a][k] {
+							d[a][k] = d[b][k]
+						}
+					default: // Ward
+						nk := size[k]
+						d[a][k] = ((na+nk)*d[a][k] + (nb+nk)*d[b][k] - nk*d[a][b]) / (na + nb + nk)
+					}
+					d[k][a] = d[a][k]
+				}
+				size[a] = na + nb
+				alive[b] = false
+				node[a] = next
+				next++
+				remaining--
+				break
+			}
+			chain = append(chain, nn)
+		}
+	}
+	return dg
+}
+
+// Cut assigns cluster labels by cutting the dendrogram at height h: every
+// merge with Height <= h is applied. Labels are dense, 0-based, ordered
+// by first leaf appearance.
+func (dg Dendrogram) Cut(h float64) []int {
+	parent := make([]int, dg.Leaves+len(dg.Merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i, m := range dg.Merges {
+		if m.Height <= h {
+			id := dg.Leaves + i
+			ra, rb := find(m.A), find(m.B)
+			parent[ra] = id
+			parent[rb] = id
+		}
+	}
+	labels := make([]int, dg.Leaves)
+	seen := map[int]int{}
+	for i := 0; i < dg.Leaves; i++ {
+		r := find(i)
+		if _, ok := seen[r]; !ok {
+			seen[r] = len(seen)
+		}
+		labels[i] = seen[r]
+	}
+	return labels
+}
+
+// CutK cuts the dendrogram so that exactly k clusters remain (k clamped
+// to [1, leaves]). With Ward linkage merge heights are monotone, so
+// applying the first leaves-k merges is the optimal-height cut.
+func (dg Dendrogram) CutK(k int) []int {
+	if k < 1 {
+		k = 1
+	}
+	if k > dg.Leaves {
+		k = dg.Leaves
+	}
+	merges := dg.Leaves - k
+	parent := make([]int, dg.Leaves+len(dg.Merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	// Merges must be applied in height order for a clean cut.
+	order := make([]int, len(dg.Merges))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return dg.Merges[order[a]].Height < dg.Merges[order[b]].Height })
+	for _, mi := range order[:merges] {
+		m := dg.Merges[mi]
+		id := dg.Leaves + mi
+		parent[find(m.A)] = id
+		parent[find(m.B)] = id
+	}
+	labels := make([]int, dg.Leaves)
+	seen := map[int]int{}
+	for i := 0; i < dg.Leaves; i++ {
+		r := find(i)
+		if _, ok := seen[r]; !ok {
+			seen[r] = len(seen)
+		}
+		labels[i] = seen[r]
+	}
+	return labels
+}
+
+// NumClusters reports max(labels)+1.
+func NumClusters(labels []int) int {
+	max := -1
+	for _, l := range labels {
+		if l > max {
+			max = l
+		}
+	}
+	return max + 1
+}
+
+// Result bundles a clustering outcome.
+type Result struct {
+	Sequences []Sequence
+	Labels    []int
+	Clusters  int
+}
+
+// Run vectorises, clusters (Ward) and cuts at height h in one call.
+func Run(seqs []Sequence, h float64) Result {
+	vecs, _ := Vectorize(seqs)
+	dg := Ward(vecs)
+	labels := dg.Cut(h)
+	return Result{Sequences: seqs, Labels: labels, Clusters: NumClusters(labels)}
+}
+
+// Members returns the sequence IDs in cluster l.
+func (r Result) Members(l int) []string {
+	var out []string
+	for i, lab := range r.Labels {
+		if lab == l {
+			out = append(out, r.Sequences[i].ID)
+		}
+	}
+	return out
+}
+
+// Sizes returns cluster sizes indexed by label.
+func (r Result) Sizes() []int {
+	out := make([]int, r.Clusters)
+	for _, l := range r.Labels {
+		out[l]++
+	}
+	return out
+}
+
+func sqDist(a, b Vector) float64 {
+	la, lb := len(a), len(b)
+	n := la
+	if lb > n {
+		n = lb
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		var x, y float64
+		if i < la {
+			x = a[i]
+		}
+		if i < lb {
+			y = b[i]
+		}
+		diff := x - y
+		sum += diff * diff
+	}
+	return sum
+}
+
+// String renders a compact summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%d sequences in %d clusters", len(r.Sequences), r.Clusters)
+}

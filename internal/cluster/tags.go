@@ -1,0 +1,88 @@
+package cluster
+
+import "strings"
+
+// Campaign tags the paper assigns to clusters of interest (Table 9), as
+// recognisable signatures over member action sequences and raw payloads.
+const (
+	TagP2PInfect  = "p2pinfect"
+	TagABCbot     = "abcbot"
+	TagKinsing    = "kinsing"
+	TagLucifer    = "lucifer"
+	TagRedisCVE   = "cve-2022-0543"
+	TagRansom     = "ransom"
+	TagRDPScan    = "rdp-scan"
+	TagJDWPScan   = "jdwp-scan"
+	TagCraftCMS   = "cve-2023-41892"
+	TagVMware     = "cve-2021-22005"
+	TagBruteForce = "bruteforce"
+	TagPrivilege  = "privilege-manipulation"
+	TagNone       = ""
+)
+
+// TagSequence inspects one source's actions (names + raw excerpts) and
+// returns the campaign tag it matches, if any. Signature precedence goes
+// from most to least specific, mirroring the paper's manual tagging that
+// backed tags with external indicators (file names, C2 URLs, note text).
+func TagSequence(actions []string, raws []string) string {
+	names := strings.Join(actions, "\n")
+	raw := strings.Join(raws, "\n")
+	has := func(s string) bool { return strings.Contains(names, s) }
+	rawHas := func(s string) bool { return strings.Contains(raw, s) }
+
+	switch {
+	case rawHas("exp.so") || (has("SLAVEOF") && has("MODULE LOAD")):
+		return TagP2PInfect
+	case rawHas("ff.sh"):
+		return TagABCbot
+	case has("EVAL") && rawHas("io.popen"):
+		return TagRedisCVE
+	case has("COPY FROM PROGRAM") && (rawHas("base64 -d | bash") || rawHas("pg.sh") || rawHas("pg2.sh")):
+		return TagKinsing
+	case has("SEARCH SCRIPT-EXEC") && (rawHas("sss6") || rawHas("sv6")):
+		return TagLucifer
+	case has("SEARCH SCRIPT-EXEC"):
+		return TagLucifer
+	case has("CVE-2023-41892 PROBE"):
+		return TagCraftCMS
+	case has("CVE-2021-22005 PROBE"):
+		return TagVMware
+	case has("DELETE") && has("INSERT") && (rawHas("BTC") || rawHas("backed up") || rawHas("recover")):
+		return TagRansom
+	case rawHas("mstshash="):
+		return TagRDPScan
+	case rawHas("JDWP-Handshake"):
+		return TagJDWPScan
+	case has("ALTER USER") || has("ALTER ROLE"):
+		return TagPrivilege
+	}
+	return TagNone
+}
+
+// TagClusters tags every cluster in r by majority member signature and
+// returns label -> tag (untagged clusters are omitted).
+func TagClusters(r Result, rawsByID map[string][]string) map[int]string {
+	votes := map[int]map[string]int{}
+	for i, seq := range r.Sequences {
+		tag := TagSequence(seq.Actions, rawsByID[seq.ID])
+		if tag == TagNone {
+			continue
+		}
+		l := r.Labels[i]
+		if votes[l] == nil {
+			votes[l] = map[string]int{}
+		}
+		votes[l][tag]++
+	}
+	out := map[int]string{}
+	for l, vs := range votes {
+		bestTag, best := "", 0
+		for tag, n := range vs {
+			if n > best || (n == best && tag < bestTag) {
+				bestTag, best = tag, n
+			}
+		}
+		out[l] = bestTag
+	}
+	return out
+}

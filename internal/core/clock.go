@@ -1,0 +1,66 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so the 20-day experiment can run on a virtual
+// timeline while live deployments use wall-clock time.
+type Clock interface {
+	Now() time.Time
+}
+
+// RealClock reads the system clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// ExperimentStart is the start of the paper's collection window
+// (March 22, 2024, UTC). Virtual runs default to this origin so event
+// timestamps line up with the paper's figures.
+var ExperimentStart = time.Date(2024, time.March, 22, 0, 0, 0, 0, time.UTC)
+
+// ExperimentDays is the length of the paper's collection window.
+const ExperimentDays = 20
+
+// VirtualClock is a settable clock. Sessions driven by the simulator set
+// it to the scheduled session time; it is safe for concurrent use.
+type VirtualClock struct {
+	mu  sync.RWMutex
+	now time.Time
+}
+
+// NewVirtualClock returns a VirtualClock starting at t.
+func NewVirtualClock(t time.Time) *VirtualClock {
+	return &VirtualClock{now: t}
+}
+
+// Now implements Clock.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.now
+}
+
+// Set moves the clock to t.
+func (c *VirtualClock) Set(t time.Time) {
+	c.mu.Lock()
+	c.now = t
+	c.mu.Unlock()
+}
+
+// Advance moves the clock forward by d and returns the new time.
+func (c *VirtualClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	return c.now
+}
+
+// FixedClock always reports the same instant. Handy in unit tests.
+type FixedClock time.Time
+
+// Now implements Clock.
+func (c FixedClock) Now() time.Time { return time.Time(c) }

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// EventKind enumerates what a client did.
+type EventKind int
+
+// Event kinds. Connect and Close bracket every session; Login carries
+// captured credentials; Command carries a normalised DBMS action.
+const (
+	EventConnect EventKind = iota
+	EventLogin
+	EventCommand
+	EventClose
+)
+
+// String returns the log name of the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventConnect:
+		return "connect"
+	case EventLogin:
+		return "login"
+	case EventCommand:
+		return "command"
+	case EventClose:
+		return "close"
+	}
+	return "unknown"
+}
+
+// Event is the unit record emitted by honeypots. Command holds a
+// normalised action (e.g. "CONFIG SET dir", "COPY FROM PROGRAM") used by
+// the classifier and the TF clustering; Raw preserves (a bounded excerpt
+// of) the original payload for forensics.
+type Event struct {
+	Time     time.Time
+	Src      netip.AddrPort
+	Honeypot Info
+	Kind     EventKind
+	User     string
+	Pass     string
+	OK       bool // login accepted (e.g. open PostgreSQL config)
+	Command  string
+	Raw      string
+}
+
+// Day returns the zero-based experiment day of the event relative to start.
+func (e Event) Day(start time.Time) int {
+	return int(e.Time.Sub(start) / (24 * time.Hour))
+}
+
+// Hour returns the zero-based experiment hour of the event relative to
+// start.
+func (e Event) Hour(start time.Time) int {
+	return int(e.Time.Sub(start) / time.Hour)
+}
+
+// Sink consumes events. Implementations must be safe for concurrent use:
+// honeypot sessions run on independent goroutines.
+type Sink interface {
+	Record(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// Record implements Sink.
+func (f SinkFunc) Record(e Event) { f(e) }
+
+// MultiSink fans events out to several sinks in order.
+type MultiSink []Sink
+
+// Record implements Sink.
+func (m MultiSink) Record(e Event) {
+	for _, s := range m {
+		s.Record(e)
+	}
+}
+
+// NopSink discards all events.
+var NopSink Sink = SinkFunc(func(Event) {})
+
+// MemSink accumulates events in memory, guarded by a mutex. It is intended
+// for tests and small live deployments; large runs should stream into an
+// evstore.Store instead.
+type MemSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Record implements Sink.
+func (m *MemSink) Record(e Event) {
+	m.mu.Lock()
+	m.events = append(m.events, e)
+	m.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events.
+func (m *MemSink) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Event, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// Len reports the number of recorded events.
+func (m *MemSink) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.events)
+}
+
+// Reset discards all recorded events.
+func (m *MemSink) Reset() {
+	m.mu.Lock()
+	m.events = nil
+	m.mu.Unlock()
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"net/netip"
+	"sync/atomic"
+)
+
+// MaxRawCapture bounds the number of raw payload bytes preserved per event.
+// Attackers ship multi-kilobyte scripts; we keep enough for forensics and
+// clustering without letting a hostile client balloon memory.
+const MaxRawCapture = 2048
+
+// Session tracks one client connection to one honeypot instance and turns
+// protocol-level observations into events. Protocol handlers call the
+// Connect/Login/Command/Close methods; the session stamps events with the
+// clock and honeypot identity and forwards them to the sink.
+type Session struct {
+	Info  Info
+	Src   netip.AddrPort
+	clock Clock
+	sink  Sink
+
+	// FixedTime, when true, stamps every event with the session's start
+	// time rather than re-reading the clock. The simulator uses this so a
+	// session scheduled at T emits all events at T even while other
+	// goroutines move the shared virtual clock.
+	fixed   bool
+	started atomic.Int64 // unix nanos of the session start
+
+	nEvents atomic.Int64
+	closed  atomic.Bool
+}
+
+// NewSession creates a session for a client at src talking to instance
+// info. clock and sink must be non-nil.
+func NewSession(info Info, src netip.AddrPort, clock Clock, sink Sink) *Session {
+	s := &Session{Info: info, Src: src, clock: clock, sink: sink}
+	s.started.Store(clock.Now().UnixNano())
+	return s
+}
+
+// NewFixedSession creates a session whose events are all stamped with the
+// clock's time at creation. Used for virtual-time simulation where many
+// sessions at different virtual times run concurrently.
+func NewFixedSession(info Info, src netip.AddrPort, clock Clock, sink Sink) *Session {
+	s := NewSession(info, src, clock, sink)
+	s.fixed = true
+	return s
+}
+
+func (s *Session) now() int64 {
+	if s.fixed {
+		return s.started.Load()
+	}
+	return s.clock.Now().UnixNano()
+}
+
+func (s *Session) emit(e Event) {
+	e.Src = s.Src
+	e.Honeypot = s.Info
+	s.nEvents.Add(1)
+	s.sink.Record(e)
+}
+
+// Connect records the connection-open event.
+func (s *Session) Connect() {
+	s.emit(Event{Time: timeOf(s.now()), Kind: EventConnect})
+}
+
+// Login records a credential capture. ok reports whether the honeypot
+// pretended to accept the login.
+func (s *Session) Login(user, pass string, ok bool) {
+	s.emit(Event{Time: timeOf(s.now()), Kind: EventLogin, User: user, Pass: pass, OK: ok})
+}
+
+// Command records a normalised DBMS action together with a bounded raw
+// excerpt.
+func (s *Session) Command(action, raw string) {
+	if len(raw) > MaxRawCapture {
+		raw = raw[:MaxRawCapture]
+	}
+	s.emit(Event{Time: timeOf(s.now()), Kind: EventCommand, Command: action, Raw: raw})
+}
+
+// Close records the connection-close event. It is idempotent.
+func (s *Session) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.emit(Event{Time: timeOf(s.now()), Kind: EventClose})
+}
+
+// EventCount reports the number of events emitted so far.
+func (s *Session) EventCount() int64 { return s.nEvents.Load() }

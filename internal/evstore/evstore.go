@@ -1,0 +1,403 @@
+// Package evstore is the queryable event store at the end of the paper's
+// data pipeline (Figure 1). The paper converted heterogeneous honeypot
+// logs into SQLite databases enriched with GeoIP/ASN data; evstore plays
+// that role as an embedded, typed store designed around the analyses the
+// paper runs: per-IP activity records, per-hour unique-client series,
+// aggregated login/credential counts, and bounded command sequences for
+// classification and clustering.
+//
+// Login events are aggregated rather than stored row-by-row: the paper's
+// dataset contains 18.16M brute-force logins from a few hundred sources,
+// which aggregates losslessly into (source, honeypot, credential) counts —
+// every login analysis in the paper is expressible over those counts.
+package evstore
+
+import (
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"decoydb/internal/asdb"
+	"decoydb/internal/core"
+	"decoydb/internal/geoip"
+)
+
+// PerKey identifies a honeypot grouping an IP interacted with.
+type PerKey struct {
+	DBMS   string
+	Level  core.Level
+	Config string
+	Group  string
+}
+
+// Action is one normalised command with its raw excerpt.
+type Action struct {
+	Name string
+	Raw  string
+}
+
+// MaxActionsPerActivity bounds the command sequence kept per (IP,
+// honeypot) pair; longer sessions keep counting but stop appending.
+const MaxActionsPerActivity = 512
+
+// Activity accumulates one source IP's interaction with one honeypot
+// grouping.
+type Activity struct {
+	Sessions    int
+	Logins      int64
+	LoginOK     int64
+	CommandsRun int64
+	ActiveDays  uint32 // bitmask over experiment days (max 32 days)
+	Actions     []Action
+}
+
+// DayCount reports the number of distinct active days.
+func (a *Activity) DayCount() int {
+	n := 0
+	for d := a.ActiveDays; d != 0; d &= d - 1 {
+		n++
+	}
+	return n
+}
+
+// IPRecord is everything known about one source address.
+type IPRecord struct {
+	Addr          netip.Addr
+	Country       string
+	ASN           uint32
+	ASName        string
+	ASType        asdb.Type
+	Institutional bool
+	FirstSeen     time.Time
+	LastSeen      time.Time
+	Per           map[PerKey]*Activity
+}
+
+// TotalLogins sums login attempts across honeypots.
+func (r *IPRecord) TotalLogins() int64 {
+	var n int64
+	for _, a := range r.Per {
+		n += a.Logins
+	}
+	return n
+}
+
+// ActiveDaysMask returns the union of active-day bitmasks, optionally
+// restricted by filter (nil = all).
+func (r *IPRecord) ActiveDaysMask(filter func(PerKey) bool) uint32 {
+	var m uint32
+	for k, a := range r.Per {
+		if filter == nil || filter(k) {
+			m |= a.ActiveDays
+		}
+	}
+	return m
+}
+
+// Cred is an aggregated credential observation. Low separates the
+// low-interaction tier from medium/high: the paper's credential tables
+// (5, 6, 12) cover the low tier only, while the PostgreSQL configuration
+// comparison uses medium-tier logins.
+type Cred struct {
+	DBMS string
+	User string
+	Pass string
+	Low  bool
+}
+
+// Series names for hourly unique-client tracking (low tier, per Figure 2
+// and Figures 6–9).
+func seriesAll() string { return "low" }
+func seriesDBMS(dbms string) string {
+	return "low:" + dbms
+}
+
+// Store accumulates events. It implements core.Sink and is safe for
+// concurrent use.
+type Store struct {
+	mu sync.Mutex
+
+	start time.Time
+	days  int
+	geo   *geoip.DB
+
+	ips    map[netip.Addr]*IPRecord
+	creds  map[Cred]int64
+	hourly map[string][]map[netip.Addr]struct{} // series -> hour -> unique IPs
+	events int64
+}
+
+// New creates a store for an experiment window starting at start and
+// lasting days days (max 32), enriching sources against geo.
+func New(start time.Time, days int, geo *geoip.DB) *Store {
+	if days > 32 {
+		panic("evstore: day bitmask supports at most 32 days")
+	}
+	return &Store{
+		start:  start,
+		days:   days,
+		geo:    geo,
+		ips:    make(map[netip.Addr]*IPRecord),
+		creds:  make(map[Cred]int64),
+		hourly: make(map[string][]map[netip.Addr]struct{}),
+	}
+}
+
+// Start returns the experiment start time.
+func (s *Store) Start() time.Time { return s.start }
+
+// Days returns the experiment length in days.
+func (s *Store) Days() int { return s.days }
+
+// Events returns the number of events ingested.
+func (s *Store) Events() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.events
+}
+
+// Record implements core.Sink.
+func (s *Store) Record(e core.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events++
+
+	addr := e.Src.Addr()
+	rec, ok := s.ips[addr]
+	if !ok {
+		rec = &IPRecord{Addr: addr, FirstSeen: e.Time, LastSeen: e.Time, Per: make(map[PerKey]*Activity)}
+		if s.geo != nil {
+			if g, ok := s.geo.Lookup(addr); ok {
+				rec.Country = g.Country
+				rec.ASN = g.ASN
+				rec.ASName = g.ASName
+				rec.ASType = g.ASType
+				rec.Institutional = asdb.Institutional(g.ASN)
+			} else {
+				rec.ASType = asdb.Unknown
+			}
+		} else {
+			rec.ASType = asdb.Unknown
+		}
+		s.ips[addr] = rec
+	}
+	if e.Time.Before(rec.FirstSeen) {
+		rec.FirstSeen = e.Time
+	}
+	if e.Time.After(rec.LastSeen) {
+		rec.LastSeen = e.Time
+	}
+
+	key := PerKey{DBMS: e.Honeypot.DBMS, Level: e.Honeypot.Level, Config: e.Honeypot.Config, Group: e.Honeypot.Group}
+	act := rec.Per[key]
+	if act == nil {
+		act = &Activity{}
+		rec.Per[key] = act
+	}
+	if day := e.Day(s.start); day >= 0 && day < s.days {
+		act.ActiveDays |= 1 << uint(day)
+	}
+
+	switch e.Kind {
+	case core.EventConnect:
+		act.Sessions++
+		if e.Honeypot.Level == core.Low {
+			hour := e.Hour(s.start)
+			s.markHour(seriesAll(), hour, addr)
+			s.markHour(seriesDBMS(e.Honeypot.DBMS), hour, addr)
+		}
+	case core.EventLogin:
+		act.Logins++
+		if e.OK {
+			act.LoginOK++
+		}
+		s.creds[Cred{DBMS: e.Honeypot.DBMS, User: e.User, Pass: e.Pass, Low: e.Honeypot.Level == core.Low}]++
+	case core.EventCommand:
+		act.CommandsRun++
+		if len(act.Actions) < MaxActionsPerActivity {
+			act.Actions = append(act.Actions, Action{Name: e.Command, Raw: e.Raw})
+		}
+	case core.EventClose:
+		// Close carries no aggregate beyond day activity.
+	}
+}
+
+func (s *Store) markHour(series string, hour int, addr netip.Addr) {
+	if hour < 0 || hour >= s.days*24 {
+		return
+	}
+	hs := s.hourly[series]
+	if hs == nil {
+		hs = make([]map[netip.Addr]struct{}, s.days*24)
+		s.hourly[series] = hs
+	}
+	if hs[hour] == nil {
+		hs[hour] = make(map[netip.Addr]struct{})
+	}
+	hs[hour][addr] = struct{}{}
+}
+
+// MarkInstitutional overrides the institutional flag for the given
+// addresses. The paper identifies institutional scanners from an IP list
+// (Griffioen et al.), not from AS ownership; callers holding such a list
+// apply it here after ingestion.
+func (s *Store) MarkInstitutional(addrs []netip.Addr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range addrs {
+		if rec, ok := s.ips[a]; ok {
+			rec.Institutional = true
+		}
+	}
+}
+
+// IPs returns all IP records sorted by address.
+func (s *Store) IPs() []*IPRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*IPRecord, 0, len(s.ips))
+	for _, r := range s.ips {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr.Less(out[j].Addr) })
+	return out
+}
+
+// IP returns the record for addr, or nil.
+func (s *Store) IP(addr netip.Addr) *IPRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ips[addr]
+}
+
+// UniqueIPs reports the number of sources matching filter (nil = all).
+func (s *Store) UniqueIPs(filter func(*IPRecord) bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if filter == nil {
+		return len(s.ips)
+	}
+	n := 0
+	for _, r := range s.ips {
+		if filter(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// HourlyUnique returns the per-hour unique-client counts for the low tier,
+// optionally restricted to one DBMS ("" = all).
+func (s *Store) HourlyUnique(dbms string) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	series := seriesAll()
+	if dbms != "" {
+		series = seriesDBMS(dbms)
+	}
+	out := make([]int, s.days*24)
+	for h, set := range s.hourly[series] {
+		out[h] = len(set)
+	}
+	return out
+}
+
+// CumulativeNew returns, per hour, the cumulative number of distinct
+// clients first seen up to that hour on the low tier ("" = all DBMS).
+func (s *Store) CumulativeNew(dbms string) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	series := seriesAll()
+	if dbms != "" {
+		series = seriesDBMS(dbms)
+	}
+	out := make([]int, s.days*24)
+	seen := make(map[netip.Addr]struct{})
+	for h := 0; h < s.days*24; h++ {
+		hs := s.hourly[series]
+		if hs != nil && hs[h] != nil {
+			for a := range hs[h] {
+				seen[a] = struct{}{}
+			}
+		}
+		out[h] = len(seen)
+	}
+	return out
+}
+
+// CredCount is a credential with its observation count.
+type CredCount struct {
+	Cred
+	Count int64
+}
+
+// Creds returns all aggregated credentials for a DBMS ("" = all) across
+// both tiers, merged by (dbms, user, pass) and sorted by descending count
+// then user/pass.
+func (s *Store) Creds(dbms string) []CredCount {
+	return s.creds0(dbms, nil)
+}
+
+// CredsTier returns the credentials observed on one tier only (low =
+// true for the low-interaction honeypots).
+func (s *Store) CredsTier(dbms string, low bool) []CredCount {
+	return s.creds0(dbms, &low)
+}
+
+func (s *Store) creds0(dbms string, low *bool) []CredCount {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	merged := make(map[Cred]int64)
+	for c, n := range s.creds {
+		if dbms != "" && c.DBMS != dbms {
+			continue
+		}
+		if low != nil && c.Low != *low {
+			continue
+		}
+		key := Cred{DBMS: c.DBMS, User: c.User, Pass: c.Pass}
+		merged[key] += n
+	}
+	out := make([]CredCount, 0, len(merged))
+	for c, n := range merged {
+		out = append(out, CredCount{Cred: c, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].User != out[j].User {
+			return out[i].User < out[j].User
+		}
+		return out[i].Pass < out[j].Pass
+	})
+	return out
+}
+
+// TotalLogins sums all login attempts for a DBMS ("" = all) across both
+// tiers.
+func (s *Store) TotalLogins(dbms string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for c, cnt := range s.creds {
+		if dbms == "" || c.DBMS == dbms {
+			n += cnt
+		}
+	}
+	return n
+}
+
+// TotalLoginsTier sums login attempts for one tier.
+func (s *Store) TotalLoginsTier(dbms string, low bool) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for c, cnt := range s.creds {
+		if (dbms == "" || c.DBMS == dbms) && c.Low == low {
+			n += cnt
+		}
+	}
+	return n
+}

@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"context"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"decoydb/internal/classify"
+	"decoydb/internal/core"
+)
+
+var (
+	tdsOnce sync.Once
+	tds     *Dataset
+	tdsErr  error
+)
+
+// testDataset builds one compressed dataset shared by all experiment
+// tests (building it is the expensive part).
+func testDataset(t *testing.T) *Dataset {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full simulation dataset")
+	}
+	tdsOnce.Do(func() {
+		tds, tdsErr = Build(context.Background(), 1, 4096)
+	})
+	if tdsErr != nil {
+		t.Fatal(tdsErr)
+	}
+	return tds
+}
+
+func TestAllExperimentsProduceArtifacts(t *testing.T) {
+	ds := testDataset(t)
+	seen := map[string]bool{}
+	for _, e := range All {
+		art := e.Run(ds)
+		if art.ID != e.ID {
+			t.Errorf("%s: artefact ID = %q", e.ID, art.ID)
+		}
+		if len(art.Body) < 40 {
+			t.Errorf("%s: suspiciously short body: %q", e.ID, art.Body)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestByID(t *testing.T) {
+	if ByID("T5") == nil || ByID("T5").ID != "T5" {
+		t.Fatal("ByID(T5)")
+	}
+	if ByID("nope") != nil {
+		t.Fatal("ByID(nope) non-nil")
+	}
+}
+
+func TestTable8MatchesPaperQuotas(t *testing.T) {
+	ds := testDataset(t)
+	want := map[string][3]int{
+		core.Elastic:  {608, 627, 2},
+		core.MongoDB:  {706, 465, 62},
+		core.Postgres: {1140, 593, 222},
+		core.Redis:    {676, 266, 38},
+	}
+	for dbms, w := range want {
+		c := classify.Count(ds.Recs, classify.ForDBMS(dbms))
+		if c.Scanning != w[0] || c.Scouting != w[1] || c.Exploiting != w[2] {
+			t.Errorf("%s: %d/%d/%d, want %d/%d/%d", dbms,
+				c.Scanning, c.Scouting, c.Exploiting, w[0], w[1], w[2])
+		}
+	}
+}
+
+func TestTable8ClusterCountsInRange(t *testing.T) {
+	ds := testDataset(t)
+	// The paper found 20–79 clusters per honeypot; the reproduction must
+	// land in the same order of magnitude, not degenerate to 1 or to N.
+	for _, dbms := range []string{core.Elastic, core.MongoDB, core.Postgres, core.Redis} {
+		res, _ := ds.ClusterFor(dbms)
+		if res.Clusters < 10 || res.Clusters > 150 {
+			t.Errorf("%s: %d clusters, outside plausible range", dbms, res.Clusters)
+		}
+	}
+}
+
+// artRows extracts "name number" pairs from a rendered table column.
+var rowRe = regexp.MustCompile(`(?m)^(\S+)\s+(\d+)`)
+
+func TestTable9CampaignIPCounts(t *testing.T) {
+	ds := testDataset(t)
+	body := Table9(ds).Body
+	want := map[string]int{
+		"p2pinfect":              35,
+		"abcbot":                 1,
+		"kinsing":                196,
+		"privilege-manipulation": 26,
+		"ransom":                 62,
+		"cve-2022-0543":          1,
+		"cve-2023-41892":         2,
+		"cve-2021-22005":         15,
+		"jdwp-scan":              2,
+		"lucifer":                2,
+	}
+	for tag, n := range want {
+		re := regexp.MustCompile(`(?m)` + regexp.QuoteMeta(tag) + `\s+(\d+)`)
+		m := re.FindStringSubmatch(body)
+		if m == nil {
+			t.Errorf("campaign %s missing from Table 9:\n%s", tag, body)
+			continue
+		}
+		got, _ := strconv.Atoi(m[1])
+		if got != n {
+			t.Errorf("campaign %s: %d IPs, want %d", tag, got, n)
+		}
+	}
+	// RDP appears twice (redis and postgres rows).
+	re := regexp.MustCompile(`(?m)rdp-scan\s+(\d+)`)
+	ms := re.FindAllStringSubmatch(body, -1)
+	if len(ms) != 2 {
+		t.Fatalf("rdp-scan rows = %d", len(ms))
+	}
+	redisN, _ := strconv.Atoi(ms[0][1])
+	pgN, _ := strconv.Atoi(ms[1][1])
+	if redisN != 14 || pgN != 164 {
+		t.Errorf("rdp-scan IPs = %d/%d, want 14/164", redisN, pgN)
+	}
+}
+
+func TestTable5OrderedByVolume(t *testing.T) {
+	ds := testDataset(t)
+	body := Table5(ds).Body
+	// Russia must lead by a wide margin, and MSSQL must dominate its row.
+	lines := strings.Split(body, "\n")
+	var ruLine string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "RU") {
+			ruLine = l
+			break
+		}
+	}
+	if ruLine == "" {
+		t.Fatalf("no RU row in:\n%s", body)
+	}
+	first := rowRe.FindStringSubmatch(strings.Join(lines[3:], "\n"))
+	if first == nil || first[1] != "RU" {
+		t.Errorf("top login country = %v, want RU\n%s", first, body)
+	}
+}
+
+func TestTable12TopCredential(t *testing.T) {
+	ds := testDataset(t)
+	body := Table12(ds).Body
+	lines := strings.Split(body, "\n")
+	var firstRow string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "---") && i+1 < len(lines) {
+			firstRow = lines[i+1]
+			break
+		}
+	}
+	if !strings.HasPrefix(firstRow, "sa") || !strings.Contains(firstRow, "123") {
+		t.Errorf("top credential row = %q, want sa/123", firstRow)
+	}
+}
+
+func TestRansomExperiment(t *testing.T) {
+	ds := testDataset(t)
+	body := Ransom(ds).Body
+	if !strings.Contains(body, "ransom IPs:            62") {
+		t.Errorf("ransom IPs not 62:\n%s", body)
+	}
+	if !strings.Contains(body, "note templates:        2") {
+		t.Errorf("note templates not 2:\n%s", body)
+	}
+}
+
+func TestConfigEffectsDirection(t *testing.T) {
+	ds := testDataset(t)
+	// The restricted PostgreSQL config must attract more logins than the
+	// open one (paper: 2.07x) and TYPE-walking must be fake-data-only.
+	ce := ConfigEffects(ds)
+	if !strings.Contains(ce.Body, "restricted=") {
+		t.Fatalf("missing fields:\n%s", ce.Body)
+	}
+	re := regexp.MustCompile(`restricted=(\d+) open=(\d+)`)
+	m := re.FindStringSubmatch(ce.Body)
+	if m == nil {
+		t.Fatalf("cannot parse:\n%s", ce.Body)
+	}
+	restricted, _ := strconv.Atoi(m[1])
+	open, _ := strconv.Atoi(m[2])
+	if restricted <= open {
+		t.Errorf("restricted (%d) not above open (%d)", restricted, open)
+	}
+	if ratio := float64(restricted) / float64(open); ratio < 1.3 || ratio > 4 {
+		t.Errorf("restricted/open ratio = %.2f, paper 2.07", ratio)
+	}
+}
+
+func TestIntelCoverageGap(t *testing.T) {
+	ds := testDataset(t)
+	body := IntelCoverage(ds).Body
+	// FEODO must know nobody; exploiters must be less covered than
+	// brute-forcers on Team Cymru.
+	if !strings.Contains(body, "feodo") {
+		t.Fatalf("missing feodo rows:\n%s", body)
+	}
+	re := regexp.MustCompile(`(?m)^(\S+)\s+teamcymru\s+(\d+)/`)
+	ms := re.FindAllStringSubmatch(body, -1)
+	if len(ms) != 2 {
+		t.Fatalf("teamcymru rows = %d", len(ms))
+	}
+	brute, _ := strconv.Atoi(ms[0][2])
+	exp, _ := strconv.Atoi(ms[1][2])
+	if exp >= brute {
+		t.Errorf("exploiter coverage (%d) not below brute coverage (%d)", exp, brute)
+	}
+}
+
+func TestFigure5ExploitersPersist(t *testing.T) {
+	ds := testDataset(t)
+	body := Figure5(ds).Body
+	re := regexp.MustCompile(`scanners (\d+)% done vs exploiters (\d+)% done`)
+	m := re.FindStringSubmatch(body)
+	if m == nil {
+		t.Fatalf("cannot parse:\n%s", body)
+	}
+	scan, _ := strconv.Atoi(m[1])
+	exp, _ := strconv.Atoi(m[2])
+	if exp >= scan {
+		t.Errorf("exploiters (%d%% done at day 3) not more persistent than scanners (%d%%)", exp, scan)
+	}
+}
+
+func TestDatasetClusterCache(t *testing.T) {
+	ds := testDataset(t)
+	a, _ := ds.ClusterFor(core.Redis)
+	b, _ := ds.ClusterFor(core.Redis)
+	if a.Clusters != b.Clusters || len(a.Labels) != len(b.Labels) {
+		t.Fatal("cluster cache not stable")
+	}
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"decoydb/internal/analysis"
+	"decoydb/internal/core"
+	"decoydb/internal/intel"
+	"decoydb/internal/report"
+)
+
+// Headline reproduces the headline dataset counts from Sections 5 and 6.
+func Headline(ds *Dataset) report.Artifact {
+	var low, mh int
+	for _, r := range ds.Recs {
+		hasLow, hasMH := false, false
+		for k := range r.Per {
+			if k.Level == core.Low {
+				hasLow = true
+			} else {
+				hasMH = true
+			}
+		}
+		if hasLow {
+			low++
+		}
+		if hasMH {
+			mh++
+		}
+	}
+	hourly := ds.Store.HourlyUnique("")
+	sum := 0
+	for _, h := range hourly {
+		sum += h
+	}
+	cum := ds.Store.CumulativeNew("")
+	var b strings.Builder
+	fmt.Fprintf(&b, "low-interaction unique IPs: %d (paper 3,340)\n", low)
+	fmt.Fprintf(&b, "medium/high unique IPs:     %d (paper 3,665)\n", mh)
+	fmt.Fprintf(&b, "exploitative IPs:           %d (paper 324)\n", len(ds.Pop.Exploiters))
+	fmt.Fprintf(&b, "avg clients/hour (low):     %.1f (paper ~50)\n", float64(sum)/float64(len(hourly)))
+	fmt.Fprintf(&b, "avg new clients/hour:       %.1f (paper ~7)\n", float64(cum[len(cum)-1])/float64(len(cum)))
+	fmt.Fprintf(&b, "total events ingested:      %d\n", ds.Store.Events())
+	return report.Artifact{ID: "H1", Title: "Headline dataset counts", Body: b.String()}
+}
+
+// BruteStats reproduces the Section 5 brute-force statistics.
+func BruteStats(ds *Dataset) report.Artifact {
+	st := analysis.BruteForce(ds.Store)
+	var b strings.Builder
+	fmt.Fprintf(&b, "scale factor: 1/%d (volumes below are scaled; rescaled in parens)\n", ds.Scale)
+	fmt.Fprintf(&b, "total logins:        %d (~%d; paper 18,162,811)\n", st.TotalLogins, st.TotalLogins*int64(ds.Scale))
+	fmt.Fprintf(&b, "brute-force clients: %d (paper 599)\n", st.Clients)
+	fmt.Fprintf(&b, "avg attempts/client: %.0f (~%.0f; paper 5,373 — an order above SSH studies)\n",
+		st.AvgPerClient, st.AvgPerClient*float64(ds.Scale))
+	fmt.Fprintf(&b, "unique combinations: %d (paper 240,131 at scale 1)\n", st.UniqueCombos)
+	fmt.Fprintf(&b, "unique usernames:    %d (paper 14,540 at scale 1)\n", st.UniqueUsers)
+	fmt.Fprintf(&b, "unique passwords:    %d (paper 226,961 at scale 1)\n", st.UniquePasses)
+	fmt.Fprintf(&b, "heaviest source:     %d logins from %s (paper: ~4M each from 4 Russian IPs on AS208091)\n",
+		st.HeaviestIPLogins, st.HeaviestIPCountry)
+	mssql := ds.Store.TotalLoginsTier(core.MSSQL, true)
+	fmt.Fprintf(&b, "MSSQL share:         %.2f%% (paper 18,076,729/18,162,811 = 99.5%%)\n",
+		100*float64(mssql)/float64(max64(st.TotalLogins, 1)))
+	fmt.Fprintf(&b, "Redis logins:        %d (paper 0)\n", ds.Store.TotalLoginsTier(core.Redis, true))
+	return report.Artifact{ID: "X1", Title: "Section 5 brute-force statistics", Body: b.String()}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ControlGroup reproduces the multi- vs single-service host comparison.
+func ControlGroup(ds *Dataset) report.Artifact {
+	st := analysis.ControlGroup(ds.Recs)
+	var b strings.Builder
+	fmt.Fprintf(&b, "IPs on single-service hosts: %d (paper 1,720)\n", st.SingleIPs)
+	fmt.Fprintf(&b, "IPs on multi-service hosts:  %d (paper 3,163)\n", st.MultiIPs)
+	fmt.Fprintf(&b, "overlap:                     %d (paper 1,543)\n", st.Overlap)
+	fmt.Fprintf(&b, "brute-forced single only:    %d (paper 41)\n", st.BruteSingleOnly)
+	fmt.Fprintf(&b, "brute-forced multi only:     %d (paper 295)\n", st.BruteMultiOnly)
+	b.WriteString("conclusion: target choice is driven by the DBMS, not by how many services share the host\n")
+	return report.Artifact{ID: "X2", Title: "Multi- vs single-service control group", Body: b.String()}
+}
+
+// IntelCoverage reproduces the threat-intelligence cross-reference of
+// Sections 5 and 6.2: brute-forcers are broadly known, exploiters are not.
+func IntelCoverage(ds *Dataset) report.Artifact {
+	feeds := []*intel.Feed{
+		ds.Feeds[intel.GreyNoise], ds.Feeds[intel.AbuseIPDB],
+		ds.Feeds[intel.TeamCymru], ds.Feeds[intel.FEODO],
+	}
+	t := &report.Table{
+		Title:  "Threat-intel coverage",
+		Header: []string{"population", "platform", "listed", "flagged malicious"},
+	}
+	addRows := func(name string, stats []intel.Stat) {
+		for _, s := range stats {
+			t.AddRow(name, s.Feed,
+				fmt.Sprintf("%d/%d (%.0f%%)", s.Listed, s.Total, s.ListedPct()),
+				fmt.Sprintf("%d (%.0f%%)", s.Malicious, s.MaliciousPct()))
+		}
+	}
+	addRows("brute-forcers", intel.CrossReference(feeds, ds.Pop.BruteForcers))
+	addRows("exploiters", intel.CrossReference(feeds, ds.Pop.Exploiters))
+	t.Note = "paper: brute-forcers — GreyNoise 21% malicious, AbuseIPDB 65% reported, Cymru 48%; exploiters — GreyNoise 11%, AbuseIPDB 15%, Cymru 2%, FEODO 0"
+	return report.Artifact{ID: "X3", Title: "Threat-intelligence coverage gap", Body: t.String()}
+}
+
+// ConfigEffects reproduces the honeypot-configuration comparisons from
+// Section 6.
+func ConfigEffects(ds *Dataset) report.Artifact {
+	ce := analysis.ConfigEffect(ds.Recs)
+	var b strings.Builder
+	ratio := float64(ce.PGRestrictedLogins) / float64(max64(ce.PGOpenLogins, 1))
+	fmt.Fprintf(&b, "PostgreSQL medium-tier logins: restricted=%d open=%d ratio=%.2f (paper 29,217 vs 14,084 = 2.07)\n",
+		ce.PGRestrictedLogins, ce.PGOpenLogins, ratio)
+	fmt.Fprintf(&b, "Redis TYPE probes: fake-data=%d default=%d (paper: TYPE-walking seen only with fake data)\n",
+		ce.RedisFakeTypeCmds, ce.RedisDefaultTypeCmds)
+	return report.Artifact{ID: "X4", Title: "Honeypot configuration effects", Body: b.String()}
+}
+
+// Ransom reproduces the Section 6.3 MongoDB ransom case study.
+func Ransom(ds *Dataset) report.Artifact {
+	st := analysis.Ransom(ds.Recs)
+	var b strings.Builder
+	fmt.Fprintf(&b, "ransom IPs:            %d (paper 62)\n", st.IPs)
+	fmt.Fprintf(&b, "note templates:        %d (paper 2)\n", st.Templates)
+	fmt.Fprintf(&b, "notes inserted:        %d (scripts return over days, replacing earlier notes)\n", st.Notes)
+	b.WriteString("pattern: enumerate -> dump -> delete -> insert note; no encryption involved\n")
+	return report.Artifact{ID: "X5", Title: "MongoDB data theft and ransom", Body: b.String()}
+}
+
+// Institutional reproduces the institutional-scanner share of scanning
+// traffic per medium/high honeypot (Section 6.1).
+func Institutional(ds *Dataset) report.Artifact {
+	share := analysis.InstitutionalShare(ds.Recs)
+	t := &report.Table{
+		Title:  "Institutional share of scanning-classified IPs",
+		Header: []string{"DBMS", "institutional", "scanners", "share"},
+	}
+	for _, dbms := range analysis.MHDBMSes {
+		v := share[dbms]
+		t.AddRow(dbms, v[0], v[1], fmt.Sprintf("%.0f%%", pct(v[0], v[1])))
+	}
+	t.Note = "paper: elastic 456 (75%), mongodb 415 (59%), postgres 909 (80%), redis 379 (55%)"
+	return report.Artifact{ID: "X6", Title: "Institutional scanners on medium/high honeypots", Body: t.String()}
+}

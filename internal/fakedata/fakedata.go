@@ -1,0 +1,200 @@
+// Package fakedata generates deterministic bait data for the medium/high
+// interaction honeypots, standing in for the Mockaroo service the paper
+// used: fabricated Redis login entries and MongoDB customer records with
+// names, addresses, phone numbers and (Luhn-valid) credit card numbers.
+package fakedata
+
+import (
+	"fmt"
+	"math/rand"
+
+	"decoydb/internal/bson"
+)
+
+// Gen is a seeded fake-record generator. The same seed always produces the
+// same records, which keeps simulated runs reproducible.
+type Gen struct {
+	r *rand.Rand
+}
+
+// New returns a generator for the given seed.
+func New(seed int64) *Gen {
+	return &Gen{r: rand.New(rand.NewSource(seed))}
+}
+
+var firstNames = []string{
+	"Amber", "Hattie", "Nanette", "Dale", "Elinor", "Virginia", "Dillard",
+	"Mcgee", "Aurelia", "Fulton", "Burton", "Josie", "Hughes", "Hall",
+	"Deidre", "Wilder", "Mia", "Schwartz", "Latoya", "Bradshaw", "Noa",
+	"Liam", "Emma", "Oliver", "Sophia", "Lucas", "Isabella", "Mason",
+}
+
+var lastNames = []string{
+	"Duke", "Bond", "Bates", "Adams", "Ratliff", "Ayala", "Mckenzie",
+	"Mooney", "Harding", "Holt", "Meyers", "Brennan", "Walls", "Allison",
+	"Bruce", "Mccarthy", "Carver", "Buckley", "Lowe", "Petersen", "Novak",
+	"Ito", "Garcia", "Muller", "Smith", "Jansen", "Kim", "Rossi",
+}
+
+var streets = []string{
+	"Putnam Avenue", "Hutchinson Court", "Baycliff Terrace", "Clinton Street",
+	"Hancock Street", "Wilton Street", "Keap Street", "Gates Avenue",
+	"Bristol Street", "Hamilton Avenue", "Terrace Place", "Court Square",
+}
+
+var cities = []string{
+	"Bend", "Dante", "Urie", "Brogan", "Nicut", "Veguita", "Sunriver",
+	"Riverton", "Chapin", "Rockford", "Delft", "Leiden", "Utrecht",
+}
+
+var passwordWords = []string{
+	"dragon", "sunshine", "welcome", "monkey", "shadow", "master", "qwerty",
+	"flower", "hunter", "secret", "orange", "silver", "copper", "tiger",
+}
+
+// Name returns a full name.
+func (g *Gen) Name() string {
+	return firstNames[g.r.Intn(len(firstNames))] + " " + lastNames[g.r.Intn(len(lastNames))]
+}
+
+// Username returns a lowercase login name.
+func (g *Gen) Username() string {
+	return fmt.Sprintf("%s.%s%d",
+		lower(firstNames[g.r.Intn(len(firstNames))]),
+		lower(lastNames[g.r.Intn(len(lastNames))]),
+		g.r.Intn(100))
+}
+
+// Password returns a weak-looking password of the kind leaked credential
+// dumps are full of.
+func (g *Gen) Password() string {
+	w := passwordWords[g.r.Intn(len(passwordWords))]
+	switch g.r.Intn(3) {
+	case 0:
+		return fmt.Sprintf("%s%d", w, g.r.Intn(1000))
+	case 1:
+		return fmt.Sprintf("%s!%d", w, g.r.Intn(100))
+	default:
+		return fmt.Sprintf("%s%s", w, passwordWords[g.r.Intn(len(passwordWords))])
+	}
+}
+
+// Email returns an email address derived from a username.
+func (g *Gen) Email() string {
+	domains := []string{"example.com", "mail.example.org", "corp.example.net"}
+	return g.Username() + "@" + domains[g.r.Intn(len(domains))]
+}
+
+// Address returns a street address.
+func (g *Gen) Address() string {
+	return fmt.Sprintf("%d %s, %s", 1+g.r.Intn(999),
+		streets[g.r.Intn(len(streets))], cities[g.r.Intn(len(cities))])
+}
+
+// Phone returns a phone number.
+func (g *Gen) Phone() string {
+	return fmt.Sprintf("+1 (%03d) %03d-%04d", 200+g.r.Intn(800), g.r.Intn(1000), g.r.Intn(10000))
+}
+
+// CreditCard returns a Luhn-valid 16-digit card number.
+func (g *Gen) CreditCard() string {
+	digits := make([]int, 16)
+	digits[0] = 4 // Visa-style prefix
+	for i := 1; i < 15; i++ {
+		digits[i] = g.r.Intn(10)
+	}
+	digits[15] = luhnCheckDigit(digits[:15])
+	out := make([]byte, 0, 19)
+	for i, d := range digits {
+		if i > 0 && i%4 == 0 {
+			out = append(out, '-')
+		}
+		out = append(out, byte('0'+d))
+	}
+	return string(out)
+}
+
+// LuhnValid reports whether a card number (digits and dashes) passes the
+// Luhn check.
+func LuhnValid(card string) bool {
+	var digits []int
+	for _, c := range card {
+		if c >= '0' && c <= '9' {
+			digits = append(digits, int(c-'0'))
+		}
+	}
+	if len(digits) < 2 {
+		return false
+	}
+	sum := 0
+	double := false
+	for i := len(digits) - 1; i >= 0; i-- {
+		d := digits[i]
+		if double {
+			d *= 2
+			if d > 9 {
+				d -= 9
+			}
+		}
+		sum += d
+		double = !double
+	}
+	return sum%10 == 0
+}
+
+func luhnCheckDigit(payload []int) int {
+	sum := 0
+	double := true
+	for i := len(payload) - 1; i >= 0; i-- {
+		d := payload[i]
+		if double {
+			d *= 2
+			if d > 9 {
+				d -= 9
+			}
+		}
+		sum += d
+		double = !double
+	}
+	return (10 - sum%10) % 10
+}
+
+// RedisLogins fabricates n user login entries keyed user:NNN, matching
+// the paper's fake-data Redis configuration (200 Mockaroo entries of
+// username + password).
+func (g *Gen) RedisLogins(n int) map[string]string {
+	out := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		out[fmt.Sprintf("user:%03d", i)] = g.Username() + ":" + g.Password()
+	}
+	return out
+}
+
+// MongoCustomers fabricates n customer documents with names, addresses,
+// phone numbers and credit card data, matching the paper's MongoDB bait
+// database.
+func (g *Gen) MongoCustomers(n int) []bson.D {
+	out := make([]bson.D, n)
+	for i := range out {
+		out[i] = bson.D{
+			{Key: "_id", Val: int32(i + 1)},
+			{Key: "name", Val: g.Name()},
+			{Key: "email", Val: g.Email()},
+			{Key: "address", Val: g.Address()},
+			{Key: "phone", Val: g.Phone()},
+			{Key: "card", Val: g.CreditCard()},
+			{Key: "balance", Val: float64(g.r.Intn(100000)) / 100},
+		}
+	}
+	return out
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 32
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,103 @@
+package fakedata
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 20; i++ {
+		if a.Name() != b.Name() || a.CreditCard() != b.CreditCard() {
+			t.Fatal("same seed produced different records")
+		}
+	}
+	c := New(43)
+	var same int
+	a = New(42)
+	for i := 0; i < 20; i++ {
+		if a.Name() == c.Name() {
+			same++
+		}
+	}
+	if same == 20 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestCreditCardsAreLuhnValid(t *testing.T) {
+	g := New(7)
+	for i := 0; i < 100; i++ {
+		card := g.CreditCard()
+		if !LuhnValid(card) {
+			t.Fatalf("card %q fails Luhn", card)
+		}
+		if len(card) != 19 { // 16 digits + 3 dashes
+			t.Fatalf("card %q has wrong shape", card)
+		}
+	}
+}
+
+func TestLuhnValidRejects(t *testing.T) {
+	if LuhnValid("4532-1111-2222-3333") {
+		t.Fatal("invalid card accepted")
+	}
+	if LuhnValid("") || LuhnValid("7") {
+		t.Fatal("degenerate input accepted")
+	}
+}
+
+// Property: corrupting any single digit of a valid card breaks the check.
+func TestLuhnDetectsSingleDigitErrorsQuick(t *testing.T) {
+	g := New(11)
+	f := func(pos uint8, delta uint8) bool {
+		card := []byte(g.CreditCard())
+		// Pick a digit position.
+		idxs := []int{}
+		for i, c := range card {
+			if c >= '0' && c <= '9' {
+				idxs = append(idxs, i)
+			}
+		}
+		i := idxs[int(pos)%len(idxs)]
+		d := (int(card[i]-'0') + 1 + int(delta)%9) % 10
+		card[i] = byte('0' + d)
+		return !LuhnValid(string(card))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRedisLogins(t *testing.T) {
+	logins := New(1).RedisLogins(200)
+	if len(logins) != 200 {
+		t.Fatalf("logins = %d", len(logins))
+	}
+	if _, ok := logins["user:000"]; !ok {
+		t.Fatal("missing user:000")
+	}
+	for k, v := range logins {
+		if len(k) != 8 || len(v) < 3 {
+			t.Fatalf("bad entry %q=%q", k, v)
+		}
+	}
+}
+
+func TestMongoCustomers(t *testing.T) {
+	docs := New(2).MongoCustomers(50)
+	if len(docs) != 50 {
+		t.Fatalf("docs = %d", len(docs))
+	}
+	for _, d := range docs {
+		if d.Str("name") == "" || d.Str("card") == "" || d.Str("address") == "" {
+			t.Fatalf("incomplete record %v", d)
+		}
+		if !LuhnValid(d.Str("card")) {
+			t.Fatalf("record card invalid: %v", d.Str("card"))
+		}
+	}
+	if docs[0].Int("_id") != 1 || docs[49].Int("_id") != 50 {
+		t.Fatal("ids not sequential")
+	}
+}

@@ -1,0 +1,133 @@
+package geoip
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+)
+
+// footprint declares how many /16 blocks an AS holds in a country. The
+// default database is generated from this plan: blocks are carved
+// sequentially out of 20.0.0.0/8, which keeps the table non-overlapping by
+// construction and easy to reason about in tests.
+type footprint struct {
+	asn     uint32
+	country string
+	blocks  int
+}
+
+// The geographic footprints encode what the paper's tables need: the
+// named ASes with their login-source geographies (e.g. AS208091 hosting
+// the heavy Russian brute-forcers, Chinanet's exploited telecom space),
+// hosting providers with multi-country presence (the exploiter geography
+// of Table 10), per-country telecoms, institutional scanner ranges, and
+// unmapped space (ASN 0).
+var footprints = []footprint{
+	// Named in the paper.
+	{6939, "US", 4},
+	{396982, "US", 4},
+	{14061, "US", 2}, {14061, "DE", 1}, {14061, "NL", 1}, {14061, "SG", 1}, {14061, "IN", 1}, {14061, "GB", 1},
+	{211298, "GB", 1},
+	{14618, "US", 2},
+	{135377, "CN", 2}, {135377, "SG", 1},
+	{4134, "CN", 4},
+	{4837, "CN", 2},
+	{398324, "US", 1},
+	{63949, "US", 2}, {63949, "SG", 1}, {63949, "DE", 1},
+	{208091, "RU", 1},
+	// Institutional / security scanners.
+	{395092, "US", 1},
+	{59113, "US", 1},
+	{37153, "PT", 1},
+	{64496, "US", 1},
+	{48693, "US", 1},
+	// Hosting.
+	{24940, "DE", 3},
+	{16276, "FR", 3}, {16276, "CA", 1},
+	{12876, "FR", 2}, {12876, "NL", 1},
+	{20473, "US", 2}, {20473, "FR", 1}, {20473, "DE", 1}, {20473, "NL", 1}, {20473, "SG", 1}, {20473, "GB", 1},
+	{45102, "CN", 2}, {45102, "SG", 1}, {45102, "US", 1},
+	{45090, "CN", 2},
+	{34224, "BG", 2},
+	{49981, "NL", 1},
+	{16509, "US", 3},
+	{8075, "US", 2},
+	{51167, "DE", 2}, {51167, "US", 1},
+	{57043, "NL", 1},
+	{44477, "RU", 1}, {44477, "NL", 1},
+	{35048, "RU", 1},
+	{213035, "US", 1}, {213035, "NL", 1},
+	{132203, "CN", 2},
+	{55990, "CN", 1},
+	// Telecoms.
+	{12389, "RU", 3},
+	{3249, "EE", 1},
+	{4766, "KR", 2},
+	{6849, "UA", 1},
+	{58224, "IR", 2},
+	{35805, "GE", 1},
+	{6799, "GR", 1},
+	{9829, "IN", 2},
+	{8866, "BG", 1},
+	{3320, "DE", 2},
+	{3215, "FR", 2},
+	{1136, "NL", 1},
+	{7473, "SG", 1},
+	{7713, "ID", 2},
+	{7922, "US", 3},
+	{2856, "GB", 2},
+	{4812, "CN", 2},
+	// Other categories.
+	{13335, "US", 2}, {13335, "DE", 1},
+	{19551, "NL", 1},
+	{202425, "NL", 1},
+	{262287, "BR", 1},
+	{135905, "VN", 1},
+	{34619, "TR", 1},
+	{45430, "TH", 1},
+	{15169, "US", 2},
+	{32934, "US", 1},
+	{714, "US", 1},
+	{1103, "NL", 1},
+	{9009, "RO", 1},
+	{212238, "GB", 1},
+	{6128, "US", 1},
+	// Unmapped space (no ASN): the paper could not map 15.3% of login
+	// sources to an AS; tail countries live here too.
+	{0, "US", 1}, {0, "CN", 1}, {0, "GB", 1}, {0, "RU", 1}, {0, "IN", 1},
+	{0, "BR", 1}, {0, "VN", 1}, {0, "TR", 1}, {0, "JP", 1}, {0, "CA", 1},
+	{0, "AU", 1}, {0, "MX", 1}, {0, "TH", 1}, {0, "PK", 1}, {0, "EG", 1},
+	{0, "NG", 1}, {0, "ZA", 1}, {0, "PL", 1}, {0, "IT", 1}, {0, "ES", 1},
+	{0, "AR", 1}, {0, "CO", 1}, {0, "KR", 1}, {0, "DE", 1}, {0, "FR", 1},
+	{0, "NL", 1}, {0, "ID", 1}, {0, "SG", 1}, {0, "BG", 1}, {0, "PT", 1}, {0, "RO", 1},
+}
+
+var (
+	defaultOnce sync.Once
+	defaultDB   *DB
+)
+
+// Default returns the generated default database. It is built once and
+// shared; the DB is immutable.
+func Default() *DB {
+	defaultOnce.Do(func() {
+		var allocs []Allocation
+		second := 0 // next free /16 inside 20.0.0.0/8
+		for _, f := range footprints {
+			for b := 0; b < f.blocks; b++ {
+				if second > 255 {
+					panic("geoip: allocation plan exceeds 20.0.0.0/8")
+				}
+				p := netip.PrefixFrom(netip.AddrFrom4([4]byte{20, byte(second), 0, 0}), 16)
+				allocs = append(allocs, Allocation{Prefix: p, Country: f.country, ASN: f.asn})
+				second++
+			}
+		}
+		db, err := New(allocs)
+		if err != nil {
+			panic(fmt.Sprintf("geoip: default dataset invalid: %v", err))
+		}
+		defaultDB = db
+	})
+	return defaultDB
+}

@@ -1,0 +1,134 @@
+// Package geoip provides IP-to-(country, ASN) enrichment, standing in for
+// the MaxMind GeoLite2 database the paper used (Section 4.3). The database
+// is a sorted, non-overlapping CIDR allocation table with binary-search
+// lookup — the same semantics as GeoLite, over a synthetic allocation
+// plan.
+//
+// The same allocation table that the enricher resolves against is the one
+// the traffic simulator draws actor addresses from. That mirrors the
+// real-world setup (real IPs resolved against the real GeoLite snapshot)
+// while keeping the whole system self-consistent and offline.
+package geoip
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+
+	"decoydb/internal/asdb"
+)
+
+// Allocation is one CIDR block assigned to a (country, ASN) pair. ASN 0
+// marks address space with no AS mapping, which the paper reports as
+// "could not be mapped to ASN" (15.3% of logins).
+type Allocation struct {
+	Prefix  netip.Prefix
+	Country string
+	ASN     uint32
+}
+
+// Record is the enrichment result for one address.
+type Record struct {
+	Country string
+	ASN     uint32
+	ASName  string
+	ASType  asdb.Type
+}
+
+// DB is an immutable lookup table.
+type DB struct {
+	allocs []Allocation
+}
+
+// New builds a DB from allocations, validating that prefixes do not
+// overlap.
+func New(allocs []Allocation) (*DB, error) {
+	sorted := make([]Allocation, len(allocs))
+	copy(sorted, allocs)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Prefix.Addr().Less(sorted[j].Prefix.Addr())
+	})
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1].Prefix.Contains(sorted[i].Prefix.Addr()) ||
+			sorted[i].Prefix.Contains(sorted[i-1].Prefix.Addr()) {
+			return nil, fmt.Errorf("geoip: overlapping allocations %v and %v",
+				sorted[i-1].Prefix, sorted[i].Prefix)
+		}
+	}
+	return &DB{allocs: sorted}, nil
+}
+
+// Lookup resolves addr to its allocation record.
+func (db *DB) Lookup(addr netip.Addr) (Record, bool) {
+	i := sort.Search(len(db.allocs), func(i int) bool {
+		return addr.Less(db.allocs[i].Prefix.Addr())
+	})
+	if i == 0 {
+		return Record{}, false
+	}
+	a := db.allocs[i-1]
+	if !a.Prefix.Contains(addr) {
+		return Record{}, false
+	}
+	as := asdb.Lookup(a.ASN)
+	return Record{Country: a.Country, ASN: a.ASN, ASName: as.Name, ASType: as.Type}, true
+}
+
+// Allocations returns the full sorted allocation table.
+func (db *DB) Allocations() []Allocation {
+	out := make([]Allocation, len(db.allocs))
+	copy(out, db.allocs)
+	return out
+}
+
+// In returns the allocations geolocated to country.
+func (db *DB) In(country string) []Allocation {
+	var out []Allocation
+	for _, a := range db.allocs {
+		if a.Country == country {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ByASN returns the allocations of one AS.
+func (db *DB) ByASN(asn uint32) []Allocation {
+	var out []Allocation
+	for _, a := range db.allocs {
+		if a.ASN == asn {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Countries returns the distinct countries in the table, sorted.
+func (db *DB) Countries() []string {
+	seen := map[string]bool{}
+	for _, a := range db.allocs {
+		seen[a.Country] = true
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RandomAddr draws a uniform host address from p (IPv4 prefixes only),
+// avoiding the all-zeros and broadcast host positions.
+func RandomAddr(p netip.Prefix, r *rand.Rand) netip.Addr {
+	base := p.Addr().As4()
+	hostBits := 32 - p.Bits()
+	n := uint32(1) << hostBits
+	off := uint32(1)
+	if n > 2 {
+		off = 1 + uint32(r.Intn(int(n-2)))
+	}
+	v := uint32(base[0])<<24 | uint32(base[1])<<16 | uint32(base[2])<<8 | uint32(base[3])
+	v += off
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}

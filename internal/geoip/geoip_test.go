@@ -1,0 +1,141 @@
+package geoip
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"decoydb/internal/asdb"
+)
+
+func TestDefaultLookupConsistency(t *testing.T) {
+	db := Default()
+	for _, a := range db.Allocations() {
+		r := rand.New(rand.NewSource(int64(a.ASN) + 1))
+		for i := 0; i < 5; i++ {
+			addr := RandomAddr(a.Prefix, r)
+			rec, ok := db.Lookup(addr)
+			if !ok {
+				t.Fatalf("Lookup(%v) missed its own allocation %v", addr, a.Prefix)
+			}
+			if rec.Country != a.Country || rec.ASN != a.ASN {
+				t.Fatalf("Lookup(%v) = %+v, want country %s ASN %d", addr, rec, a.Country, a.ASN)
+			}
+		}
+	}
+}
+
+func TestLookupMiss(t *testing.T) {
+	db := Default()
+	for _, s := range []string{"8.8.8.8", "203.0.113.1", "192.168.1.1"} {
+		if _, ok := db.Lookup(netip.MustParseAddr(s)); ok {
+			t.Fatalf("Lookup(%s) unexpectedly hit", s)
+		}
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	a := Allocation{Prefix: netip.MustParsePrefix("10.0.0.0/8"), Country: "US", ASN: 1}
+	b := Allocation{Prefix: netip.MustParsePrefix("10.1.0.0/16"), Country: "DE", ASN: 2}
+	if _, err := New([]Allocation{a, b}); err == nil {
+		t.Fatal("overlapping allocations accepted")
+	}
+}
+
+func TestPaperNamedASesPresent(t *testing.T) {
+	db := Default()
+	// AS208091: registered in the UK, IPs geolocated to Russia — the
+	// paper's heavy brute-force source.
+	allocs := db.ByASN(208091)
+	if len(allocs) == 0 {
+		t.Fatal("AS208091 missing")
+	}
+	for _, a := range allocs {
+		if a.Country != "RU" {
+			t.Fatalf("AS208091 geo = %s, want RU", a.Country)
+		}
+	}
+	if asdb.Lookup(208091).Registered != "GB" {
+		t.Fatal("AS208091 not registered in GB")
+	}
+	for _, asn := range []uint32{6939, 396982, 14061, 211298, 14618, 135377, 4134, 4837, 398324, 63949} {
+		if len(db.ByASN(asn)) == 0 {
+			t.Fatalf("paper AS %d has no allocations", asn)
+		}
+	}
+}
+
+func TestEveryAllocationASNRegisteredOrZero(t *testing.T) {
+	for _, a := range Default().Allocations() {
+		if a.ASN == 0 {
+			continue
+		}
+		if asdb.Lookup(a.ASN).Type == asdb.Unknown {
+			t.Fatalf("allocation %v references unregistered ASN %d", a.Prefix, a.ASN)
+		}
+	}
+}
+
+func TestCountryCoverage(t *testing.T) {
+	db := Default()
+	// Countries required by the paper's tables 5 and 10.
+	for _, c := range []string{"US", "CN", "GB", "RU", "EE", "KR", "UA", "IR", "GE", "GR", "IN", "BG", "DE", "FR", "NL", "SG", "ID"} {
+		if len(db.In(c)) == 0 {
+			t.Fatalf("no allocations in %s", c)
+		}
+	}
+}
+
+func TestInstitutionalASesAreSecurity(t *testing.T) {
+	for _, as := range asdb.All() {
+		if as.Institutional && as.Type != asdb.Security {
+			t.Fatalf("institutional AS %d (%s) has type %s", as.ASN, as.Name, as.Type)
+		}
+	}
+}
+
+// Property: RandomAddr always lands inside its prefix.
+func TestRandomAddrContainedQuick(t *testing.T) {
+	db := Default()
+	allocs := db.Allocations()
+	r := rand.New(rand.NewSource(3))
+	f := func(i uint, seed int64) bool {
+		a := allocs[int(i%uint(len(allocs)))]
+		addr := RandomAddr(a.Prefix, rand.New(rand.NewSource(seed)))
+		return a.Prefix.Contains(addr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountriesSorted(t *testing.T) {
+	cs := Default().Countries()
+	if len(cs) < 10 {
+		t.Fatalf("countries = %d", len(cs))
+	}
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1] >= cs[i] {
+			t.Fatalf("countries not sorted/unique at %d: %v", i, cs[i-1:i+1])
+		}
+	}
+}
+
+func TestASDBTypes(t *testing.T) {
+	if got := asdb.Lookup(4134); got.Type != asdb.Telecom || got.Name != "Chinanet" {
+		t.Fatalf("Chinanet = %+v", got)
+	}
+	if got := asdb.Lookup(999999); got.Type != asdb.Unknown {
+		t.Fatalf("unknown ASN = %+v", got)
+	}
+	if !asdb.Institutional(398324) {
+		t.Fatal("Censys not institutional")
+	}
+	if asdb.Institutional(4134) {
+		t.Fatal("Chinanet institutional")
+	}
+	if len(asdb.Types()) != 9 {
+		t.Fatalf("types = %v", asdb.Types())
+	}
+}

@@ -1,0 +1,172 @@
+// Adversarial robustness suite: every honeypot faces the open Internet,
+// so every handler must survive arbitrary bytes — truncated handshakes,
+// random garbage, oversized declarations — without panicking or hanging.
+// These are property tests in the spirit of fuzzing, kept deterministic
+// with seeded generators so failures reproduce.
+package hptest
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"decoydb/internal/core"
+	"decoydb/internal/elastic"
+	"decoydb/internal/mongo"
+	"decoydb/internal/mssql"
+	"decoydb/internal/mysql"
+	"decoydb/internal/postgres"
+	"decoydb/internal/redis"
+)
+
+// handlers lists every protocol honeypot under test.
+func handlers() map[string]core.Handler {
+	return map[string]core.Handler{
+		core.MySQL:    mysql.New().Handler(),
+		core.MSSQL:    mssql.New().Handler(),
+		core.Postgres: postgres.New(postgres.ModeOpen).Handler(),
+		core.Redis:    redis.New(redis.Options{}).Handler(),
+		core.Elastic:  elastic.New().Handler(),
+		core.MongoDB:  mongo.New(nil).Handler(),
+	}
+}
+
+// throwGarbage runs one session feeding the payload and returns without
+// judging the handler's error — the only failure modes are panic
+// (surfaced by ServeConn as an error containing "panic") and hang.
+func throwGarbage(t *testing.T, name string, h core.Handler, payload []byte) {
+	t.Helper()
+	srv, cli := net.Pipe()
+	deadline := time.Now().Add(2 * time.Second)
+	srv.SetDeadline(deadline)
+	cli.SetDeadline(deadline)
+	sess := core.NewSession(core.Info{DBMS: name}, DefaultSrc, core.FixedClock(core.ExperimentStart), &core.MemSink{})
+	done := make(chan error, 1)
+	go func() { done <- core.ServeConn(context.Background(), h, srv, sess) }()
+	// Drain concurrently from the start: server-speaks-first protocols
+	// (MySQL) would otherwise deadlock against our own write.
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			if _, err := cli.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	cli.Write(payload)
+	time.Sleep(time.Millisecond)
+	cli.Close()
+	select {
+	case err := <-done:
+		if err != nil && containsPanic(err.Error()) {
+			t.Fatalf("%s: handler panicked on %q: %v", name, payload, err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("%s: handler hung on %d bytes of garbage", name, len(payload))
+	}
+}
+
+func containsPanic(s string) bool {
+	return len(s) >= 5 && (s[:5] == "panic" || indexOf(s, "panic") >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestHandlersSurviveRandomGarbage(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for name, h := range handlers() {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < 40; i++ {
+				n := 1 + r.Intn(512)
+				payload := make([]byte, n)
+				r.Read(payload)
+				throwGarbage(t, name, h, payload)
+			}
+		})
+	}
+}
+
+// protocolPrefixes are plausible-looking-but-wrong openings for each
+// protocol: right framing, hostile contents.
+func protocolPrefixes(name string) [][]byte {
+	switch name {
+	case core.MySQL:
+		return [][]byte{
+			{0xff, 0xff, 0xff, 0x00},             // max-length declaration
+			{0x01, 0x00, 0x00, 0x00, 0x00},       // 1-byte packet
+			{0x05, 0x00, 0x00, 0x01, 1, 2, 3, 4}, // truncated payload
+		}
+	case core.MSSQL:
+		return [][]byte{
+			{0x12, 0x01, 0xff, 0xff, 0, 0, 1, 0},             // oversized prelogin
+			{0x10, 0x01, 0x00, 0x09, 0, 0, 1, 0, 0x41},       // 1-byte login7
+			{0x12, 0x01, 0x00, 0x08, 0, 0, 1, 0},             // empty prelogin
+			{0x01, 0x01, 0x00, 0x0a, 0, 0, 1, 0, 0x41, 0x00}, // pre-auth batch
+		}
+	case core.Postgres:
+		return [][]byte{
+			{0x00, 0x00, 0x00, 0x04},             // undersized startup
+			{0x7f, 0xff, 0xff, 0xff},             // oversized startup
+			{0x00, 0x00, 0x00, 0x09, 0, 3, 0, 0}, // truncated body
+		}
+	case core.Redis:
+		return [][]byte{
+			[]byte("*999999999\r\n"),
+			[]byte("$-7\r\n"),
+			[]byte("*2\r\n$3\r\nGET\r\n$99999\r\nx\r\n"),
+		}
+	case core.Elastic:
+		return [][]byte{
+			[]byte("GET / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n"),
+			[]byte("BOGUS /\r\n\r\n"),
+			{0x16, 0x03, 0x01, 0x02, 0x00}, // TLS hello on plaintext port
+		}
+	case core.MongoDB:
+		return [][]byte{
+			{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0, 0, 0, 0, 0, 0xdd, 0x07, 0, 0},    // huge decl
+			{0x10, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0xdd, 0x07, 0, 0},             // empty OP_MSG
+			{0x14, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0xd4, 0x07, 0, 0, 1, 2, 3, 4}, // bad OP_QUERY
+		}
+	}
+	return nil
+}
+
+func TestHandlersSurviveHostileFraming(t *testing.T) {
+	for name, h := range handlers() {
+		t.Run(name, func(t *testing.T) {
+			for _, p := range protocolPrefixes(name) {
+				throwGarbage(t, name, h, p)
+			}
+		})
+	}
+}
+
+// TestHandlersSurviveTruncatedLegitimateDialogues cuts real protocol
+// openings short at every byte boundary — the connection-drop-mid-
+// handshake case that dominates real scan traffic.
+func TestHandlersSurviveTruncatedLegitimateDialogues(t *testing.T) {
+	openings := map[string][]byte{
+		core.MSSQL:    append([]byte{0x12, 0x01, 0x00, 0x2f, 0, 0, 1, 0}, mssql.StandardPrelogin(11, 0, 0, 0)...),
+		core.Postgres: postgres.EncodeStartup(map[string]string{"user": "postgres"}),
+		core.Redis:    redis.EncodeCommand("SET", "key", "value"),
+		core.Elastic:  []byte("GET /_cat/indices HTTP/1.1\r\nHost: x\r\n\r\n"),
+	}
+	for name, full := range openings {
+		h := handlers()[name]
+		t.Run(name, func(t *testing.T) {
+			step := 3
+			for cut := 1; cut < len(full); cut += step {
+				throwGarbage(t, name, h, full[:cut])
+			}
+		})
+	}
+}

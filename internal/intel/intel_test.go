@@ -1,0 +1,83 @@
+package intel
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+)
+
+func addrs(n int) []netip.Addr {
+	out := make([]netip.Addr, n)
+	for i := range out {
+		out[i] = netip.AddrFrom4([4]byte{20, byte(i >> 8), byte(i), 1})
+	}
+	return out
+}
+
+func TestBuildFeedCoverage(t *testing.T) {
+	pop := addrs(2000)
+	f := BuildFeed(GreyNoise, pop, Coverage{ListedFrac: 0.5, MaliciousFrac: 0.4, Tags: []string{"MSSQL bruteforcer"}}, 1)
+	got := float64(f.Len()) / float64(len(pop))
+	if math.Abs(got-0.5) > 0.05 {
+		t.Fatalf("listed fraction = %.3f, want ~0.5", got)
+	}
+	var mal int
+	for _, a := range pop {
+		if e, ok := f.Lookup(a); ok {
+			if e.Malicious {
+				mal++
+			}
+			if len(e.Tags) != 1 || e.Tags[0] != "MSSQL bruteforcer" {
+				t.Fatalf("tags = %v", e.Tags)
+			}
+			if e.LastReport.IsZero() {
+				t.Fatal("zero LastReport")
+			}
+		}
+	}
+	if frac := float64(mal) / float64(f.Len()); math.Abs(frac-0.4) > 0.06 {
+		t.Fatalf("malicious fraction = %.3f, want ~0.4", frac)
+	}
+}
+
+func TestBuildFeedDeterministic(t *testing.T) {
+	pop := addrs(100)
+	a := BuildFeed(AbuseIPDB, pop, Coverage{ListedFrac: 0.3, MaliciousFrac: 1}, 9)
+	b := BuildFeed(AbuseIPDB, pop, Coverage{ListedFrac: 0.3, MaliciousFrac: 1}, 9)
+	if a.Len() != b.Len() {
+		t.Fatalf("lens differ: %d vs %d", a.Len(), b.Len())
+	}
+	for _, p := range pop {
+		_, inA := a.Lookup(p)
+		_, inB := b.Lookup(p)
+		if inA != inB {
+			t.Fatalf("feed membership differs for %v", p)
+		}
+	}
+}
+
+func TestCrossReference(t *testing.T) {
+	pop := addrs(10)
+	f := NewFeed(TeamCymru)
+	f.Add(pop[0], Entry{Malicious: true, Tags: []string{"redis"}})
+	f.Add(pop[1], Entry{Malicious: false})
+	empty := NewFeed(FEODO)
+
+	stats := CrossReference([]*Feed{f, empty}, pop)
+	if stats[0].Listed != 2 || stats[0].Malicious != 1 || stats[0].Total != 10 {
+		t.Fatalf("stats[0] = %+v", stats[0])
+	}
+	if stats[1].Listed != 0 {
+		t.Fatalf("stats[1] = %+v", stats[1])
+	}
+	if got := stats[0].ListedPct(); got != 20 {
+		t.Fatalf("ListedPct = %v", got)
+	}
+	if got := stats[0].MaliciousPct(); got != 10 {
+		t.Fatalf("MaliciousPct = %v", got)
+	}
+	zero := Stat{}
+	if zero.ListedPct() != 0 || zero.MaliciousPct() != 0 {
+		t.Fatal("zero-total percentages")
+	}
+}

@@ -1,0 +1,193 @@
+package mongo
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"testing"
+
+	"decoydb/internal/bson"
+	"decoydb/internal/hptest"
+)
+
+// TestCommandSurface covers the remaining command dispatch paths.
+func TestCommandSurface(t *testing.T) {
+	hp := New(seedStore())
+	hptest.Run(t, hp.Handler(), mongoInfo(), func(t *testing.T, conn net.Conn) {
+		cl := newMongoClient(t, conn)
+
+		if r := cl.run(bson.D{{Key: "hello", Val: int32(1)}, {Key: "$db", Val: "admin"}}); r.Int("ok") != 1 {
+			t.Errorf("hello = %v", r)
+		}
+		if r := cl.run(bson.D{{Key: "serverStatus", Val: int32(1)}, {Key: "$db", Val: "admin"}}); r.Str("version") != Version {
+			t.Errorf("serverStatus = %v", r)
+		}
+		if r := cl.run(bson.D{{Key: "getLog", Val: "startupWarnings"}, {Key: "$db", Val: "admin"}}); r.Int("ok") != 1 {
+			t.Errorf("getLog = %v", r)
+		} else if v, _ := r.Lookup("log"); len(v.(bson.A)) == 0 {
+			t.Error("getLog empty (the access-control warning is the honeypot's bait)")
+		}
+		if r := cl.run(bson.D{{Key: "count", Val: "records"}, {Key: "$db", Val: "customers"}}); r.Int("n") != 2 {
+			t.Errorf("count = %v", r)
+		}
+		agg := cl.run(bson.D{{Key: "aggregate", Val: "records"}, {Key: "pipeline", Val: bson.A{}}, {Key: "$db", Val: "customers"}})
+		if batch, _ := agg.Doc("cursor").Lookup("firstBatch"); len(batch.(bson.A)) != 2 {
+			t.Errorf("aggregate = %v", agg)
+		}
+		if r := cl.run(bson.D{{Key: "getMore", Val: int64(0)}, {Key: "$db", Val: "customers"}}); r.Int("ok") != 1 {
+			t.Errorf("getMore = %v", r)
+		}
+		if r := cl.run(bson.D{{Key: "whatsmyuri", Val: int32(1)}, {Key: "$db", Val: "admin"}}); r.Str("you") == "" {
+			t.Errorf("whatsmyuri = %v", r)
+		}
+		if r := cl.run(bson.D{{Key: "endSessions", Val: bson.A{}}, {Key: "$db", Val: "admin"}}); r.Int("ok") != 1 {
+			t.Errorf("endSessions = %v", r)
+		}
+		if r := cl.run(bson.D{{Key: "shutdown", Val: int32(1)}, {Key: "$db", Val: "admin"}}); r.Str("codeName") != "Unauthorized" {
+			t.Errorf("shutdown = %v", r)
+		}
+		// find with filter and limit.
+		found := cl.run(bson.D{
+			{Key: "find", Val: "records"},
+			{Key: "filter", Val: bson.D{{Key: "name", Val: "Amber Duke"}}},
+			{Key: "limit", Val: int32(1)},
+			{Key: "$db", Val: "customers"},
+		})
+		if batch, _ := found.Doc("cursor").Lookup("firstBatch"); len(batch.(bson.A)) != 1 {
+			t.Errorf("filtered find = %v", found)
+		}
+		// drop of a missing collection errors like real mongod.
+		if r := cl.run(bson.D{{Key: "drop", Val: "nope"}, {Key: "$db", Val: "customers"}}); r.Str("codeName") != "NamespaceNotFound" {
+			t.Errorf("drop missing = %v", r)
+		}
+		if r := cl.run(bson.D{{Key: "drop", Val: "records"}, {Key: "$db", Val: "customers"}}); r.Int("ok") != 1 {
+			t.Errorf("drop = %v", r)
+		}
+		if r := cl.run(bson.D{{Key: "dropDatabase", Val: int32(1)}, {Key: "$db", Val: "customers"}}); r.Str("dropped") != "customers" {
+			t.Errorf("dropDatabase = %v", r)
+		}
+	})
+}
+
+// TestOpMsgDocumentSequence exercises the kind-1 section path modern
+// drivers use for bulk inserts.
+func TestOpMsgDocumentSequence(t *testing.T) {
+	hp := New(NewStore())
+	hptest.Run(t, hp.Handler(), mongoInfo(), func(t *testing.T, conn net.Conn) {
+		// Hand-build an OP_MSG: body section (kind 0) + "documents"
+		// sequence section (kind 1) with two documents.
+		body := bson.MustMarshal(bson.D{{Key: "insert", Val: "c"}, {Key: "$db", Val: "db"}})
+		doc1 := bson.MustMarshal(bson.D{{Key: "a", Val: int32(1)}})
+		doc2 := bson.MustMarshal(bson.D{{Key: "b", Val: int32(2)}})
+		seq := []byte("documents\x00")
+		seqLen := 4 + len(seq) + len(doc1) + len(doc2)
+
+		payload := []byte{0, 0, 0, 0} // flagBits
+		payload = append(payload, 0)  // kind 0
+		payload = append(payload, body...)
+		payload = append(payload, 1) // kind 1
+		payload = append(payload, byte(seqLen), byte(seqLen>>8), byte(seqLen>>16), byte(seqLen>>24))
+		payload = append(payload, seq...)
+		payload = append(payload, doc1...)
+		payload = append(payload, doc2...)
+
+		total := 16 + len(payload)
+		frame := []byte{byte(total), byte(total >> 8), byte(total >> 16), byte(total >> 24),
+			1, 0, 0, 0, 0, 0, 0, 0, 0xdd, 0x07, 0, 0}
+		frame = append(frame, payload...)
+		if _, err := conn.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+		reply, err := ReadMessage(newReader(conn))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reply.Body.Int("n") != 2 {
+			t.Fatalf("sequence insert n = %v", reply.Body)
+		}
+	})
+	// Both documents landed in the store? (hp captured above)
+}
+
+func TestLegacyFindEmptyAndMatch(t *testing.T) {
+	hp := New(seedStore())
+	hptest.Run(t, hp.Handler(), mongoInfo(), func(t *testing.T, conn net.Conn) {
+		// OP_QUERY against a collection with a matching filter.
+		q, err := EncodeQuery(1, "customers.records", bson.D{{Key: "name", Val: "Amber Duke"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Write(q)
+		br := newReader(conn)
+		if _, err := readReplyDocs(br); err != nil {
+			t.Fatal(err)
+		}
+		// And against an empty collection.
+		q2, _ := EncodeQuery(2, "customers.empty", bson.D{})
+		conn.Write(q2)
+		if _, err := readReplyDocs(br); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestStoreValueEqBranches(t *testing.T) {
+	s := NewStore()
+	oid := bson.ObjectID{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	s.Insert("db", "c",
+		bson.D{{Key: "oid", Val: oid}, {Key: "b", Val: true}, {Key: "n", Val: nil}, {Key: "f", Val: 2.5}},
+		bson.D{{Key: "oid", Val: bson.ObjectID{9}}, {Key: "b", Val: false}, {Key: "f", Val: int32(2)}},
+	)
+	if got := s.Find("db", "c", bson.D{{Key: "oid", Val: oid}}, 0); len(got) != 1 {
+		t.Fatalf("oid filter = %d", len(got))
+	}
+	if got := s.Find("db", "c", bson.D{{Key: "b", Val: true}}, 0); len(got) != 1 {
+		t.Fatalf("bool filter = %d", len(got))
+	}
+	if got := s.Find("db", "c", bson.D{{Key: "n", Val: nil}}, 0); len(got) != 1 {
+		t.Fatalf("null filter = %d", len(got))
+	}
+	// Cross-numeric equality: float 2.5 vs int32 2 differ; int32 2 matches 2.0.
+	if got := s.Find("db", "c", bson.D{{Key: "f", Val: float64(2)}}, 0); len(got) != 1 {
+		t.Fatalf("numeric filter = %d", len(got))
+	}
+	// Mismatched types never match.
+	if got := s.Find("db", "c", bson.D{{Key: "b", Val: "true"}}, 0); len(got) != 0 {
+		t.Fatalf("type-confused filter = %d", len(got))
+	}
+	// $orderby is ignored, not matched.
+	if got := s.Find("db", "c", bson.D{{Key: "$orderby", Val: bson.D{}}}, 0); len(got) != 2 {
+		t.Fatalf("$orderby filter = %d", len(got))
+	}
+}
+
+// Helpers shared by the OP_QUERY tests.
+func newReader(conn net.Conn) *bufio.Reader { return bufio.NewReader(conn) }
+
+// readReplyDocs reads one OP_REPLY and returns its documents.
+func readReplyDocs(br *bufio.Reader) ([]bson.D, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	total := int(uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24)
+	rest := make([]byte, total-16)
+	if _, err := io.ReadFull(br, rest); err != nil {
+		return nil, err
+	}
+	rest = rest[20:] // responseFlags + cursorID + startingFrom + numberReturned
+	var docs []bson.D
+	for len(rest) > 0 {
+		n, err := bson.DocLen(rest)
+		if err != nil {
+			return nil, err
+		}
+		d, err := bson.Unmarshal(rest[:n])
+		if err != nil {
+			return nil, err
+		}
+		docs = append(docs, d)
+		rest = rest[n:]
+	}
+	return docs, nil
+}

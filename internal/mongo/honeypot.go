@@ -1,0 +1,330 @@
+package mongo
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+
+	"decoydb/internal/bson"
+	"decoydb/internal/core"
+)
+
+// Version the honeypot advertises: a 4.0-era server, the vintage of the
+// great unauthenticated-MongoDB ransom waves.
+const Version = "4.0.28"
+
+// Honeypot is the high-interaction MongoDB honeypot over a real in-memory
+// store. Seed the store with fake data before serving.
+type Honeypot struct {
+	store *Store
+}
+
+// New returns a MongoDB honeypot backed by store (or a fresh one if nil).
+func New(store *Store) *Honeypot {
+	if store == nil {
+		store = NewStore()
+	}
+	return &Honeypot{store: store}
+}
+
+// Store exposes the backing document store.
+func (h *Honeypot) Store() *Store { return h.store }
+
+// Handler returns a core.Handler bound to this honeypot.
+func (h *Honeypot) Handler() core.Handler {
+	return core.HandlerFunc(h.HandleConn)
+}
+
+// HandleConn serves one client connection.
+func (h *Honeypot) HandleConn(ctx context.Context, conn net.Conn, s *core.Session) error {
+	s.Connect()
+	br := bufio.NewReaderSize(conn, 32768)
+	bw := bufio.NewWriterSize(conn, 32768)
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		msg, err := ReadMessage(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			s.Command("PROTOCOL-ERROR", err.Error())
+			return nil
+		}
+		switch msg.Header.OpCode {
+		case OpQuery:
+			if err := h.handleQuery(bw, msg, s); err != nil {
+				return err
+			}
+		case OpMsg:
+			if err := h.handleMsg(bw, msg, s); err != nil {
+				return err
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+func (h *Honeypot) handleQuery(w io.Writer, msg Message, s *core.Session) error {
+	db, coll, isCmd := splitNS(msg.Collection)
+	if isCmd {
+		reply := h.command(db, msg.Query, s)
+		return WriteReply(w, msg.Header.RequestID, reply)
+	}
+	// Legacy find on db.coll.
+	s.Command("FIND", msg.Collection)
+	docs := h.store.Find(db, coll, msg.Query, 101)
+	if len(docs) == 0 {
+		return WriteReply(w, msg.Header.RequestID)
+	}
+	return WriteReply(w, msg.Header.RequestID, docs...)
+}
+
+func (h *Honeypot) handleMsg(w io.Writer, msg Message, s *core.Session) error {
+	db := msg.Body.Str("$db")
+	if db == "" {
+		db = "admin"
+	}
+	reply := h.command(db, msg.Body, s)
+	return WriteMsgReply(w, msg.Header.RequestID, reply)
+}
+
+// command executes one database command against the store and logs the
+// normalised action.
+func (h *Honeypot) command(db string, cmd bson.D, s *core.Session) bson.D {
+	name := cmd.CommandName()
+	action := strings.ToUpper(name)
+	raw := fmt.Sprintf("db=%s cmd=%s", db, name)
+	switch strings.ToLower(name) {
+	case "ismaster", "hello":
+		s.Command("ISMASTER", raw)
+		return helloDoc()
+	case "ping":
+		s.Command("PING", raw)
+		return ok()
+	case "buildinfo":
+		s.Command("BUILDINFO", raw)
+		return append(bson.D{
+			{Key: "version", Val: Version},
+			{Key: "gitVersion", Val: "af1a9dc12adcfa83cc19571cb3faba26eeddac92"},
+			{Key: "modules", Val: bson.A{}},
+			{Key: "sysInfo", Val: "deprecated"},
+			{Key: "bits", Val: int32(64)},
+			{Key: "maxBsonObjectSize", Val: int32(16 * 1024 * 1024)},
+		}, ok()...)
+	case "serverstatus":
+		s.Command("SERVERSTATUS", raw)
+		return append(bson.D{
+			{Key: "host", Val: "db-prod-01"},
+			{Key: "version", Val: Version},
+			{Key: "process", Val: "mongod"},
+			{Key: "uptime", Val: float64(86400 * 17)},
+		}, ok()...)
+	case "getlog":
+		s.Command("GETLOG", raw)
+		return append(bson.D{
+			{Key: "totalLinesWritten", Val: int32(2)},
+			{Key: "log", Val: bson.A{
+				"** WARNING: Access control is not enabled for the database.",
+				"** WARNING: Read and write access to data and configuration is unrestricted.",
+			}},
+		}, ok()...)
+	case "listdatabases":
+		s.Command("LISTDATABASES", raw)
+		var dbs bson.A
+		var total int64
+		for _, d := range h.store.Databases() {
+			size := h.store.SizeOf(d)
+			total += size
+			dbs = append(dbs, bson.D{
+				{Key: "name", Val: d},
+				{Key: "sizeOnDisk", Val: float64(size)},
+				{Key: "empty", Val: size == 0},
+			})
+		}
+		return append(bson.D{
+			{Key: "databases", Val: dbs},
+			{Key: "totalSize", Val: float64(total)},
+		}, ok()...)
+	case "listcollections":
+		s.Command("LISTCOLLECTIONS", raw)
+		var colls bson.A
+		for _, c := range h.store.Collections(db) {
+			colls = append(colls, bson.D{
+				{Key: "name", Val: c},
+				{Key: "type", Val: "collection"},
+				{Key: "options", Val: bson.D{}},
+				{Key: "info", Val: bson.D{{Key: "readOnly", Val: false}}},
+			})
+		}
+		return cursorReply(db+".$cmd.listCollections", colls)
+	case "find":
+		coll := cmd.Str("find")
+		s.Command("FIND", raw+" coll="+coll)
+		filter := cmd.Doc("filter")
+		limit := int(cmd.Int("limit"))
+		docs := h.store.Find(db, coll, filter, limit)
+		batch := make(bson.A, len(docs))
+		for i, d := range docs {
+			batch[i] = d
+		}
+		return cursorReply(db+"."+coll, batch)
+	case "getmore":
+		s.Command("GETMORE", raw)
+		return append(bson.D{
+			{Key: "cursor", Val: bson.D{
+				{Key: "id", Val: int64(0)},
+				{Key: "ns", Val: db + ".coll"},
+				{Key: "nextBatch", Val: bson.A{}},
+			}},
+		}, ok()...)
+	case "count":
+		coll := cmd.Str("count")
+		s.Command("COUNT", raw+" coll="+coll)
+		n := h.store.Count(db, coll, cmd.Doc("query"))
+		return append(bson.D{{Key: "n", Val: int32(n)}}, ok()...)
+	case "aggregate":
+		coll := cmd.Str("aggregate")
+		s.Command("AGGREGATE", raw+" coll="+coll)
+		docs := h.store.Find(db, coll, nil, 0)
+		batch := make(bson.A, len(docs))
+		for i, d := range docs {
+			batch[i] = d
+		}
+		return cursorReply(db+"."+coll, batch)
+	case "insert":
+		coll := cmd.Str("insert")
+		n := 0
+		excerpt := ""
+		if docsv, ok := cmd.Lookup("documents"); ok {
+			if arr, ok := docsv.(bson.A); ok {
+				for _, d := range arr {
+					if doc, ok := d.(bson.D); ok {
+						h.store.Insert(db, coll, doc)
+						if n == 0 {
+							excerpt = docExcerpt(doc)
+						}
+						n++
+					}
+				}
+			}
+		}
+		// The excerpt matters forensically: ransom campaigns identify
+		// themselves by the note they insert (paper Listings 7–8).
+		s.Command("INSERT", raw+" coll="+coll+" doc="+excerpt)
+		return append(bson.D{{Key: "n", Val: int32(n)}}, ok()...)
+	case "delete":
+		coll := cmd.Str("delete")
+		s.Command("DELETE", raw+" coll="+coll)
+		n := 0
+		if dv, ok := cmd.Lookup("deletes"); ok {
+			if arr, ok := dv.(bson.A); ok {
+				for _, d := range arr {
+					if del, ok := d.(bson.D); ok {
+						n += h.store.Delete(db, coll, del.Doc("q"))
+					}
+				}
+			}
+		}
+		return append(bson.D{{Key: "n", Val: int32(n)}}, ok()...)
+	case "drop":
+		coll := cmd.Str("drop")
+		s.Command("DROP", raw+" coll="+coll)
+		if !h.store.DropCollection(db, coll) {
+			return errReply(26, "NamespaceNotFound", "ns not found")
+		}
+		return append(bson.D{{Key: "ns", Val: db + "." + coll}}, ok()...)
+	case "dropdatabase":
+		s.Command("DROPDATABASE", raw)
+		h.store.DropDatabase(db)
+		return append(bson.D{{Key: "dropped", Val: db}}, ok()...)
+	case "saslstart", "authenticate", "logout":
+		s.Command("AUTH", raw)
+		return errReply(18, "AuthenticationFailed", "Authentication failed.")
+	case "whatsmyuri":
+		s.Command("WHATSMYURI", raw)
+		return append(bson.D{{Key: "you", Val: "172.17.0.1:48210"}}, ok()...)
+	case "endsessions", "getfreemonitoringstatus", "getparameter", "connectionstatus":
+		s.Command(action, raw)
+		return ok()
+	case "shutdown":
+		s.Command("SHUTDOWN", raw)
+		return errReply(13, "Unauthorized", "shutdown requires authentication")
+	default:
+		s.Command(action, raw)
+		return errReply(59, "CommandNotFound", "no such command: '"+name+"'")
+	}
+}
+
+func ok() bson.D { return bson.D{{Key: "ok", Val: float64(1)}} }
+
+// docExcerpt renders the string fields of doc compactly for the session
+// log, bounded well under core.MaxRawCapture.
+func docExcerpt(doc bson.D) string {
+	var b strings.Builder
+	for _, e := range doc {
+		if s, ok := e.Val.(string); ok {
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(e.Key)
+			b.WriteByte('=')
+			b.WriteString(s)
+			if b.Len() > 512 {
+				break
+			}
+		}
+	}
+	return b.String()
+}
+
+func errReply(code int32, codeName, msg string) bson.D {
+	return bson.D{
+		{Key: "ok", Val: float64(0)},
+		{Key: "errmsg", Val: msg},
+		{Key: "code", Val: code},
+		{Key: "codeName", Val: codeName},
+	}
+}
+
+func cursorReply(ns string, batch bson.A) bson.D {
+	if batch == nil {
+		batch = bson.A{}
+	}
+	return append(bson.D{
+		{Key: "cursor", Val: bson.D{
+			{Key: "id", Val: int64(0)},
+			{Key: "ns", Val: ns},
+			{Key: "firstBatch", Val: batch},
+		}},
+	}, ok()...)
+}
+
+func helloDoc() bson.D {
+	return append(bson.D{
+		{Key: "ismaster", Val: true},
+		{Key: "maxBsonObjectSize", Val: int32(16 * 1024 * 1024)},
+		{Key: "maxMessageSizeBytes", Val: int32(48000000)},
+		{Key: "maxWriteBatchSize", Val: int32(100000)},
+		{Key: "logicalSessionTimeoutMinutes", Val: int32(30)},
+		{Key: "minWireVersion", Val: int32(0)},
+		{Key: "maxWireVersion", Val: int32(7)},
+		{Key: "readOnly", Val: false},
+	}, ok()...)
+}
+
+func splitNS(ns string) (db, coll string, isCmd bool) {
+	i := strings.IndexByte(ns, '.')
+	if i < 0 {
+		return ns, "", false
+	}
+	db, coll = ns[:i], ns[i+1:]
+	return db, coll, coll == "$cmd"
+}

@@ -1,0 +1,204 @@
+package mongo
+
+import (
+	"sort"
+	"sync"
+
+	"decoydb/internal/bson"
+)
+
+// Store is the in-memory document store behind the high-interaction
+// honeypot: databases of collections of ordered BSON documents. It
+// implements just enough query semantics for real attack tooling — full
+// dumps, _id / field-equality filters, deletes, drops, inserts — which is
+// exactly the repertoire of the ransom campaigns the paper observed.
+type Store struct {
+	mu  sync.RWMutex
+	dbs map[string]map[string][]bson.D
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{dbs: make(map[string]map[string][]bson.D)}
+}
+
+// Insert appends docs to db.coll, creating both as needed.
+func (s *Store) Insert(db, coll string, docs ...bson.D) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.dbs[db]
+	if !ok {
+		c = make(map[string][]bson.D)
+		s.dbs[db] = c
+	}
+	c[coll] = append(c[coll], docs...)
+	return len(docs)
+}
+
+// Find returns the documents of db.coll matching filter (nil/empty filter
+// matches all). Matching is top-level field equality, which covers what
+// dump tooling sends.
+func (s *Store) Find(db, coll string, filter bson.D, limit int) []bson.D {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []bson.D
+	for _, doc := range s.dbs[db][coll] {
+		if matches(doc, filter) {
+			out = append(out, doc)
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Count reports how many documents in db.coll match filter.
+func (s *Store) Count(db, coll string, filter bson.D) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, doc := range s.dbs[db][coll] {
+		if matches(doc, filter) {
+			n++
+		}
+	}
+	return n
+}
+
+// Delete removes matching documents and reports how many were removed.
+func (s *Store) Delete(db, coll string, filter bson.D) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	docs, ok := s.dbs[db][coll]
+	if !ok {
+		return 0
+	}
+	kept := docs[:0]
+	removed := 0
+	for _, doc := range docs {
+		if matches(doc, filter) {
+			removed++
+			continue
+		}
+		kept = append(kept, doc)
+	}
+	s.dbs[db][coll] = kept
+	return removed
+}
+
+// DropCollection removes db.coll entirely.
+func (s *Store) DropCollection(db, coll string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.dbs[db]
+	if !ok {
+		return false
+	}
+	if _, ok := c[coll]; !ok {
+		return false
+	}
+	delete(c, coll)
+	return true
+}
+
+// DropDatabase removes db entirely.
+func (s *Store) DropDatabase(db string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.dbs[db]; !ok {
+		return false
+	}
+	delete(s.dbs, db)
+	return true
+}
+
+// Databases returns the sorted database names.
+func (s *Store) Databases() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.dbs))
+	for db := range s.dbs {
+		out = append(out, db)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Collections returns the sorted collection names of db.
+func (s *Store) Collections(db string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := s.dbs[db]
+	out := make([]string, 0, len(c))
+	for coll := range c {
+		out = append(out, coll)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SizeOf reports a rough byte size of db (for listDatabases).
+func (s *Store) SizeOf(db string) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, docs := range s.dbs[db] {
+		for _, d := range docs {
+			n += int64(16 * len(d)) // rough; listDatabases sizes are advisory
+		}
+	}
+	return n
+}
+
+func matches(doc, filter bson.D) bool {
+	for _, f := range filter {
+		switch f.Key {
+		case "$query":
+			if sub, ok := f.Val.(bson.D); ok {
+				if !matches(doc, sub) {
+					return false
+				}
+				continue
+			}
+		case "$orderby", "$comment":
+			continue
+		}
+		v, ok := doc.Lookup(f.Key)
+		if !ok || !valueEq(v, f.Val) {
+			return false
+		}
+	}
+	return true
+}
+
+func valueEq(a, b any) bool {
+	switch x := a.(type) {
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	case int32, int64, float64:
+		return numOf(a) == numOf(b)
+	case bool:
+		y, ok := b.(bool)
+		return ok && x == y
+	case bson.ObjectID:
+		y, ok := b.(bson.ObjectID)
+		return ok && x == y
+	case nil:
+		return b == nil
+	}
+	return false
+}
+
+func numOf(v any) float64 {
+	switch n := v.(type) {
+	case int32:
+		return float64(n)
+	case int64:
+		return float64(n)
+	case float64:
+		return n
+	}
+	return 0
+}

@@ -1,0 +1,242 @@
+// Package mongo implements the high-interaction MongoDB honeypot. Unlike
+// the low/medium tiers, it is backed by a real in-memory document store,
+// mirroring the paper's use of a genuine MongoDB instance: adversaries can
+// list databases, dump collections, delete everything and insert ransom
+// notes — the full attack the paper's Section 6.3 case study documents.
+//
+// The wire layer supports both OP_QUERY (legacy handshakes and old attack
+// tooling) and OP_MSG (modern drivers).
+package mongo
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"decoydb/internal/bson"
+	"decoydb/internal/wire"
+)
+
+// Opcodes.
+const (
+	OpReply = 1
+	OpQuery = 2004
+	OpMsg   = 2013
+)
+
+// MaxMessage bounds one wire message.
+const MaxMessage = 1 << 21
+
+// Header is the MongoDB message header.
+type Header struct {
+	RequestID  int32
+	ResponseTo int32
+	OpCode     int32
+}
+
+// Message is one parsed client message.
+type Message struct {
+	Header Header
+	// Query fields (OP_QUERY).
+	Collection string
+	Query      bson.D
+	// Msg fields (OP_MSG): body section plus any document-sequence docs
+	// folded into the body under their sequence identifier.
+	Body bson.D
+}
+
+// ReadMessage reads and parses one client message.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [16]byte
+	if err := wire.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	rd := wire.NewReader(hdr[:])
+	total, _ := rd.Uint32LE()
+	if total < 16 || total > MaxMessage {
+		return Message{}, fmt.Errorf("%w: mongo message %d", wire.ErrFrameTooLarge, total)
+	}
+	reqID, _ := rd.Uint32LE()
+	respTo, _ := rd.Uint32LE()
+	opcode, _ := rd.Uint32LE()
+	body, err := wire.ReadN(r, int(total)-16, MaxMessage)
+	if err != nil {
+		return Message{}, err
+	}
+	m := Message{Header: Header{RequestID: int32(reqID), ResponseTo: int32(respTo), OpCode: int32(opcode)}}
+	switch m.Header.OpCode {
+	case OpQuery:
+		return parseQuery(m, body)
+	case OpMsg:
+		return parseMsg(m, body)
+	default:
+		return m, fmt.Errorf("mongo: unsupported opcode %d", m.Header.OpCode)
+	}
+}
+
+func parseQuery(m Message, body []byte) (Message, error) {
+	rd := wire.NewReader(body)
+	if err := rd.Skip(4); err != nil { // flags
+		return m, err
+	}
+	coll, err := rd.CString()
+	if err != nil {
+		return m, err
+	}
+	m.Collection = coll
+	if err := rd.Skip(8); err != nil { // numberToSkip, numberToReturn
+		return m, err
+	}
+	rest := rd.Rest()
+	n, err := bson.DocLen(rest)
+	if err != nil {
+		return m, err
+	}
+	q, err := bson.Unmarshal(rest[:n])
+	if err != nil {
+		return m, err
+	}
+	m.Query = q
+	return m, nil
+}
+
+func parseMsg(m Message, body []byte) (Message, error) {
+	rd := wire.NewReader(body)
+	if err := rd.Skip(4); err != nil { // flagBits
+		return m, err
+	}
+	var seqs bson.D
+	for rd.Len() > 0 {
+		kind, err := rd.Uint8()
+		if err != nil {
+			return m, err
+		}
+		switch kind {
+		case 0:
+			rest := rd.Rest()
+			n, err := bson.DocLen(rest)
+			if err != nil {
+				return m, err
+			}
+			doc, err := bson.Unmarshal(rest[:n])
+			if err != nil {
+				return m, err
+			}
+			m.Body = doc
+			// Re-seat the reader past the document.
+			rd = wire.NewReader(rest[n:])
+		case 1:
+			size, err := rd.Uint32LE()
+			if err != nil {
+				return m, err
+			}
+			if size < 4 || int(size) > rd.Len()+4 {
+				return m, fmt.Errorf("%w: sequence size %d", wire.ErrFrameTooLarge, size)
+			}
+			sec, err := rd.Bytes(int(size) - 4)
+			if err != nil {
+				return m, err
+			}
+			srd := wire.NewReader(sec)
+			ident, err := srd.CString()
+			if err != nil {
+				return m, err
+			}
+			var docs bson.A
+			for srd.Len() > 0 {
+				rest := srd.Rest()
+				n, err := bson.DocLen(rest)
+				if err != nil {
+					return m, err
+				}
+				doc, err := bson.Unmarshal(rest[:n])
+				if err != nil {
+					return m, err
+				}
+				docs = append(docs, doc)
+				srd = wire.NewReader(rest[n:])
+			}
+			seqs = append(seqs, bson.E{Key: ident, Val: docs})
+		default:
+			return m, fmt.Errorf("mongo: unknown OP_MSG section kind %d", kind)
+		}
+	}
+	m.Body = append(m.Body, seqs...)
+	return m, nil
+}
+
+// WriteReply writes an OP_REPLY carrying docs (response to OP_QUERY).
+func WriteReply(w io.Writer, respTo int32, docs ...bson.D) error {
+	payload := wire.NewWriter(256)
+	payload.Uint32LE(8) // responseFlags: AwaitCapable
+	payload.Uint64LE(0) // cursorID
+	payload.Uint32LE(0) // startingFrom
+	payload.Uint32LE(uint32(len(docs)))
+	for _, d := range docs {
+		b, err := bson.Marshal(d)
+		if err != nil {
+			return err
+		}
+		payload.Raw(b)
+	}
+	return writeFrame(w, OpReply, respTo, payload.Bytes())
+}
+
+// WriteMsgReply writes an OP_MSG with a single body section (response to
+// OP_MSG).
+func WriteMsgReply(w io.Writer, respTo int32, doc bson.D) error {
+	b, err := bson.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	payload := wire.NewWriter(5 + len(b))
+	payload.Uint32LE(0) // flagBits
+	payload.Uint8(0)    // section kind 0
+	payload.Raw(b)
+	return writeFrame(w, OpMsg, respTo, payload.Bytes())
+}
+
+// EncodeQuery renders an OP_QUERY message (client side).
+func EncodeQuery(reqID int32, collection string, query bson.D) ([]byte, error) {
+	q, err := bson.Marshal(query)
+	if err != nil {
+		return nil, err
+	}
+	payload := wire.NewWriter(32 + len(q))
+	payload.Uint32LE(0)
+	payload.CString(collection)
+	payload.Uint32LE(0)
+	payload.Uint32LE(uint32(0xffffffff)) // numberToReturn: -1
+	payload.Raw(q)
+	return frame(OpQuery, reqID, 0, payload.Bytes()), nil
+}
+
+// EncodeMsg renders an OP_MSG message with one body section (client side).
+func EncodeMsg(reqID int32, body bson.D) ([]byte, error) {
+	b, err := bson.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	payload := wire.NewWriter(5 + len(b))
+	payload.Uint32LE(0)
+	payload.Uint8(0)
+	payload.Raw(b)
+	return frame(OpMsg, reqID, 0, payload.Bytes()), nil
+}
+
+func frame(opcode int32, reqID, respTo int32, payload []byte) []byte {
+	w := wire.NewWriter(16 + len(payload))
+	w.Uint32LE(uint32(16 + len(payload)))
+	w.Uint32LE(uint32(reqID))
+	w.Uint32LE(uint32(respTo))
+	w.Uint32LE(uint32(opcode))
+	w.Raw(payload)
+	return w.Bytes()
+}
+
+var replyCounter atomic.Int32
+
+func writeFrame(w io.Writer, opcode int32, respTo int32, payload []byte) error {
+	_, err := w.Write(frame(opcode, replyCounter.Add(1), respTo, payload))
+	return err
+}

@@ -1,0 +1,78 @@
+package mssql
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"io"
+	"net"
+
+	"decoydb/internal/core"
+)
+
+// Honeypot is the low-interaction MSSQL honeypot: answer PRELOGIN, capture
+// LOGIN7 credentials, reply "Login failed", close. Real MSSQL drops the
+// connection after a failed login, so brute-forcers reconnect per attempt;
+// the honeypot does the same, which is why the simulator's heavy
+// brute-force campaigns open one connection per credential pair.
+type Honeypot struct{}
+
+// New returns an MSSQL honeypot.
+func New() *Honeypot { return &Honeypot{} }
+
+// Handler returns a core.Handler bound to this honeypot.
+func (h *Honeypot) Handler() core.Handler {
+	return core.HandlerFunc(h.HandleConn)
+}
+
+// HandleConn serves one client connection.
+func (h *Honeypot) HandleConn(ctx context.Context, conn net.Conn, s *core.Session) error {
+	s.Connect()
+	br := bufio.NewReaderSize(conn, 8192)
+	bw := bufio.NewWriterSize(conn, 4096)
+
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		pkt, err := ReadPacket(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return err
+		}
+		switch pkt.Type {
+		case PktPrelogin:
+			resp := StandardPrelogin(12, 0, 2000, EncryptNotSup)
+			if err := WritePacket(bw, Packet{Type: PktResponse, Payload: resp}); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		case PktLogin7:
+			l, err := ParseLogin7(pkt.Payload)
+			if err != nil {
+				s.Command("MALFORMED-LOGIN7", err.Error())
+				return nil
+			}
+			s.Login(l.UserName, l.Password, false)
+			if err := WritePacket(bw, Packet{Type: PktResponse, Payload: LoginFailedResponse(l.UserName)}); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			return nil // server closes after failed login
+		case PktSQLBatch:
+			// Unauthenticated batch: log and drop, nothing legitimate
+			// sends this before LOGIN7.
+			s.Command("SQLBATCH-PREAUTH", decodeUCS2(pkt.Payload))
+			return nil
+		default:
+			s.Command("UNEXPECTED-TDS", string(rune('0'+pkt.Type)))
+			return nil
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package mssql
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"testing"
+	"testing/quick"
+
+	"decoydb/internal/core"
+	"decoydb/internal/hptest"
+)
+
+func TestPacketRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := Packet{Type: PktPrelogin, Payload: []byte{9, 8, 7}}
+	if err := WritePacket(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPacket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != want.Type || !bytes.Equal(got.Payload, want.Payload) {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+}
+
+func TestPacketBadLength(t *testing.T) {
+	// Header claiming a 4-byte total length (less than the header itself).
+	hdr := []byte{PktPrelogin, 0, 0, 4, 0, 0, 1, 0}
+	if _, err := ReadPacket(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("undersized packet accepted")
+	}
+	// Header claiming more than MaxPacket.
+	hdr = []byte{PktPrelogin, 0, 0xff, 0xff, 0, 0, 1, 0}
+	if _, err := ReadPacket(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("oversized packet accepted")
+	}
+}
+
+func TestPreloginEncryptionOption(t *testing.T) {
+	p := StandardPrelogin(12, 0, 2000, EncryptNotSup)
+	if got := ParsePreloginEncryption(p); got != EncryptNotSup {
+		t.Fatalf("encryption option = %#x", got)
+	}
+	if got := ParsePreloginEncryption([]byte{PreloginTerminator}); got != 0xff {
+		t.Fatalf("empty prelogin = %#x", got)
+	}
+	if got := ParsePreloginEncryption(nil); got != 0xff {
+		t.Fatalf("nil prelogin = %#x", got)
+	}
+}
+
+func TestLogin7RoundTrip(t *testing.T) {
+	in := Login7{
+		HostName:   "WIN-SCANNER01",
+		UserName:   "sa",
+		Password:   "P@ssw0rd",
+		AppName:    "sqlbrute",
+		ServerName: "203.0.113.5",
+		CltIntName: "ODBC",
+		Database:   "master",
+	}
+	out, err := ParseLogin7(EncodeLogin7(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.UserName != in.UserName || out.Password != in.Password ||
+		out.HostName != in.HostName || out.Database != in.Database ||
+		out.AppName != in.AppName {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+}
+
+// Property: any NUL-free user/password pair survives the TDS password
+// obfuscation round trip, including non-ASCII.
+func TestLogin7CredentialsQuick(t *testing.T) {
+	f := func(user, pass string) bool {
+		if len(user) > 120 || len(pass) > 120 {
+			return true
+		}
+		for _, r := range user + pass {
+			if r == 0 || r > 0xffff { // UCS-2 fields: BMP only
+				return true
+			}
+		}
+		out, err := ParseLogin7(EncodeLogin7(Login7{UserName: user, Password: pass}))
+		return err == nil && out.UserName == user && out.Password == pass
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogin7Truncated(t *testing.T) {
+	full := EncodeLogin7(Login7{UserName: "sa", Password: "123"})
+	for _, n := range []int{0, 4, 10, 30} {
+		if _, err := ParseLogin7(full[:n]); err == nil {
+			t.Fatalf("truncated login7 (%d bytes) accepted", n)
+		}
+	}
+}
+
+func TestLoginFailedResponseParses(t *testing.T) {
+	code, msg, ok := ParseError(LoginFailedResponse("sa"))
+	if !ok || code != 18456 {
+		t.Fatalf("ParseError = %d, %q, %v", code, msg, ok)
+	}
+	if msg != "Login failed for user 'sa'." {
+		t.Fatalf("msg = %q", msg)
+	}
+}
+
+func mssqlInfo() core.Info {
+	return core.Info{DBMS: core.MSSQL, Level: core.Low, Port: 1433, Config: core.ConfigDefault, Group: core.GroupMulti}
+}
+
+// Attempt performs a full client-side login attempt (prelogin + login7).
+func Attempt(t *testing.T, conn net.Conn, user, pass string) (uint32, string) {
+	t.Helper()
+	br := bufio.NewReader(conn)
+	if err := WritePacket(conn, Packet{Type: PktPrelogin, Payload: StandardPrelogin(11, 0, 0, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPacket(br); err != nil {
+		t.Fatalf("prelogin response: %v", err)
+	}
+	l7 := EncodeLogin7(Login7{HostName: "kali", UserName: user, Password: pass, AppName: "OSQL-32"})
+	if err := WritePacket(conn, Packet{Type: PktLogin7, Payload: l7}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ReadPacket(br)
+	if err != nil {
+		t.Fatalf("login response: %v", err)
+	}
+	code, msg, ok := ParseError(resp.Payload)
+	if !ok {
+		t.Fatalf("login response not an ERROR token: % x", resp.Payload[:min(16, len(resp.Payload))])
+	}
+	return code, msg
+}
+
+func TestHoneypotCapturesCredentials(t *testing.T) {
+	hp := New()
+	events := hptest.Run(t, hp.Handler(), mssqlInfo(), func(t *testing.T, conn net.Conn) {
+		code, _ := Attempt(t, conn, "sa", "123")
+		if code != 18456 {
+			t.Errorf("error code = %d", code)
+		}
+	})
+	logins := hptest.Logins(events)
+	if len(logins) != 1 || logins[0] != [2]string{"sa", "123"} {
+		t.Fatalf("logins = %v", logins)
+	}
+}
+
+func TestHoneypotClosesAfterFailedLogin(t *testing.T) {
+	hp := New()
+	hptest.Run(t, hp.Handler(), mssqlInfo(), func(t *testing.T, conn net.Conn) {
+		Attempt(t, conn, "admin", "123456")
+		// The server must close: a follow-up read yields EOF.
+		var one [1]byte
+		if _, err := conn.Read(one[:]); err == nil {
+			t.Error("connection still open after failed login")
+		}
+	})
+}
+
+func TestHoneypotPreAuthBatch(t *testing.T) {
+	hp := New()
+	events := hptest.Run(t, hp.Handler(), mssqlInfo(), func(t *testing.T, conn net.Conn) {
+		batch := encodeUCS2("exec xp_cmdshell 'whoami'")
+		if err := WritePacket(conn, Packet{Type: PktSQLBatch, Payload: batch}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	cmds := hptest.Commands(events)
+	if len(cmds) != 1 || cmds[0] != "SQLBATCH-PREAUTH" {
+		t.Fatalf("commands = %v", cmds)
+	}
+	for _, e := range events {
+		if e.Kind == core.EventCommand && e.Raw != "exec xp_cmdshell 'whoami'" {
+			t.Fatalf("raw = %q", e.Raw)
+		}
+	}
+}
+
+func TestUCS2RoundTrip(t *testing.T) {
+	cases := []string{"", "sa", "pässwörd", "密码123"}
+	for _, s := range cases {
+		if got := decodeUCS2(encodeUCS2(s)); got != s {
+			t.Errorf("decodeUCS2(encodeUCS2(%q)) = %q", s, got)
+		}
+	}
+}
+
+// Property: prelogin encode/parse preserves the encryption option for any
+// byte value.
+func TestPreloginEncryptionQuick(t *testing.T) {
+	f := func(enc byte, major, minor byte, build uint16) bool {
+		p := StandardPrelogin(major, minor, build, enc)
+		return ParsePreloginEncryption(p) == enc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

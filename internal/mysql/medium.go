@@ -1,0 +1,287 @@
+// Medium-interaction MySQL mode. The paper's related-work section
+// surveys MySQL honeypots that go beyond credential capture: Ma et al.'s
+// high-interaction SQL-injection observatory and Wegerer & Tjoa's
+// honeytoken-instrumented MySQL. This mode implements that design point:
+// logins are accepted, the text query protocol is answered with scripted
+// results, and the bait schema is laced with honeytoken rows whose
+// retrieval raises a distinct observation ("SELECT-HONEYTOKEN") — a
+// tripwire for data theft.
+package mysql
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"strings"
+
+	"decoydb/internal/core"
+	"decoydb/internal/wire"
+)
+
+// Command bytes of the MySQL text protocol.
+const (
+	ComQuit   = 0x01
+	ComInitDB = 0x02
+	ComQuery  = 0x03
+	ComPing   = 0x0e
+)
+
+// MediumOptions configure the medium-interaction honeypot.
+type MediumOptions struct {
+	// Honeytokens maps username -> password rows planted in the bait
+	// `users` table. Reading them trips the SELECT-HONEYTOKEN marker.
+	Honeytokens map[string]string
+	// Databases lists the schema names SHOW DATABASES reveals.
+	Databases []string
+}
+
+// Medium is the medium-interaction MySQL honeypot.
+type Medium struct {
+	opts MediumOptions
+}
+
+// NewMedium returns a medium-interaction MySQL honeypot.
+func NewMedium(opts MediumOptions) *Medium {
+	if len(opts.Databases) == 0 {
+		opts.Databases = []string{"information_schema", "mysql", "shop", "crm"}
+	}
+	return &Medium{opts: opts}
+}
+
+// Handler returns a core.Handler bound to this honeypot.
+func (m *Medium) Handler() core.Handler {
+	return core.HandlerFunc(m.HandleConn)
+}
+
+// HandleConn serves one client connection: greet, accept any credentials,
+// answer queries.
+func (m *Medium) HandleConn(ctx context.Context, conn net.Conn, s *core.Session) error {
+	s.Connect()
+	br := bufio.NewReaderSize(conn, 8192)
+	bw := bufio.NewWriterSize(conn, 8192)
+
+	hs := Handshake{Version: ServerVersion, ThreadID: 100 + uint32(rand.Int31n(1<<20)), AuthPlugin: "mysql_native_password"}
+	for i := range hs.Salt {
+		hs.Salt[i] = byte(33 + rand.Intn(94))
+	}
+	if err := WritePacket(bw, Packet{Seq: 0, Payload: hs.Encode()}); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+
+	pkt, err := ReadPacket(br)
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil
+		}
+		return err
+	}
+	lr, err := ParseLoginRequest(pkt.Payload)
+	if err != nil {
+		s.Command("MALFORMED-LOGIN", HexAuth(pkt.Payload))
+		return nil
+	}
+	s.Login(lr.User, HexAuth(lr.AuthData), true)
+	if err := WritePacket(bw, Packet{Seq: pkt.Seq + 1, Payload: okPacket()}); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return m.queryLoop(ctx, br, bw, s)
+}
+
+func (m *Medium) queryLoop(ctx context.Context, br *bufio.Reader, bw *bufio.Writer, s *core.Session) error {
+	seq := byte(0)
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		pkt, err := ReadPacket(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return err
+		}
+		if len(pkt.Payload) == 0 {
+			continue
+		}
+		seq = pkt.Seq
+		write := func(payloads ...[]byte) error {
+			for _, p := range payloads {
+				seq++
+				if err := WritePacket(bw, Packet{Seq: seq, Payload: p}); err != nil {
+					return err
+				}
+			}
+			return bw.Flush()
+		}
+		switch pkt.Payload[0] {
+		case ComQuit:
+			s.Command("QUIT", "")
+			return nil
+		case ComPing:
+			s.Command("PING", "")
+			if err := write(okPacket()); err != nil {
+				return err
+			}
+		case ComInitDB:
+			db := string(pkt.Payload[1:])
+			s.Command("USE", "USE "+db)
+			if err := write(okPacket()); err != nil {
+				return err
+			}
+		case ComQuery:
+			sql := string(pkt.Payload[1:])
+			action, resp := m.respond(sql)
+			s.Command(action, sql)
+			if err := write(resp...); err != nil {
+				return err
+			}
+		default:
+			s.Command("UNEXPECTED-COM", fmt.Sprintf("com=%#x", pkt.Payload[0]))
+			if err := write(errPacketBytes(1047, "08S01", "Unknown command")); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// respond builds the scripted reply packets for one query.
+func (m *Medium) respond(sql string) (string, [][]byte) {
+	up := strings.ToUpper(strings.TrimSpace(sql))
+	switch {
+	case strings.HasPrefix(up, "SELECT @@VERSION"), strings.HasPrefix(up, "SELECT VERSION"):
+		return "SELECT VERSION", resultSet([]string{"@@version"}, [][]string{{ServerVersion}})
+	case strings.HasPrefix(up, "SHOW DATABASES"):
+		rows := make([][]string, len(m.opts.Databases))
+		for i, db := range m.opts.Databases {
+			rows[i] = []string{db}
+		}
+		return "SHOW DATABASES", resultSet([]string{"Database"}, rows)
+	case strings.HasPrefix(up, "SHOW TABLES"):
+		return "SHOW TABLES", resultSet([]string{"Tables_in_shop"}, [][]string{{"users"}, {"orders"}, {"payments"}})
+	case strings.Contains(up, "FROM USERS"), strings.Contains(up, "FROM `USERS`"):
+		// The honeytoken tripwire: the bait credentials leave with the
+		// attacker, and the session is marked.
+		rows := make([][]string, 0, len(m.opts.Honeytokens))
+		for u, p := range m.opts.Honeytokens {
+			rows = append(rows, []string{u, p})
+		}
+		return "SELECT-HONEYTOKEN", resultSet([]string{"username", "password"}, rows)
+	case strings.HasPrefix(up, "SELECT"):
+		return "SELECT", resultSet([]string{"1"}, [][]string{{"1"}})
+	case strings.HasPrefix(up, "SHOW"):
+		return "SHOW", resultSet([]string{"Variable_name", "Value"}, [][]string{{"version", ServerVersion}})
+	case strings.HasPrefix(up, "SET"):
+		return "SET", [][]byte{okPacket()}
+	case strings.HasPrefix(up, "INSERT"), strings.HasPrefix(up, "UPDATE"), strings.HasPrefix(up, "DELETE"):
+		return strings.Fields(up)[0], [][]byte{okPacket()}
+	case strings.HasPrefix(up, "DROP"), strings.HasPrefix(up, "CREATE"), strings.HasPrefix(up, "ALTER"):
+		return strings.Join(firstWords(up, 2), " "), [][]byte{okPacket()}
+	case up == "":
+		return "EMPTY", [][]byte{errPacketBytes(1065, "42000", "Query was empty")}
+	default:
+		w := firstWords(up, 1)
+		return w[0], [][]byte{errPacketBytes(1064, "42000", "You have an error in your SQL syntax")}
+	}
+}
+
+func firstWords(s string, n int) []string {
+	f := strings.Fields(s)
+	if len(f) == 0 {
+		return []string{"UNKNOWN"}
+	}
+	if len(f) > n {
+		f = f[:n]
+	}
+	return f
+}
+
+// --- text-protocol result set encoding ---
+
+func appendLenenc(b []byte, n uint64) []byte {
+	switch {
+	case n < 251:
+		return append(b, byte(n))
+	case n < 1<<16:
+		return append(b, 0xfc, byte(n), byte(n>>8))
+	case n < 1<<24:
+		return append(b, 0xfd, byte(n), byte(n>>8), byte(n>>16))
+	default:
+		return append(b, 0xfe, byte(n), byte(n>>8), byte(n>>16), byte(n>>24),
+			byte(n>>32), byte(n>>40), byte(n>>48), byte(n>>56))
+	}
+}
+
+func appendLenencStr(b []byte, s string) []byte {
+	b = appendLenenc(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func okPacket() []byte {
+	w := wire.NewWriter(8)
+	w.Uint8(0x00)      // OK header
+	w.Uint8(0)         // affected rows (lenenc)
+	w.Uint8(0)         // last insert id (lenenc)
+	w.Uint16LE(0x0002) // status: autocommit
+	w.Uint16LE(0)      // warnings
+	return w.Bytes()
+}
+
+func eofPacket() []byte {
+	w := wire.NewWriter(5)
+	w.Uint8(0xfe)
+	w.Uint16LE(0)      // warnings
+	w.Uint16LE(0x0002) // status
+	return w.Bytes()
+}
+
+func errPacketBytes(code uint16, state, msg string) []byte {
+	return ErrPacket(code, state, msg)
+}
+
+func columnDef(name string) []byte {
+	var b []byte
+	b = appendLenencStr(b, "def")         // catalog
+	b = appendLenencStr(b, "shop")        // schema
+	b = appendLenencStr(b, "t")           // table
+	b = appendLenencStr(b, "t")           // org table
+	b = appendLenencStr(b, name)          // name
+	b = appendLenencStr(b, name)          // org name
+	b = append(b, 0x0c)                   // fixed-length fields marker
+	b = append(b, 0x21, 0x00)             // charset utf8
+	b = append(b, 0x00, 0x01, 0x00, 0x00) // column length
+	b = append(b, 0xfd)                   // type VAR_STRING
+	b = append(b, 0x00, 0x00)             // flags
+	b = append(b, 0x00)                   // decimals
+	b = append(b, 0x00, 0x00)             // filler
+	return b
+}
+
+// resultSet renders the packet sequence of a text-protocol result:
+// column count, column definitions, EOF, rows, EOF.
+func resultSet(cols []string, rows [][]string) [][]byte {
+	out := make([][]byte, 0, len(cols)+len(rows)+3)
+	out = append(out, appendLenenc(nil, uint64(len(cols))))
+	for _, c := range cols {
+		out = append(out, columnDef(c))
+	}
+	out = append(out, eofPacket())
+	for _, row := range rows {
+		var b []byte
+		for _, cell := range row {
+			b = appendLenencStr(b, cell)
+		}
+		out = append(out, b)
+	}
+	out = append(out, eofPacket())
+	return out
+}

@@ -1,0 +1,192 @@
+package mysql
+
+import (
+	"bufio"
+	"net"
+	"testing"
+
+	"decoydb/internal/core"
+	"decoydb/internal/hptest"
+	"decoydb/internal/wire"
+)
+
+func mediumInfo() core.Info {
+	return core.Info{DBMS: core.MySQL, Level: core.Medium, Port: 3306, Config: core.ConfigFakeData, Group: core.GroupMedium}
+}
+
+// mediumClient logs in and issues text-protocol queries.
+type mediumClient struct {
+	t   *testing.T
+	br  *bufio.Reader
+	c   net.Conn
+	seq byte
+}
+
+func loginMedium(t *testing.T, conn net.Conn) *mediumClient {
+	t.Helper()
+	br := bufio.NewReader(conn)
+	if _, err := ReadPacket(br); err != nil {
+		t.Fatalf("greeting: %v", err)
+	}
+	lr := LoginRequest{
+		Capabilities: CapLongPassword | CapProtocol41 | CapSecureConnection,
+		MaxPacket:    1 << 24, Charset: 0x21,
+		User: "root", AuthData: []byte{1, 2, 3},
+	}
+	if err := WritePacket(conn, Packet{Seq: 1, Payload: EncodeLoginRequest(lr)}); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := ReadPacket(br)
+	if err != nil || len(ok.Payload) == 0 || ok.Payload[0] != 0x00 {
+		t.Fatalf("login not accepted: %v % x", err, ok.Payload)
+	}
+	return &mediumClient{t: t, br: br, c: conn}
+}
+
+// query sends COM_QUERY and reads packets until the final EOF/OK/ERR,
+// returning the text cells of any rows.
+func (m *mediumClient) query(sql string) (rows [][]string, errPkt bool) {
+	m.t.Helper()
+	payload := append([]byte{ComQuery}, sql...)
+	if err := WritePacket(m.c, Packet{Seq: 0, Payload: payload}); err != nil {
+		m.t.Fatal(err)
+	}
+	first, err := ReadPacket(m.br)
+	if err != nil {
+		m.t.Fatalf("query response: %v", err)
+	}
+	switch first.Payload[0] {
+	case 0x00:
+		return nil, false // OK packet
+	case 0xff:
+		return nil, true
+	}
+	// Result set: first packet is the column count.
+	r := wire.NewReader(first.Payload)
+	ncols64, _ := readLenenc(r)
+	ncols := int(ncols64)
+	for i := 0; i < ncols; i++ {
+		if _, err := ReadPacket(m.br); err != nil {
+			m.t.Fatalf("column def: %v", err)
+		}
+	}
+	if _, err := ReadPacket(m.br); err != nil { // EOF after columns
+		m.t.Fatalf("columns EOF: %v", err)
+	}
+	for {
+		pkt, err := ReadPacket(m.br)
+		if err != nil {
+			m.t.Fatalf("row: %v", err)
+		}
+		if pkt.Payload[0] == 0xfe && len(pkt.Payload) < 9 {
+			return rows, false
+		}
+		rr := wire.NewReader(pkt.Payload)
+		row := make([]string, 0, ncols)
+		for c := 0; c < ncols; c++ {
+			n, err := readLenenc(rr)
+			if err != nil {
+				m.t.Fatalf("cell length: %v", err)
+			}
+			cell, err := rr.Bytes(int(n))
+			if err != nil {
+				m.t.Fatalf("cell: %v", err)
+			}
+			row = append(row, string(cell))
+		}
+		rows = append(rows, row)
+	}
+}
+
+func TestMediumQuerySurface(t *testing.T) {
+	hp := NewMedium(MediumOptions{Honeytokens: map[string]string{"alice": "s3cret", "bob": "hunter2"}})
+	events := hptest.Run(t, hp.Handler(), mediumInfo(), func(t *testing.T, conn net.Conn) {
+		cl := loginMedium(t, conn)
+		if rows, _ := cl.query("SELECT @@version"); len(rows) != 1 || rows[0][0] != ServerVersion {
+			t.Errorf("version rows = %v", rows)
+		}
+		if rows, _ := cl.query("SHOW DATABASES"); len(rows) != 4 {
+			t.Errorf("databases = %v", rows)
+		}
+		if rows, _ := cl.query("SHOW TABLES"); len(rows) != 3 {
+			t.Errorf("tables = %v", rows)
+		}
+		// The data-theft query trips the honeytoken.
+		rows, _ := cl.query("SELECT * FROM users")
+		if len(rows) != 2 || len(rows[0]) != 2 {
+			t.Errorf("honeytoken rows = %v", rows)
+		}
+		if _, errPkt := cl.query("TOTALLY WRONG SQL"); !errPkt {
+			t.Error("syntax error not reported")
+		}
+		if _, errPkt := cl.query("INSERT INTO x VALUES (1)"); errPkt {
+			t.Error("insert rejected")
+		}
+		// COM_PING and COM_INIT_DB.
+		WritePacket(conn, Packet{Seq: 0, Payload: []byte{ComPing}})
+		if pkt, err := ReadPacket(cl.br); err != nil || pkt.Payload[0] != 0x00 {
+			t.Errorf("ping = %v % x", err, pkt.Payload)
+		}
+		WritePacket(conn, Packet{Seq: 0, Payload: append([]byte{ComInitDB}, "shop"...)})
+		if pkt, err := ReadPacket(cl.br); err != nil || pkt.Payload[0] != 0x00 {
+			t.Errorf("init db = %v % x", err, pkt.Payload)
+		}
+		WritePacket(conn, Packet{Seq: 0, Payload: []byte{ComQuit}})
+	})
+
+	cmds := hptest.Commands(events)
+	wantSeq := []string{"SELECT VERSION", "SHOW DATABASES", "SHOW TABLES", "SELECT-HONEYTOKEN", "TOTALLY", "INSERT", "PING", "USE", "QUIT"}
+	if len(cmds) != len(wantSeq) {
+		t.Fatalf("commands = %v", cmds)
+	}
+	for i, w := range wantSeq {
+		if cmds[i] != w {
+			t.Fatalf("commands[%d] = %q, want %q", i, cmds[i], w)
+		}
+	}
+	// The accepted login is recorded as OK (medium interaction lets
+	// everyone in, like the open PostgreSQL config).
+	logins := hptest.Logins(events)
+	if len(logins) != 1 || logins[0][0] != "root" {
+		t.Fatalf("logins = %v", logins)
+	}
+	for _, e := range events {
+		if e.Kind == core.EventLogin && !e.OK {
+			t.Fatal("medium mode rejected the login")
+		}
+	}
+}
+
+func TestMediumUnknownCommand(t *testing.T) {
+	hp := NewMedium(MediumOptions{})
+	events := hptest.Run(t, hp.Handler(), mediumInfo(), func(t *testing.T, conn net.Conn) {
+		cl := loginMedium(t, conn)
+		WritePacket(conn, Packet{Seq: 0, Payload: []byte{0x1f, 0x00}})
+		if pkt, err := ReadPacket(cl.br); err != nil || pkt.Payload[0] != 0xff {
+			t.Fatalf("unknown com reply = %v % x", err, pkt.Payload)
+		}
+	})
+	cmds := hptest.Commands(events)
+	if len(cmds) != 1 || cmds[0] != "UNEXPECTED-COM" {
+		t.Fatalf("commands = %v", cmds)
+	}
+}
+
+func TestLenencWriter(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		size int
+	}{
+		{0, 1}, {250, 1}, {251, 3}, {1 << 15, 3}, {1 << 20, 4}, {1 << 30, 9},
+	}
+	for _, c := range cases {
+		b := appendLenenc(nil, c.n)
+		if len(b) != c.size {
+			t.Errorf("appendLenenc(%d) = %d bytes, want %d", c.n, len(b), c.size)
+		}
+		got, err := readLenenc(wire.NewReader(b))
+		if err != nil || got != c.n {
+			t.Errorf("round trip %d -> %d, %v", c.n, got, err)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package mysql
+
+import (
+	"bytes"
+	"testing"
+
+	"decoydb/internal/wire"
+)
+
+func TestParseHandshakeRejectsGarbage(t *testing.T) {
+	if _, err := ParseHandshake(nil); err == nil {
+		t.Fatal("empty handshake accepted")
+	}
+	if _, err := ParseHandshake([]byte{0x09, 'x', 0}); err == nil {
+		t.Fatal("wrong protocol version accepted")
+	}
+	// Valid start, truncated mid-salt.
+	h := Handshake{Version: "8.0", ThreadID: 1}
+	full := h.Encode()
+	if _, err := ParseHandshake(full[:12]); err == nil {
+		t.Fatal("truncated handshake accepted")
+	}
+}
+
+// TestLoginRequestLenencAuth exercises the CLIENT_PLUGIN_AUTH_LENENC_DATA
+// capability path, including multi-byte length-encoded integers.
+func TestLoginRequestLenencAuth(t *testing.T) {
+	auth := make([]byte, 300) // forces the 0xfc two-byte lenenc prefix
+	for i := range auth {
+		auth[i] = byte(i)
+	}
+	caps := uint32(CapLongPassword | CapProtocol41 | CapSecureConnection |
+		CapPluginAuth | CapPluginAuthLenencData)
+	w := wire.NewWriter(64)
+	w.Uint32LE(caps)
+	w.Uint32LE(1 << 24)
+	w.Uint8(0x21)
+	w.Zeros(23)
+	w.CString("sa")
+	w.Uint8(0xfc).Uint16LE(uint16(len(auth)))
+	w.Raw(auth)
+	w.CString("mysql_native_password")
+	lr, err := ParseLoginRequest(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.User != "sa" || !bytes.Equal(lr.AuthData, auth) {
+		t.Fatalf("lenenc parse = %+v", lr)
+	}
+}
+
+func TestLoginRequestNulTerminatedAuth(t *testing.T) {
+	// Pre-secure-connection capability: auth data is NUL-terminated.
+	caps := uint32(CapLongPassword | CapProtocol41)
+	w := wire.NewWriter(64)
+	w.Uint32LE(caps)
+	w.Uint32LE(1 << 24)
+	w.Uint8(0x21)
+	w.Zeros(23)
+	w.CString("olduser")
+	w.CString("plainpass")
+	lr, err := ParseLoginRequest(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.User != "olduser" || string(lr.AuthData) != "plainpass" {
+		t.Fatalf("nul-terminated parse = %+v", lr)
+	}
+}
+
+func TestReadLenencWidths(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		want uint64
+	}{
+		{[]byte{0x7b}, 123},
+		{[]byte{0xfc, 0x34, 0x12}, 0x1234},
+		{[]byte{0xfd, 0x56, 0x34, 0x12}, 0x123456},
+		{[]byte{0xfe, 1, 0, 0, 0, 0, 0, 0, 0}, 1},
+	}
+	for _, c := range cases {
+		got, err := readLenenc(wire.NewReader(c.in))
+		if err != nil || got != c.want {
+			t.Errorf("readLenenc(% x) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+	}
+	if _, err := readLenenc(wire.NewReader([]byte{0xfb})); err == nil {
+		t.Error("0xfb prefix accepted")
+	}
+	if _, err := readLenenc(wire.NewReader(nil)); err == nil {
+		t.Error("empty lenenc accepted")
+	}
+}
+
+func TestHexAuth(t *testing.T) {
+	if got := HexAuth(nil); got != "" {
+		t.Fatalf("HexAuth(nil) = %q", got)
+	}
+	if got := HexAuth([]byte{0xde, 0xad}); got != "sha1:dead" {
+		t.Fatalf("HexAuth = %q", got)
+	}
+}
+
+func TestAuthSwitchRequestShape(t *testing.T) {
+	p := AuthSwitchRequest("mysql_clear_password", []byte{1, 2})
+	if p[0] != 0xfe {
+		t.Fatalf("marker = %#x", p[0])
+	}
+	if !bytes.Contains(p, []byte("mysql_clear_password\x00")) {
+		t.Fatalf("plugin name missing: %q", p)
+	}
+}

@@ -1,0 +1,337 @@
+// Package pipeline reproduces the paper's data-processing pipeline
+// (Figure 1): honeypots write log files in their own formats; conversion
+// readers standardise them; GeoIP/ASN enrichment is applied; and the
+// result lands in a queryable evstore.Store.
+//
+// Two on-disk formats are produced, mirroring the heterogeneity of the
+// real deployment: the low-interaction (Qeeqbox-style) honeypots log
+// credential-centric records, while the medium/high honeypots log
+// command-centric session records. Both are JSON lines, one file per
+// (DBMS, config) pair — the same consolidation the paper's published
+// dataset uses.
+package pipeline
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"decoydb/internal/core"
+	"decoydb/internal/evstore"
+	"decoydb/internal/geoip"
+)
+
+// qeeqboxRecord is the low-interaction log line shape (credential traps).
+type qeeqboxRecord struct {
+	Timestamp string `json:"timestamp"`
+	Action    string `json:"action"` // "connection", "login", "disconnect"
+	SrcIP     string `json:"src_ip"`
+	SrcPort   uint16 `json:"src_port"`
+	Server    string `json:"server"` // dbms name
+	Username  string `json:"username,omitempty"`
+	Password  string `json:"password,omitempty"`
+	Instance  int    `json:"instance"`
+	Group     string `json:"group"`
+	VM        string `json:"vm"`
+}
+
+// sessionRecord is the medium/high-interaction log line shape.
+type sessionRecord struct {
+	Time    string `json:"time"`
+	Addr    string `json:"addr"`
+	Event   string `json:"event"` // "connect", "login", "command", "close"
+	DBMS    string `json:"dbms"`
+	Level   string `json:"level"`
+	Config  string `json:"config"`
+	Group   string `json:"group"`
+	Region  string `json:"region,omitempty"`
+	Inst    int    `json:"instance"`
+	User    string `json:"user,omitempty"`
+	Pass    string `json:"pass,omitempty"`
+	OK      bool   `json:"ok,omitempty"`
+	Command string `json:"cmd,omitempty"`
+	Raw     string `json:"raw,omitempty"`
+}
+
+// LogWriter is a core.Sink that writes honeypot-native log files under a
+// directory. Close flushes and closes all files.
+type LogWriter struct {
+	dir string
+
+	mu    sync.Mutex
+	files map[string]*logFile
+	err   error
+}
+
+type logFile struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+// NewLogWriter creates (or reuses) dir and returns a writer.
+func NewLogWriter(dir string) (*LogWriter, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pipeline: create log dir: %w", err)
+	}
+	return &LogWriter{dir: dir, files: make(map[string]*logFile)}, nil
+}
+
+// Record implements core.Sink.
+func (lw *LogWriter) Record(e core.Event) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	if lw.err != nil {
+		return
+	}
+	name := fmt.Sprintf("%s_%s_%s.json", e.Honeypot.DBMS, e.Honeypot.Group, e.Honeypot.Config)
+	lf, ok := lw.files[name]
+	if !ok {
+		f, err := os.Create(filepath.Join(lw.dir, name))
+		if err != nil {
+			lw.err = err
+			return
+		}
+		lf = &logFile{f: f, w: bufio.NewWriterSize(f, 64*1024)}
+		lw.files[name] = lf
+	}
+	var line any
+	if e.Honeypot.Level == core.Low {
+		line = toQeeqbox(e)
+	} else {
+		line = toSession(e)
+	}
+	b, err := json.Marshal(line)
+	if err != nil {
+		lw.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := lf.w.Write(b); err != nil {
+		lw.err = err
+	}
+}
+
+// Close flushes and closes every log file, returning the first error seen
+// during writing or closing.
+func (lw *LogWriter) Close() error {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	err := lw.err
+	for _, lf := range lw.files {
+		if e := lf.w.Flush(); e != nil && err == nil {
+			err = e
+		}
+		if e := lf.f.Close(); e != nil && err == nil {
+			err = e
+		}
+	}
+	lw.files = map[string]*logFile{}
+	return err
+}
+
+func toQeeqbox(e core.Event) qeeqboxRecord {
+	r := qeeqboxRecord{
+		Timestamp: e.Time.UTC().Format(time.RFC3339Nano),
+		SrcIP:     e.Src.Addr().String(),
+		SrcPort:   e.Src.Port(),
+		Server:    e.Honeypot.DBMS,
+		Instance:  e.Honeypot.Instance,
+		Group:     e.Honeypot.Group,
+		VM:        e.Honeypot.VM,
+	}
+	switch e.Kind {
+	case core.EventConnect:
+		r.Action = "connection"
+	case core.EventLogin:
+		r.Action = "login"
+		r.Username = e.User
+		r.Password = e.Pass
+	case core.EventCommand:
+		r.Action = "command"
+		r.Username = e.Command // qeeqbox abuses fields; conversion handles it
+		r.Password = e.Raw
+	case core.EventClose:
+		r.Action = "disconnect"
+	}
+	return r
+}
+
+func toSession(e core.Event) sessionRecord {
+	return sessionRecord{
+		Time:    e.Time.UTC().Format(time.RFC3339Nano),
+		Addr:    e.Src.String(),
+		Event:   e.Kind.String(),
+		DBMS:    e.Honeypot.DBMS,
+		Level:   e.Honeypot.Level.String(),
+		Config:  e.Honeypot.Config,
+		Group:   e.Honeypot.Group,
+		Region:  e.Honeypot.Region,
+		Inst:    e.Honeypot.Instance,
+		User:    e.User,
+		Pass:    e.Pass,
+		OK:      e.OK,
+		Command: e.Command,
+		Raw:     e.Raw,
+	}
+}
+
+// Load parses every log file in dir, enriches sources against geo, and
+// feeds the events into a new store covering [start, start+days).
+func Load(dir string, start time.Time, days int, geo *geoip.DB) (*evstore.Store, error) {
+	store := evstore.New(start, days, geo)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: read log dir: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, ent := range entries {
+		if !ent.IsDir() && filepath.Ext(ent.Name()) == ".json" {
+			names = append(names, ent.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := loadFile(filepath.Join(dir, name), store); err != nil {
+			return nil, fmt.Errorf("pipeline: %s: %w", name, err)
+		}
+	}
+	return store, nil
+}
+
+func loadFile(path string, store *evstore.Store) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 256*1024)
+	lineNo := 0
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 1 {
+			lineNo++
+			ev, perr := parseLine(line)
+			if perr != nil {
+				return fmt.Errorf("line %d: %w", lineNo, perr)
+			}
+			store.Record(ev)
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// parseLine converts either log format back into a core.Event. The two
+// formats are distinguished by their marker fields ("server" vs "dbms"),
+// playing the role of the paper's per-honeypot conversion scripts.
+func parseLine(line []byte) (core.Event, error) {
+	var probe struct {
+		Server string `json:"server"`
+		DBMS   string `json:"dbms"`
+	}
+	if err := json.Unmarshal(line, &probe); err != nil {
+		return core.Event{}, err
+	}
+	if probe.Server != "" {
+		var r qeeqboxRecord
+		if err := json.Unmarshal(line, &r); err != nil {
+			return core.Event{}, err
+		}
+		return fromQeeqbox(r)
+	}
+	var r sessionRecord
+	if err := json.Unmarshal(line, &r); err != nil {
+		return core.Event{}, err
+	}
+	return fromSession(r)
+}
+
+func fromQeeqbox(r qeeqboxRecord) (core.Event, error) {
+	t, err := time.Parse(time.RFC3339Nano, r.Timestamp)
+	if err != nil {
+		return core.Event{}, err
+	}
+	addr, err := netip.ParseAddr(r.SrcIP)
+	if err != nil {
+		return core.Event{}, err
+	}
+	e := core.Event{
+		Time: t,
+		Src:  netip.AddrPortFrom(addr, r.SrcPort),
+		Honeypot: core.Info{
+			DBMS: r.Server, Level: core.Low, Port: core.DefaultPort(r.Server),
+			Instance: r.Instance, Config: core.ConfigDefault, Group: r.Group, VM: r.VM,
+		},
+	}
+	switch r.Action {
+	case "connection":
+		e.Kind = core.EventConnect
+	case "login":
+		e.Kind = core.EventLogin
+		e.User, e.Pass = r.Username, r.Password
+	case "command":
+		e.Kind = core.EventCommand
+		e.Command, e.Raw = r.Username, r.Password
+	case "disconnect":
+		e.Kind = core.EventClose
+	default:
+		return core.Event{}, fmt.Errorf("unknown qeeqbox action %q", r.Action)
+	}
+	return e, nil
+}
+
+func fromSession(r sessionRecord) (core.Event, error) {
+	t, err := time.Parse(time.RFC3339Nano, r.Time)
+	if err != nil {
+		return core.Event{}, err
+	}
+	src, err := netip.ParseAddrPort(r.Addr)
+	if err != nil {
+		return core.Event{}, err
+	}
+	var level core.Level
+	switch r.Level {
+	case "low":
+		level = core.Low
+	case "medium":
+		level = core.Medium
+	case "high":
+		level = core.High
+	default:
+		return core.Event{}, fmt.Errorf("unknown level %q", r.Level)
+	}
+	e := core.Event{
+		Time: t,
+		Src:  src,
+		Honeypot: core.Info{
+			DBMS: r.DBMS, Level: level, Port: core.DefaultPort(r.DBMS),
+			Instance: r.Inst, Config: r.Config, Group: r.Group, Region: r.Region,
+		},
+		User: r.User, Pass: r.Pass, OK: r.OK,
+		Command: r.Command, Raw: r.Raw,
+	}
+	switch r.Event {
+	case "connect":
+		e.Kind = core.EventConnect
+	case "login":
+		e.Kind = core.EventLogin
+	case "command":
+		e.Kind = core.EventCommand
+	case "close":
+		e.Kind = core.EventClose
+	default:
+		return core.Event{}, fmt.Errorf("unknown event %q", r.Event)
+	}
+	return e, nil
+}

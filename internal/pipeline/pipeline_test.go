@@ -1,0 +1,216 @@
+package pipeline
+
+import (
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"decoydb/internal/core"
+	"decoydb/internal/geoip"
+)
+
+var start = core.ExperimentStart
+
+func lowEvent(addr string, kind core.EventKind, user, pass string) core.Event {
+	return core.Event{
+		Time: start.Add(5 * time.Hour),
+		Src:  netip.AddrPortFrom(netip.MustParseAddr(addr), 4000),
+		Honeypot: core.Info{
+			DBMS: core.MSSQL, Level: core.Low, Port: 1433,
+			Instance: 3, Config: core.ConfigDefault, Group: core.GroupMulti, VM: "lo-multi-03",
+		},
+		Kind: kind, User: user, Pass: pass,
+	}
+}
+
+func medEvent(addr string, kind core.EventKind, cmd, raw string) core.Event {
+	return core.Event{
+		Time: start.Add(30 * time.Hour),
+		Src:  netip.AddrPortFrom(netip.MustParseAddr(addr), 5000),
+		Honeypot: core.Info{
+			DBMS: core.Redis, Level: core.Medium, Port: 6379,
+			Instance: 1, Config: core.ConfigFakeData, Group: core.GroupMedium,
+		},
+		Kind: kind, Command: cmd, Raw: raw,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	lw, err := NewLogWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use an address inside the default GeoIP plan so enrichment kicks in.
+	alloc := geoip.Default().ByASN(4134)[0]
+	b := alloc.Prefix.Addr().As4()
+	cnAddr := netip.AddrFrom4([4]byte{b[0], b[1], 7, 7}).String()
+
+	lw.Record(lowEvent(cnAddr, core.EventConnect, "", ""))
+	lw.Record(lowEvent(cnAddr, core.EventLogin, "sa", "123"))
+	lw.Record(lowEvent(cnAddr, core.EventClose, "", ""))
+	lw.Record(medEvent("20.0.77.1", core.EventConnect, "", ""))
+	lw.Record(medEvent("20.0.77.1", core.EventCommand, "SLAVEOF", "SLAVEOF 1.2.3.4 8080"))
+	lw.Record(medEvent("20.0.77.1", core.EventClose, "", ""))
+	if err := lw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Files exist per (dbms, group, config).
+	files, _ := os.ReadDir(dir)
+	if len(files) != 2 {
+		t.Fatalf("log files = %d", len(files))
+	}
+
+	store, err := Load(dir, start, 20, geoip.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Events() != 6 {
+		t.Fatalf("events = %d", store.Events())
+	}
+	rec := store.IP(netip.MustParseAddr(cnAddr))
+	if rec == nil {
+		t.Fatal("low-tier source missing")
+	}
+	if rec.Country != "CN" || rec.ASName != "Chinanet" {
+		t.Fatalf("enrichment = %+v", rec)
+	}
+	if rec.TotalLogins() != 1 {
+		t.Fatalf("logins = %d", rec.TotalLogins())
+	}
+	creds := store.Creds(core.MSSQL)
+	if len(creds) != 1 || creds[0].User != "sa" || creds[0].Pass != "123" {
+		t.Fatalf("creds = %v", creds)
+	}
+
+	med := store.IP(netip.MustParseAddr("20.0.77.1"))
+	if med == nil {
+		t.Fatal("medium-tier source missing")
+	}
+	var sawSlaveof bool
+	for k, a := range med.Per {
+		if k.DBMS == core.Redis && k.Level == core.Medium && k.Config == core.ConfigFakeData {
+			for _, act := range a.Actions {
+				if act.Name == "SLAVEOF" && act.Raw == "SLAVEOF 1.2.3.4 8080" {
+					sawSlaveof = true
+				}
+			}
+		}
+	}
+	if !sawSlaveof {
+		t.Fatal("command lost in round trip")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte("{not json}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, start, 20, nil); err == nil {
+		t.Fatal("garbage log accepted")
+	}
+}
+
+func TestLoadSkipsNonJSON(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("notes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store, err := Load(dir, start, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Events() != 0 {
+		t.Fatal("events from non-JSON file")
+	}
+}
+
+func TestUnknownActionRejected(t *testing.T) {
+	dir := t.TempDir()
+	line := `{"timestamp":"2024-03-22T01:00:00Z","action":"explode","src_ip":"1.2.3.4","server":"mysql"}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "x.json"), []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, start, 20, nil); err == nil {
+		t.Fatal("unknown action accepted")
+	}
+}
+
+func TestBadLevelRejected(t *testing.T) {
+	dir := t.TempDir()
+	line := `{"time":"2024-03-22T01:00:00Z","addr":"1.2.3.4:55","event":"connect","dbms":"redis","level":"ultra","config":"default","group":"medium"}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "x.json"), []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, start, 20, nil); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+}
+
+func TestBadEventRejected(t *testing.T) {
+	dir := t.TempDir()
+	line := `{"time":"2024-03-22T01:00:00Z","addr":"1.2.3.4:55","event":"explode","dbms":"redis","level":"medium","config":"default","group":"medium"}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "x.json"), []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, start, 20, nil); err == nil {
+		t.Fatal("unknown event accepted")
+	}
+}
+
+func TestBadAddressRejected(t *testing.T) {
+	dir := t.TempDir()
+	line := `{"time":"2024-03-22T01:00:00Z","addr":"not-an-addr","event":"connect","dbms":"redis","level":"medium","config":"default","group":"medium"}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "x.json"), []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, start, 20, nil); err == nil {
+		t.Fatal("unparseable address accepted")
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load("/nonexistent-dir-xyz", start, 20, nil); err == nil {
+		t.Fatal("missing directory accepted")
+	}
+}
+
+func TestLogWriterAllLevelsRoundTrip(t *testing.T) {
+	// A high-interaction mongo event with every field set survives the
+	// session-record format.
+	dir := t.TempDir()
+	lw, err := NewLogWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.Event{
+		Time: start.Add(90 * time.Hour),
+		Src:  netip.AddrPortFrom(netip.MustParseAddr("20.1.2.3"), 999),
+		Honeypot: core.Info{
+			DBMS: core.MongoDB, Level: core.High, Port: 27017,
+			Instance: 2, Config: core.ConfigFakeData, Group: core.GroupHigh, Region: "SG",
+		},
+		Kind: core.EventLogin, User: "u", Pass: "p", OK: true,
+	}
+	lw.Record(e)
+	if err := lw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store, err := Load(dir, start, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := store.IP(netip.MustParseAddr("20.1.2.3"))
+	if rec == nil {
+		t.Fatal("record missing")
+	}
+	for k, a := range rec.Per {
+		if k.Level != core.High || k.Config != core.ConfigFakeData || a.LoginOK != 1 {
+			t.Fatalf("round trip lost fields: %+v %+v", k, a)
+		}
+	}
+}

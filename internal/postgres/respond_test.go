@@ -1,0 +1,142 @@
+package postgres
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"decoydb/internal/core"
+	"decoydb/internal/hptest"
+)
+
+// TestQuerySurface drives the scripted-response handler across the whole
+// query surface Sticky Elephant emulates.
+func TestQuerySurface(t *testing.T) {
+	type step struct {
+		sql  string
+		tag  string // expected CommandComplete tag ("" = error expected)
+		rows int    // DataRow messages expected
+	}
+	steps := []step{
+		{"SELECT version();", "SELECT 1", 1},
+		{"SELECT 1;", "SELECT 1", 1},
+		{"SELECT pg_sleep(5);", "SELECT 1", 1},
+		{"SHOW server_version;", "SHOW", 1},
+		{"SET search_path TO public;", "SET", 0},
+		{"INSERT INTO t VALUES (1);", "INSERT 0 1", 0},
+		{"UPDATE t SET a=1;", "UPDATE 1", 0},
+		{"DELETE FROM t;", "DELETE 1", 0},
+		{"CREATE USER intruder WITH PASSWORD 'x';", "CREATE ROLE", 0},
+		{"ALTER ROLE postgres NOSUPERUSER;", "ALTER ROLE", 0},
+		{"BEGIN;", "BEGIN", 0},
+		{"", "", 0},                // empty query
+		{"FROBNICATE all;", "", 0}, // syntax error
+	}
+	hp := New(ModeOpen)
+	hptest.Run(t, hp.Handler(), pgInfo(core.ConfigDefault), func(t *testing.T, conn net.Conn) {
+		cl := newPGClient(t, conn)
+		cl.startup("admin")
+		cl.read()
+		cl.send('p', EncodePassword("x"))
+		cl.readUntil('Z')
+		for _, s := range steps {
+			cl.send('Q', EncodeQuery(s.sql))
+			var tag string
+			rows := 0
+			sawError := false
+			for i := 0; i < 20; i++ {
+				m := cl.read()
+				switch m.Type {
+				case 'C':
+					tag = strings.TrimRight(string(m.Payload), "\x00")
+				case 'D':
+					rows++
+				case 'E':
+					sawError = true
+				}
+				if m.Type == 'Z' {
+					break
+				}
+			}
+			if s.tag == "" {
+				if !sawError && s.sql != "" {
+					t.Errorf("%q: expected error response", s.sql)
+				}
+				continue
+			}
+			if tag != s.tag {
+				t.Errorf("%q: tag = %q, want %q", s.sql, tag, s.tag)
+			}
+			if rows != s.rows {
+				t.Errorf("%q: rows = %d, want %d", s.sql, rows, s.rows)
+			}
+		}
+		cl.send('X', nil)
+	})
+}
+
+func TestUnexpectedFrontendMessage(t *testing.T) {
+	hp := New(ModeOpen)
+	events := hptest.Run(t, hp.Handler(), pgInfo(core.ConfigDefault), func(t *testing.T, conn net.Conn) {
+		cl := newPGClient(t, conn)
+		cl.startup("admin")
+		cl.read()
+		cl.send('p', EncodePassword("x"))
+		cl.readUntil('Z')
+		// 'F' (function call) is not supported by the handler.
+		cl.send('F', []byte{0, 0, 0, 0})
+		m := cl.readUntil('E')
+		fields := ParseErrorResponse(m.Payload)
+		if fields['C'] != "0A000" {
+			t.Fatalf("sqlstate = %q", fields['C'])
+		}
+		cl.readUntil('Z')
+		cl.send('X', nil)
+	})
+	var saw bool
+	for _, c := range hptest.Commands(events) {
+		if c == "UNEXPECTED-MSG" {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Fatal("unexpected message not logged")
+	}
+}
+
+func TestFirstWordTruncation(t *testing.T) {
+	long := strings.Repeat("x", 100)
+	if got := firstWord(long + " rest"); len(got) != 32 {
+		t.Fatalf("firstWord length = %d", len(got))
+	}
+	if got := firstWord("  "); got != "" {
+		t.Fatalf("firstWord(blank) = %q", got)
+	}
+}
+
+func TestGSSEncRequestHandled(t *testing.T) {
+	hp := New(ModeLow)
+	hptest.Run(t, hp.Handler(), pgInfo(core.ConfigDefault), func(t *testing.T, conn net.Conn) {
+		// GSSENCRequest: length 8, code 80877104.
+		gss := []byte{0, 0, 0, 8, 0x04, 0xd2, 0x16, 0x30}
+		if _, err := conn.Write(gss); err != nil {
+			t.Fatal(err)
+		}
+		var one [1]byte
+		if _, err := conn.Read(one[:]); err != nil || one[0] != 'N' {
+			t.Fatalf("GSS response = %v, %v", one[0], err)
+		}
+	})
+}
+
+func TestCancelRequestIgnored(t *testing.T) {
+	hp := New(ModeLow)
+	events := hptest.Run(t, hp.Handler(), pgInfo(core.ConfigDefault), func(t *testing.T, conn net.Conn) {
+		// CancelRequest: length 16, code 80877102, pid, key.
+		cancel := []byte{0, 0, 0, 16, 0x04, 0xd2, 0x16, 0x2e, 0, 0, 0, 1, 0, 0, 0, 2}
+		conn.Write(cancel)
+	})
+	if n := len(hptest.Logins(events)); n != 0 {
+		t.Fatalf("cancel produced %d logins", n)
+	}
+}

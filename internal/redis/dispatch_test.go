@@ -1,0 +1,116 @@
+package redis
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"decoydb/internal/hptest"
+)
+
+// TestDispatchSurface drives the remaining command surface end to end:
+// every command an attacker tool is known to issue must answer with a
+// plausible Redis reply.
+func TestDispatchSurface(t *testing.T) {
+	hp := New(Options{})
+	hp.Store().SetHash("h", map[string]string{"f": "v", "g": "w"})
+	hp.Store().Set("k", "val")
+
+	type step struct {
+		cmd      []string
+		wantKind ValueKind
+		contains string
+	}
+	steps := []step{
+		{[]string{"ECHO", "hello"}, BulkString, "hello"},
+		{[]string{"ECHO"}, ErrorString, "wrong number of arguments"},
+		{[]string{"PING", "pong?"}, BulkString, "pong?"},
+		{[]string{"SELECT", "2"}, SimpleString, "OK"},
+		{[]string{"EXISTS", "k", "nope"}, Integer, ""},
+		{[]string{"UNLINK", "nope"}, Integer, ""},
+		{[]string{"TYPE"}, ErrorString, "wrong number"},
+		{[]string{"KEYS"}, Array, ""},
+		{[]string{"SCAN", "0"}, Array, ""},
+		{[]string{"DBSIZE"}, Integer, ""},
+		{[]string{"SAVE"}, SimpleString, "OK"},
+		{[]string{"BGSAVE"}, SimpleString, "OK"},
+		{[]string{"BGREWRITEAOF"}, SimpleString, "OK"},
+		{[]string{"CONFIG", "GET", "dir"}, Array, ""},
+		{[]string{"CONFIG", "GET", "doesnotexist"}, Array, ""},
+		{[]string{"CONFIG", "REWRITE"}, SimpleString, "OK"},
+		{[]string{"CONFIG", "FROB"}, ErrorString, "Unknown CONFIG subcommand"},
+		{[]string{"CONFIG"}, ErrorString, "wrong number"},
+		{[]string{"CONFIG", "SET", "dir"}, ErrorString, "wrong number"},
+		{[]string{"REPLICAOF", "NO", "ONE"}, SimpleString, "OK"},
+		{[]string{"MODULE", "UNLOAD", "system"}, SimpleString, "OK"},
+		{[]string{"MODULE", "LIST"}, Array, ""},
+		{[]string{"EVAL", "return 1", "0"}, BulkString, ""},
+		{[]string{"CLIENT", "LIST"}, BulkString, "addr="},
+		{[]string{"CLIENT", "SETNAME", "bot"}, SimpleString, "OK"},
+		{[]string{"CLIENT", "GETNAME"}, SimpleString, "OK"},
+		{[]string{"COMMAND"}, Array, ""},
+		{[]string{"HGETALL", "h"}, Array, ""},
+		{[]string{"HGETALL", "missing"}, Array, ""},
+		{[]string{"HGETALL"}, ErrorString, "wrong number"},
+		{[]string{"TTL", "k"}, Integer, ""},
+		{[]string{"PTTL", "k"}, Integer, ""},
+		{[]string{"EXPIRE", "k", "100"}, Integer, ""},
+		{[]string{"PERSIST", "k"}, Integer, ""},
+		{[]string{"GET"}, ErrorString, "wrong number"},
+		{[]string{"GET", "missing"}, BulkString, ""},
+		{[]string{"SET", "only-key"}, ErrorString, "wrong number"},
+		{[]string{"DEL"}, ErrorString, "wrong number"},
+		{[]string{"EXISTS"}, ErrorString, "wrong number"},
+		{[]string{"TOTALLYUNKNOWN", "x"}, ErrorString, "unknown command"},
+	}
+	hptest.Run(t, hp.Handler(), redisInfo(), func(t *testing.T, conn net.Conn) {
+		cl := newClient(t, conn)
+		for _, s := range steps {
+			v := cl.do(s.cmd...)
+			if v.Kind != s.wantKind {
+				t.Errorf("%v: kind = %c, want %c (%#v)", s.cmd, v.Kind, s.wantKind, v)
+			}
+			if s.contains != "" && !strings.Contains(v.Str, s.contains) {
+				t.Errorf("%v: reply %q missing %q", s.cmd, v.Str, s.contains)
+			}
+		}
+		// HGETALL field/value pairing.
+		v := cl.do("HGETALL", "h")
+		if len(v.Array) != 4 {
+			t.Errorf("HGETALL pairs = %d", len(v.Array))
+		}
+	})
+}
+
+func TestShutdownClosesConnection(t *testing.T) {
+	hp := New(Options{})
+	hptest.Run(t, hp.Handler(), redisInfo(), func(t *testing.T, conn net.Conn) {
+		cl := newClient(t, conn)
+		cl.do("SHUTDOWN")
+		var one [1]byte
+		if _, err := conn.Read(one[:]); err == nil {
+			t.Error("connection open after SHUTDOWN")
+		}
+	})
+}
+
+func TestStoreHashAccessor(t *testing.T) {
+	s := NewStore()
+	s.SetHash("h", map[string]string{"a": "1"})
+	got, ok := s.Hash("h")
+	if !ok || got["a"] != "1" {
+		t.Fatalf("Hash = %v, %v", got, ok)
+	}
+	// The returned map is a copy; mutating it must not affect the store.
+	got["a"] = "mutated"
+	if again, _ := s.Hash("h"); again["a"] != "1" {
+		t.Fatal("Hash returned shared state")
+	}
+	if _, ok := s.Hash("missing"); ok {
+		t.Fatal("missing hash found")
+	}
+	s.Set("str", "x")
+	if _, ok := s.Hash("str"); ok {
+		t.Fatal("string answered as hash")
+	}
+}

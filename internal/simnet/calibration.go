@@ -1,0 +1,249 @@
+// Calibration tables: the population parameters the generator targets,
+// derived from the paper's reported aggregates (Tables 5–12 and the
+// prose of Sections 5–6). DESIGN.md Section 6 lists the provenance of
+// each number.
+package simnet
+
+// Headline population targets.
+const (
+	// LowTierIPs is the number of unique sources on the low-interaction
+	// tier over 20 days (paper Section 5).
+	LowTierIPs = 3340
+	// LowInstitutional is how many low-tier sources are on the
+	// institutional scanner list.
+	LowInstitutional = 1468
+	// BruteForcers is the number of sources that attempted at least one
+	// login.
+	BruteForcers = 599
+)
+
+// Control-group split (paper Section 5: multi- vs single-service hosts).
+const (
+	SingleOnlyIPs = 177  // sources seen only on single-service hosts
+	BothGroupIPs  = 1543 // sources seen on both groups
+	// multi-only = LowTierIPs - SingleOnlyIPs - BothGroupIPs = 1620
+	BruteSingleOnly = 41  // brute-forced single hosts only
+	BruteMultiOnly  = 295 // brute-forced multi hosts only
+)
+
+// lowGroup is one (AS, country) block of the low-tier population.
+type lowGroup struct {
+	asn     uint32
+	country string
+	n       int // total actors in the block
+	inst    int // of which institutional scanners
+	brute   int // of which brute-forcers
+	// Login attempt totals for the block at scale 1, split per DBMS.
+	mysqlLogins int64
+	mssqlLogins int64
+	psqlLogins  int64
+	// heavy marks the persistent high-volume brute-forcers (the four
+	// AS208091 sources active 16–19 of 20 days).
+	heavy bool
+}
+
+// lowGroups reproduces the AS/country composition behind Tables 5–7: who
+// scans, who logs in, from where, and how hard.
+var lowGroups = []lowGroup{
+	// --- United States (1,934 sources, 101 brute, Table 5 row) ---
+	{asn: 6939, country: "US", n: 643, inst: 540},
+	{asn: 396982, country: "US", n: 560, inst: 400, brute: 40, mysqlLogins: 5101, mssqlLogins: 182},
+	{asn: 14618, country: "US", n: 154},
+	{asn: 398324, country: "US", n: 93, inst: 93},
+	{asn: 63949, country: "US", n: 91, brute: 15, mysqlLogins: 1270},
+	{asn: 395092, country: "US", n: 60, inst: 60},
+	{asn: 59113, country: "US", n: 73, inst: 73},
+	{asn: 64496, country: "US", n: 50, inst: 50},
+	{asn: 14061, country: "US", n: 173, brute: 20, mysqlLogins: 1028},
+	{asn: 20473, country: "US", n: 20, brute: 15, mssqlLogins: 30000},
+	{asn: 213035, country: "US", n: 10, brute: 5, mssqlLogins: 24361},
+	{asn: 0, country: "US", n: 7, brute: 6, mysqlLogins: 5224, psqlLogins: 13},
+	// --- China (348 sources, 60 brute) ---
+	{asn: 135377, country: "CN", n: 137, brute: 15, mysqlLogins: 551, mssqlLogins: 92},
+	{asn: 4134, country: "CN", n: 112, brute: 20, mysqlLogins: 146, mssqlLogins: 517234},
+	{asn: 4837, country: "CN", n: 94, brute: 20, mysqlLogins: 376},
+	{asn: 45090, country: "CN", n: 5, brute: 5, mysqlLogins: 1784, mssqlLogins: 364184},
+	// --- United Kingdom (310 sources) ---
+	{asn: 211298, country: "GB", n: 252, inst: 252, brute: 1, mssqlLogins: 202},
+	{asn: 14061, country: "GB", n: 30},
+	{asn: 2856, country: "GB", n: 28},
+	// --- Russia: 4 heavy AS208091 sources plus light telecom ones ---
+	{asn: 208091, country: "RU", n: 4, brute: 4, mssqlLogins: 16628000, heavy: true},
+	{asn: 12389, country: "RU", n: 11, brute: 5, mysqlLogins: 108, mssqlLogins: 1473},
+	// --- Remaining Table 5 rows ---
+	{asn: 3249, country: "EE", n: 2, brute: 2, mysqlLogins: 14, mssqlLogins: 160642},
+	{asn: 4766, country: "KR", n: 11, brute: 6, mysqlLogins: 21522, mssqlLogins: 76005},
+	{asn: 6849, country: "UA", n: 1, brute: 1, mssqlLogins: 96999},
+	{asn: 58224, country: "IR", n: 2, brute: 1, mssqlLogins: 74856},
+	{asn: 35805, country: "GE", n: 1, brute: 1, mssqlLogins: 62850},
+	{asn: 6799, country: "GR", n: 1, brute: 1, mssqlLogins: 13040},
+	{asn: 9829, country: "IN", n: 6, brute: 6, mysqlLogins: 19, mssqlLogins: 12472},
+	{asn: 14061, country: "IN", n: 12},
+	// DigitalOcean's remaining footprint (Table 6 total: 392 IPs).
+	{asn: 14061, country: "DE", n: 60},
+	{asn: 14061, country: "NL", n: 57},
+	{asn: 14061, country: "SG", n: 60},
+	// --- Tail: hosting brute (Table 7: Hosting dominates logins) ---
+	{asn: 24940, country: "DE", n: 40, brute: 40, mssqlLogins: 3000},
+	{asn: 51167, country: "DE", n: 25, brute: 18, mssqlLogins: 1200},
+	{asn: 3320, country: "DE", n: 10, brute: 10, mssqlLogins: 500},
+	{asn: 16276, country: "FR", n: 35, brute: 35, mssqlLogins: 2800},
+	{asn: 12876, country: "FR", n: 15, brute: 12, mssqlLogins: 900},
+	{asn: 3215, country: "FR", n: 8, brute: 5, mssqlLogins: 300},
+	{asn: 49981, country: "NL", n: 20, brute: 20, mssqlLogins: 1500},
+	{asn: 44477, country: "NL", n: 15, brute: 12, mssqlLogins: 900},
+	{asn: 57043, country: "NL", n: 12, brute: 10, mssqlLogins: 600},
+	{asn: 213035, country: "NL", n: 10, brute: 10, mssqlLogins: 700},
+	{asn: 1136, country: "NL", n: 10, brute: 5, mssqlLogins: 250},
+	{asn: 34224, country: "BG", n: 14, brute: 10, mssqlLogins: 700},
+	{asn: 7473, country: "SG", n: 15, brute: 8, mssqlLogins: 2000},
+	{asn: 7713, country: "ID", n: 20, brute: 15, mssqlLogins: 2500},
+	// --- Tail: IP service & ICT brute (Table 7) ---
+	{asn: 202425, country: "NL", n: 40, brute: 35, mssqlLogins: 1000},
+	{asn: 13335, country: "DE", n: 15, brute: 12, mssqlLogins: 400},
+	{asn: 19551, country: "NL", n: 15, brute: 13, mssqlLogins: 400},
+	// --- Tail: unmapped sources (Table 7 Unknown = 148 brute) ---
+	{asn: 0, country: "BR", n: 30, brute: 25, mssqlLogins: 1200},
+	{asn: 0, country: "VN", n: 35, brute: 30, mssqlLogins: 1500},
+	{asn: 0, country: "TR", n: 24, brute: 20, mssqlLogins: 1000},
+	{asn: 0, country: "JP", n: 12, brute: 10, mssqlLogins: 500},
+	{asn: 0, country: "PL", n: 16, brute: 12, mssqlLogins: 600},
+	{asn: 0, country: "IT", n: 14, brute: 10, mssqlLogins: 500},
+	{asn: 0, country: "ES", n: 14, brute: 10, mssqlLogins: 450},
+	{asn: 0, country: "TH", n: 11, brute: 8, mssqlLogins: 400},
+	{asn: 0, country: "PK", n: 11, brute: 8, mssqlLogins: 400},
+	{asn: 0, country: "EG", n: 8, brute: 5, mssqlLogins: 250},
+	{asn: 0, country: "MX", n: 8, brute: 2, mssqlLogins: 120},
+	{asn: 0, country: "CA", n: 10},
+	{asn: 0, country: "AU", n: 8},
+	// The filler group absorbs whatever is left to reach LowTierIPs
+	// exactly; it is appended programmatically in population.go.
+}
+
+// fillerCountries spread the remainder of the low-tier population over
+// countries with no login activity.
+var fillerCountries = []string{"BR", "VN", "TR", "JP", "CA", "AU", "AR", "CO", "NG", "ZA", "PT", "RO"}
+
+// Medium/high-tier per-DBMS targets (paper Table 8).
+type mhTarget struct {
+	Scanning, Scouting, Exploiting int
+	InstScanning                   int // institutional share of Scanning (§6.1)
+}
+
+var mhTargets = map[string]mhTarget{
+	"elastic":  {Scanning: 608, Scouting: 627, Exploiting: 2, InstScanning: 456},
+	"mongodb":  {Scanning: 706, Scouting: 465, Exploiting: 62, InstScanning: 415},
+	"postgres": {Scanning: 1140, Scouting: 593, Exploiting: 222, InstScanning: 909},
+	"redis":    {Scanning: 676, Scouting: 266, Exploiting: 38, InstScanning: 379},
+}
+
+// Campaign sizes (paper Table 9; the +1s reconcile Table 9 with the
+// Table 8 exploiter columns, a discrepancy present in the paper itself).
+const (
+	nP2PInfect   = 35
+	nABCbot      = 1
+	nRedisCVE    = 1
+	nRedisVandal = 1 // Table 8 Redis exploiting = 38
+	nKinsing     = 196
+	nPrivilege   = 26 // Table 9 says 25; Table 8 PSQL exploiting = 222
+	nLucifer     = 2
+	nRansomA     = 30  // ransom note template 1
+	nRansomB     = 32  // ransom note template 2; 62 ransom IPs total
+	nRDPScan     = 164 // RDP scans against PostgreSQL...
+	nRDPBoth     = 14  // ...of which these also hit Redis (Figure 4 overlap)
+	nJDWPScan    = 2
+	nRedisBrute  = 5
+	nPGBrute     = 84
+	nCraftCMS    = 2
+	nVMware      = 15
+)
+
+// exploiterGeo places campaign actors by (ASN, country), shaping the
+// paper's Table 10 (exploiter countries) and Table 11 (exploiters sit
+// overwhelmingly in Hosting space, with a notable Chinese telecom share).
+type geoSlot struct {
+	asn     uint32
+	country string
+	n       int
+}
+
+var kinsingGeo = []geoSlot{
+	{20473, "US", 20}, {14061, "US", 9},
+	{16276, "FR", 30},
+	{24940, "DE", 27},
+	{4134, "CN", 12}, {45090, "CN", 8},
+	{44477, "GB", 15},
+	{35048, "RU", 8}, {44477, "RU", 4},
+	{7713, "ID", 7},
+	{49981, "NL", 6},
+	{45102, "SG", 4},
+	{34224, "BG", 2},
+	{262287, "BR", 12}, {135905, "VN", 10}, {34619, "TR", 8},
+	{16276, "CA", 4}, {45430, "TH", 8}, {0, "CO", 2},
+}
+
+var privilegeGeo = []geoSlot{
+	{20473, "US", 9}, {714, "US", 1}, // one Business-AS actor (Table 11)
+	{24940, "DE", 2}, {4134, "CN", 2},
+	{0, "PL", 3}, {0, "IT", 3},
+	{1103, "NL", 1}, // one University-AS actor (Table 11)
+	{0, "AR", 2}, {0, "ES", 2}, {0, "CO", 1},
+}
+
+var p2pinfectGeo = []geoSlot{
+	{4134, "CN", 15}, {4812, "CN", 6},
+	{7473, "SG", 4}, {45102, "SG", 2},
+	{20473, "US", 1}, {34224, "BG", 1}, {49981, "NL", 1},
+	{135905, "VN", 3}, {262287, "BR", 2},
+}
+
+var ransomAGeo = []geoSlot{
+	{34224, "BG", 15}, {20473, "US", 6}, {49981, "NL", 3},
+	{2856, "GB", 2}, {34619, "TR", 2}, {262287, "BR", 2},
+}
+
+var ransomBGeo = []geoSlot{
+	{34224, "BG", 14}, {16509, "US", 6}, {57043, "NL", 3},
+	{44477, "GB", 1}, {24940, "DE", 2}, {45102, "SG", 1},
+	{135905, "VN", 3}, {34619, "TR", 2},
+}
+
+var rdpGeo = []geoSlot{
+	{24940, "DE", 40}, {16276, "FR", 30}, {20473, "US", 30},
+	{4134, "CN", 20}, {49981, "NL", 14}, {51167, "DE", 10},
+	{0, "BR", 10}, {0, "VN", 10},
+}
+
+// Brute-force credential corpus scale-1 targets (paper Section 5).
+const (
+	UniqueUsernames = 14540
+	UniquePasswords = 226961
+)
+
+// Top MSSQL credentials (paper Table 12), tried by every brute tool
+// before its dictionary walk.
+var topMSSQLCreds = [][2]string{
+	{"sa", "123"},
+	{"admin", "123456"},
+	{"hbv7", ""},
+	{"test", "1"},
+	{"root", "aaaaaa"},
+	{"user", "0"},
+	{"administrator", "1234"},
+	{"sa1", "P@ssw0rd"},
+	{"petroleum", "12345"},
+	{"sa2", "password"},
+}
+
+var topMySQLCreds = [][2]string{
+	{"root", "root"},
+	{"root", "123456"},
+	{"admin", "admin"},
+	{"root", ""},
+	{"mysql", "mysql"},
+	{"root", "password"},
+	{"root", "12345678"},
+	{"admin", "123456"},
+	{"root", "qwerty"},
+	{"backup", "backup"},
+}

