@@ -51,8 +51,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(w, "dataset built in %v: %d events from %d sources\n\n",
+	fmt.Fprintf(w, "dataset built in %v: %d events from %d sources\n",
 		time.Since(began).Round(time.Millisecond), ds.Store.Events(), len(ds.Recs))
+	fmt.Fprintf(w, "transport: %s\n\n", ds.Bus)
 
 	selected := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {

@@ -51,6 +51,7 @@ func main() {
 	}
 	fmt.Printf("simulation done in %v: %d sessions (%d torn connections)\n",
 		res.Elapsed.Round(1e6), res.Sessions, res.Errors)
+	fmt.Printf("transport: %s\n", res.Bus)
 	fmt.Printf("population: %d actors, %d brute-forcers, %d exploiters, %d institutional\n",
 		len(res.Population.Actors), len(res.Population.BruteForcers),
 		len(res.Population.Exploiters), len(res.Population.Institutional))

@@ -3,6 +3,12 @@
 // every connection is logged in the pipeline's JSON format, ready for
 // dbreport-style analysis.
 //
+// Events flow from sessions through the sharded async event bus
+// (internal/bus) into the log writer and a stats sink, so a flood on one
+// listener cannot stall the others: backpressure policy is configurable
+// (-buspolicy block|drop) and transport counters are logged periodically
+// (-statsevery).
+//
 // Usage:
 //
 //	decoydb [-listen 0.0.0.0] [-services mysql,redis,...] [-logs DIR] [-offset N]
@@ -20,7 +26,9 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
+	"decoydb/internal/bus"
 	"decoydb/internal/core"
 	"decoydb/internal/pipeline"
 	"decoydb/internal/simnet"
@@ -30,14 +38,29 @@ func main() {
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("decoydb: ")
 	var (
-		listen   = flag.String("listen", "127.0.0.1", "address to bind")
-		services = flag.String("services", "mysql,mssql,postgres,redis,elastic,mongodb", "comma-separated honeypot services (also: mariadb, couchdb)")
-		dir      = flag.String("logs", "decoydb-logs", "directory for honeypot log files")
-		offset   = flag.Int("offset", 10000, "port offset added to each service's default port (0 = real ports, needs privileges)")
-		fake     = flag.Bool("fakedata", true, "seed medium/high honeypots with bait data")
-		seed     = flag.Int64("seed", 42, "seed for bait data generation")
+		listen    = flag.String("listen", "127.0.0.1", "address to bind")
+		services  = flag.String("services", "mysql,mssql,postgres,redis,elastic,mongodb", "comma-separated honeypot services (also: mariadb, couchdb)")
+		dir       = flag.String("logs", "decoydb-logs", "directory for honeypot log files")
+		offset    = flag.Int("offset", 10000, "port offset added to each service's default port (0 = real ports, needs privileges)")
+		fake      = flag.Bool("fakedata", true, "seed medium/high honeypots with bait data")
+		seed      = flag.Int64("seed", 42, "seed for bait data generation")
+		shards    = flag.Int("bus-shards", 0, "event bus shard count (0 = GOMAXPROCS)")
+		policy    = flag.String("bus-policy", "drop", "event bus backpressure policy under load: block or drop")
+		statsEach = flag.Duration("statsevery", time.Minute, "interval between transport stats log lines (0 = off)")
 	)
 	flag.Parse()
+
+	var busPolicy bus.Policy
+	switch *policy {
+	case "block":
+		busPolicy = bus.Block
+	case "drop":
+		// A live farm sheds load rather than letting a hostile flood
+		// stall every honeypot behind a slow disk.
+		busPolicy = bus.Drop
+	default:
+		log.Fatalf("unknown -bus-policy %q (want block or drop)", *policy)
+	}
 
 	enabled := map[string]bool{}
 	for _, s := range strings.Split(*services, ",") {
@@ -48,13 +71,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer lw.Close()
+
+	stats := &bus.StatsSink{}
+	evbus := bus.New(bus.Options{Shards: *shards, Policy: busPolicy}, lw, stats)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	farm := core.NewFarm(core.RealClock{}, lw, core.FarmOptions{})
-	defer farm.Shutdown()
+	farm := core.NewFarm(core.RealClock{}, evbus, core.FarmOptions{})
 
 	// One live instance per enabled service, using the same handler
 	// constructors as the full deployment.
@@ -90,7 +114,33 @@ func main() {
 		}
 		log.Printf("%s honeypot (%s interaction) listening on %s", info.DBMS, info.Level, addr)
 	}
-	log.Printf("logging to %s — ctrl-c to stop", *dir)
+	log.Printf("logging to %s via %d-shard bus (%s policy) — ctrl-c to stop", *dir, evbus.Stats().Shards, busPolicy)
+
+	if *statsEach > 0 {
+		go func() {
+			t := time.NewTicker(*statsEach)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					log.Printf("%s", evbus.Stats())
+					log.Printf("%s", stats.Counts())
+				}
+			}
+		}()
+	}
+
 	<-ctx.Done()
 	log.Print("shutting down")
+	farm.Shutdown() // waits for sessions, then flushes the bus
+	if err := evbus.Close(); err != nil {
+		log.Printf("event transport: %v", err)
+	}
+	log.Printf("final %s", evbus.Stats())
+	log.Printf("final %s", stats.Counts())
+	if err := lw.Close(); err != nil {
+		log.Printf("log writer: %v (%d write failures)", err, lw.ErrCount())
+	}
 }

@@ -1,0 +1,69 @@
+package bus
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"decoydb/internal/core"
+)
+
+// StatsSink is a lock-free BatchSink counting events by kind. A live
+// farm registers it alongside the real consumers so operational log
+// lines can report what the deployment is seeing without touching the
+// stores.
+type StatsSink struct {
+	kinds  [4]atomic.Uint64 // indexed by core.EventKind
+	logins atomic.Uint64    // successful logins (Event.OK)
+	other  atomic.Uint64    // out-of-range kinds, defensively
+}
+
+// Record implements core.Sink.
+func (s *StatsSink) Record(e core.Event) {
+	if k := int(e.Kind); k >= 0 && k < len(s.kinds) {
+		s.kinds[k].Add(1)
+	} else {
+		s.other.Add(1)
+	}
+	if e.Kind == core.EventLogin && e.OK {
+		s.logins.Add(1)
+	}
+}
+
+// RecordBatch implements BatchSink.
+func (s *StatsSink) RecordBatch(events []core.Event) error {
+	for _, e := range events {
+		s.Record(e)
+	}
+	return nil
+}
+
+// KindCounts is a snapshot of per-kind event counts.
+type KindCounts struct {
+	Connects uint64
+	Logins   uint64
+	LoginOK  uint64
+	Commands uint64
+	Closes   uint64
+}
+
+// Total sums all counted events.
+func (c KindCounts) Total() uint64 {
+	return c.Connects + c.Logins + c.Commands + c.Closes
+}
+
+// String renders the snapshot for a log line.
+func (c KindCounts) String() string {
+	return fmt.Sprintf("events=%d connects=%d logins=%d (ok=%d) commands=%d",
+		c.Total(), c.Connects, c.Logins, c.LoginOK, c.Commands)
+}
+
+// Counts snapshots the counters.
+func (s *StatsSink) Counts() KindCounts {
+	return KindCounts{
+		Connects: s.kinds[core.EventConnect].Load(),
+		Logins:   s.kinds[core.EventLogin].Load(),
+		LoginOK:  s.logins.Load(),
+		Commands: s.kinds[core.EventCommand].Load(),
+		Closes:   s.kinds[core.EventClose].Load(),
+	}
+}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"context"
+	"errors"
 	"net"
 	"net/netip"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -224,6 +226,53 @@ func TestFarmServesRealTCP(t *testing.T) {
 			t.Fatalf("incomplete session events: %d connects, %d closes", connects, closes)
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestFarmListenAfterShutdown(t *testing.T) {
+	farm := NewFarm(RealClock{}, &MemSink{}, FarmOptions{Logf: func(string, ...any) {}})
+	hp := &Honeypot{Info: Info{DBMS: Redis}, Handler: HandlerFunc(func(ctx context.Context, conn net.Conn, s *Session) error {
+		return nil
+	})}
+	ctx := context.Background()
+	if _, err := farm.Listen(ctx, "127.0.0.1:0", hp); err != nil {
+		t.Fatal(err)
+	}
+	farm.Shutdown()
+	// A listener registered now would never be closed; Listen must
+	// refuse instead of silently leaking an accept loop.
+	if _, err := farm.Listen(ctx, "127.0.0.1:0", hp); !errors.Is(err, ErrFarmClosed) {
+		t.Fatalf("Listen after Shutdown = %v, want ErrFarmClosed", err)
+	}
+}
+
+// flushSink records whether Flush was called after the last Record.
+type flushSink struct {
+	MemSink
+	flushed atomic.Bool
+}
+
+func (f *flushSink) Flush() { f.flushed.Store(true) }
+
+func TestFarmShutdownFlushesBufferedSink(t *testing.T) {
+	sink := &flushSink{}
+	farm := NewFarm(RealClock{}, sink, FarmOptions{Logf: func(string, ...any) {}})
+	hp := &Honeypot{Info: Info{DBMS: Redis}, Handler: HandlerFunc(func(ctx context.Context, conn net.Conn, s *Session) error {
+		s.Connect()
+		return nil
+	})}
+	addr, err := farm.Listen(context.Background(), "127.0.0.1:0", hp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	farm.Shutdown()
+	if !sink.flushed.Load() {
+		t.Fatal("Shutdown did not flush the buffering sink")
 	}
 }
 

@@ -66,6 +66,14 @@ type Sink interface {
 	Record(Event)
 }
 
+// Flusher is implemented by sinks that buffer events asynchronously
+// (e.g. the event bus). Holders of such a sink call Flush at quiesce
+// points — the Farm does so during Shutdown — to guarantee everything
+// recorded so far has reached the final consumers.
+type Flusher interface {
+	Flush()
+}
+
 // SinkFunc adapts a function to the Sink interface.
 type SinkFunc func(Event)
 

@@ -67,8 +67,12 @@ type Farm struct {
 
 	mu        sync.Mutex
 	listeners []net.Listener
+	shutdown  bool
 	wg        sync.WaitGroup
 }
+
+// ErrFarmClosed is returned by Listen after Shutdown.
+var ErrFarmClosed = errors.New("farm: shut down")
 
 // NewFarm creates a Farm stamping events with clock and forwarding them to
 // sink.
@@ -93,12 +97,25 @@ func NewFarm(clock Clock, sink Sink, opts FarmOptions) *Farm {
 // Listen starts serving hp on addr (e.g. "0.0.0.0:6379") and returns the
 // bound address, which is useful with port 0 in tests.
 func (f *Farm) Listen(ctx context.Context, addr string, hp *Honeypot) (net.Addr, error) {
+	f.mu.Lock()
+	if f.shutdown {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("farm: listen %s for %s: %w", addr, hp.Info.ID(), ErrFarmClosed)
+	}
+	f.mu.Unlock()
 	var lc net.ListenConfig
 	ln, err := lc.Listen(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("farm: listen %s for %s: %w", addr, hp.Info.ID(), err)
 	}
 	f.mu.Lock()
+	if f.shutdown {
+		// Shutdown raced us between the check and the bind; a listener
+		// registered now would never be closed. Refuse instead.
+		f.mu.Unlock()
+		ln.Close()
+		return nil, fmt.Errorf("farm: listen %s for %s: %w", addr, hp.Info.ID(), ErrFarmClosed)
+	}
 	f.listeners = append(f.listeners, ln)
 	f.mu.Unlock()
 
@@ -160,15 +177,22 @@ func ServeConn(ctx context.Context, h Handler, conn net.Conn, s *Session) (err e
 	return h.Handle(ctx, conn, s)
 }
 
-// Shutdown closes all listeners and waits for in-flight sessions.
+// Shutdown closes all listeners, waits for in-flight sessions, and —
+// when the sink buffers asynchronously (implements Flusher) — flushes
+// it so every event the farm produced reaches the final consumers.
+// After Shutdown, Listen returns ErrFarmClosed.
 func (f *Farm) Shutdown() {
 	f.mu.Lock()
+	f.shutdown = true
 	for _, ln := range f.listeners {
 		ln.Close()
 	}
 	f.listeners = nil
 	f.mu.Unlock()
 	f.wg.Wait()
+	if fl, ok := f.sink.(Flusher); ok {
+		fl.Flush()
+	}
 }
 
 func remoteAddrPort(conn net.Conn) netip.AddrPort {

@@ -161,6 +161,22 @@ func (s *Store) Events() int64 {
 func (s *Store) Record(e core.Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.record(e)
+}
+
+// RecordBatch implements bus.BatchSink: one lock acquisition per
+// delivery batch, which is what lets the store sit directly on the live
+// event bus instead of behind the log-file round trip.
+func (s *Store) RecordBatch(events []core.Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range events {
+		s.record(e)
+	}
+	return nil
+}
+
+func (s *Store) record(e core.Event) {
 	s.events++
 
 	addr := e.Src.Addr()

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync"
 
+	"decoydb/internal/bus"
 	"decoydb/internal/cluster"
 	"decoydb/internal/core"
 	"decoydb/internal/evstore"
@@ -26,6 +27,9 @@ type Dataset struct {
 	Recs  []*evstore.IPRecord
 	Pop   *simnet.Population
 	Feeds map[string]*intel.Feed
+	// Bus is the event-transport counter snapshot from the collection
+	// run: how the events reached the store, not what they contain.
+	Bus bus.Stats
 
 	mu       sync.Mutex
 	clusters map[string]*clustered
@@ -55,6 +59,7 @@ func Build(ctx context.Context, seed int64, scale int) (*Dataset, error) {
 		Store:    store,
 		Recs:     store.IPs(),
 		Pop:      res.Population,
+		Bus:      res.Bus,
 		clusters: map[string]*clustered{},
 	}
 	ds.Feeds = buildFeeds(seed, res.Population)

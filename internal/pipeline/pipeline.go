@@ -61,13 +61,21 @@ type sessionRecord struct {
 }
 
 // LogWriter is a core.Sink that writes honeypot-native log files under a
-// directory. Close flushes and closes all files.
+// directory. It also implements bus.BatchSink: batch delivery takes the
+// lock once and flushes each touched file once per batch, so at bus
+// batch sizes the per-event cost is a buffered write. Close flushes and
+// closes all files.
+//
+// Write errors are never silently swallowed: every failed event is
+// counted (ErrCount), the first error is retained (Err, Close), and
+// RecordBatch returns it to the caller — the bus surfaces it per sink.
 type LogWriter struct {
 	dir string
 
-	mu    sync.Mutex
-	files map[string]*logFile
-	err   error
+	mu       sync.Mutex
+	files    map[string]*logFile
+	err      error // first write error
+	failures int64 // write/marshal/flush failures observed
 }
 
 type logFile struct {
@@ -83,20 +91,53 @@ func NewLogWriter(dir string) (*LogWriter, error) {
 	return &LogWriter{dir: dir, files: make(map[string]*logFile)}, nil
 }
 
-// Record implements core.Sink.
+// Record implements core.Sink. Errors are counted and retained (see
+// Err); per-event callers on the hot path should prefer the bus, which
+// delivers batches via RecordBatch.
 func (lw *LogWriter) Record(e core.Event) {
 	lw.mu.Lock()
 	defer lw.mu.Unlock()
-	if lw.err != nil {
-		return
+	if _, err := lw.record(e); err != nil {
+		lw.note(err)
 	}
+}
+
+// RecordBatch implements bus.BatchSink: one lock and one flush per
+// touched file per batch. It returns the first error of the batch.
+func (lw *LogWriter) RecordBatch(events []core.Event) error {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	var first error
+	note := func(err error) {
+		lw.note(err)
+		if first == nil {
+			first = err
+		}
+	}
+	touched := make(map[*logFile]struct{}, 4)
+	for _, e := range events {
+		lf, err := lw.record(e)
+		if err != nil {
+			note(err)
+			continue
+		}
+		touched[lf] = struct{}{}
+	}
+	for lf := range touched {
+		if err := lf.w.Flush(); err != nil {
+			note(err)
+		}
+	}
+	return first
+}
+
+func (lw *LogWriter) record(e core.Event) (*logFile, error) {
 	name := fmt.Sprintf("%s_%s_%s.json", e.Honeypot.DBMS, e.Honeypot.Group, e.Honeypot.Config)
 	lf, ok := lw.files[name]
 	if !ok {
 		f, err := os.Create(filepath.Join(lw.dir, name))
 		if err != nil {
-			lw.err = err
-			return
+			return nil, err
 		}
 		lf = &logFile{f: f, w: bufio.NewWriterSize(f, 64*1024)}
 		lw.files[name] = lf
@@ -109,13 +150,36 @@ func (lw *LogWriter) Record(e core.Event) {
 	}
 	b, err := json.Marshal(line)
 	if err != nil {
-		lw.err = err
-		return
+		return nil, err
 	}
 	b = append(b, '\n')
 	if _, err := lf.w.Write(b); err != nil {
+		return nil, err
+	}
+	return lf, nil
+}
+
+// note records a write failure, retaining the first error. Callers hold
+// lw.mu.
+func (lw *LogWriter) note(err error) {
+	lw.failures++
+	if lw.err == nil {
 		lw.err = err
 	}
+}
+
+// Err returns the first write error seen so far, or nil.
+func (lw *LogWriter) Err() error {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.err
+}
+
+// ErrCount reports the number of write failures observed.
+func (lw *LogWriter) ErrCount() int64 {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.failures
 }
 
 // Close flushes and closes every log file, returning the first error seen

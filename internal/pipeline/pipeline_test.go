@@ -214,3 +214,66 @@ func TestLogWriterAllLevelsRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestRecordBatchRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	lw, err := NewLogWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []core.Event{
+		lowEvent("203.0.113.9", core.EventConnect, "", ""),
+		lowEvent("203.0.113.9", core.EventLogin, "sa", "123"),
+		medEvent("20.0.77.2", core.EventConnect, "", ""),
+		medEvent("20.0.77.2", core.EventCommand, "KEYS", "KEYS *"),
+	}
+	if err := lw.RecordBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	// Batch delivery flushes each touched file, so the lines are on
+	// disk before Close — the durability property the bus relies on.
+	store0, err := Load(dir, start, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store0.Events() != int64(len(batch)) {
+		t.Fatalf("events on disk before Close = %d, want %d", store0.Events(), len(batch))
+	}
+	if err := lw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := lw.ErrCount(); n != 0 {
+		t.Fatalf("failures = %d", n)
+	}
+}
+
+func TestWriteErrorsCountedAndSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	lw, err := NewLogWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the directory so new log files cannot be created.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	lw.Record(lowEvent("203.0.113.9", core.EventConnect, "", ""))
+	if lw.Err() == nil {
+		t.Fatal("write error swallowed")
+	}
+	if lw.ErrCount() != 1 {
+		t.Fatalf("failures = %d, want 1", lw.ErrCount())
+	}
+	if err := lw.RecordBatch([]core.Event{
+		lowEvent("203.0.113.9", core.EventLogin, "sa", "1"),
+		lowEvent("203.0.113.9", core.EventClose, "", ""),
+	}); err == nil {
+		t.Fatal("RecordBatch did not return the write error")
+	}
+	if lw.ErrCount() != 3 {
+		t.Fatalf("failures = %d, want 3", lw.ErrCount())
+	}
+	if err := lw.Close(); err == nil {
+		t.Fatal("Close did not surface the first write error")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"decoydb/internal/bson"
+	"decoydb/internal/bus"
 	"decoydb/internal/core"
 	"decoydb/internal/geoip"
 )
@@ -38,6 +39,8 @@ type Config struct {
 	Deployment *core.Deployment
 	// Geo defaults to geoip.Default().
 	Geo *geoip.DB
+	// BusShards overrides the event-bus shard count (0 = GOMAXPROCS).
+	BusShards int
 }
 
 // DefaultScale balances fidelity and runtime for the default run.
@@ -65,6 +68,9 @@ type Result struct {
 	Errors     int64
 	Population *Population
 	Elapsed    time.Duration
+	// Bus is the final event-transport counter snapshot: total events
+	// enqueued/delivered, batch sizes, and per-sink delivery latency.
+	Bus bus.Stats
 }
 
 // job is one scheduled client session.
@@ -76,6 +82,12 @@ type job struct {
 }
 
 // Run executes the simulation, streaming events into sink.
+//
+// Events do not hit sink synchronously from session goroutines: they
+// travel through a sharded bus.Bus in blocking (lossless) mode, so
+// sinks receive batched deliveries off the session hot path — the same
+// transport a live Farm deployment uses. The bus is drained and closed
+// before Run returns, so the sink is complete and quiescent afterwards.
 func Run(ctx context.Context, cfg Config, sink core.Sink) (*Result, error) {
 	cfg = cfg.withDefaults()
 	began := time.Now()
@@ -86,6 +98,10 @@ func Run(ctx context.Context, cfg Config, sink core.Sink) (*Result, error) {
 		return nil, err
 	}
 	corpus := newCredCorpus(cfg.Seed, cfg.Scale)
+
+	// Block, never drop: the dataset must be a lossless function of the
+	// seed for the paper's tables to reproduce.
+	evbus := bus.New(bus.Options{Shards: cfg.BusShards, Policy: bus.Block}, sink)
 
 	// One serial queue per honeypot instance: sessions against the same
 	// stateful honeypot (Redis keyspace, MongoDB store) execute in the
@@ -103,7 +119,7 @@ func Run(ctx context.Context, cfg Config, sink core.Sink) (*Result, error) {
 			defer wg.Done()
 			for j := range q {
 				sessions.Add(1)
-				if err := runSession(ctx, j, sink); err != nil {
+				if err := runSession(ctx, j, evbus); err != nil {
 					errors.Add(1)
 				}
 			}
@@ -119,17 +135,22 @@ func Run(ctx context.Context, cfg Config, sink core.Sink) (*Result, error) {
 		close(q)
 	}
 	wg.Wait()
+	busErr := evbus.Close() // drain even on the error paths below
 	if err != nil {
 		return nil, err
 	}
 	if ctx.Err() != nil {
 		return nil, ctx.Err()
 	}
+	if busErr != nil {
+		return nil, fmt.Errorf("simnet: event transport: %w", busErr)
+	}
 	return &Result{
 		Sessions:   sessions.Load(),
 		Errors:     errors.Load(),
 		Population: pop,
 		Elapsed:    time.Since(began),
+		Bus:        evbus.Stats(),
 	}, nil
 }
 
