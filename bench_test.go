@@ -260,7 +260,7 @@ func BenchmarkAblationLoginStore(b *testing.B) {
 // flush/fsync/RTT cost any durable sink pays per batch. The latency is
 // a wait, not a spin, so shard workers overlap it; delivery parallelism
 // is the variable under test even on few cores. It implements
-// bus.BatchSink and holds no shared lock.
+// core.BatchSink and holds no shared lock.
 type busWorkSink struct {
 	n atomic.Uint64
 }
@@ -393,6 +393,78 @@ func BenchmarkBusSinkModes(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- Event store: sharded ingest vs the seed's single mutex ---
+
+// storeIngestWorkers is the delivery parallelism offered upstream: the
+// bus runs one worker per bus shard, so the store sees this many
+// concurrent RecordBatch callers regardless of its own shard count.
+const storeIngestWorkers = 8
+
+// BenchmarkStoreIngest measures committed events per second into the
+// store under the bus delivery pattern: storeIngestWorkers goroutines,
+// each repeatedly committing a shard-affine 256-event batch (all
+// sources in a batch hash to that worker's bus shard, exactly what the
+// sharded bus delivers). The variable is the store's shard count:
+// shards=1 is the seed's single-mutex layout, where every worker
+// serialises on one lock; shards=8 matches the bus shard count, so each
+// batch commits under its own shard lock with zero cross-shard
+// contention. One op is one batch per worker. Speedup requires real
+// cores: on a single-CPU machine the workers time-slice and the ratio
+// collapses to ~1x — see DESIGN.md for reference numbers.
+func BenchmarkStoreIngest(b *testing.B) {
+	const batchSize = 256
+	// Pre-build one batch per worker, partitioned the way the bus
+	// partitions: worker w owns the sources with ShardOf(addr, workers) == w.
+	batches := make([][]core.Event, storeIngestWorkers)
+	hp := core.Info{DBMS: core.MSSQL, Level: core.Low, Config: core.ConfigDefault, Group: core.GroupMulti}
+	for i, filled := 0, 0; filled < storeIngestWorkers; i++ {
+		addr := netip.AddrFrom4([4]byte{198, 51, byte(i >> 8), byte(i)})
+		w := core.ShardOf(addr, storeIngestWorkers)
+		if len(batches[w]) == batchSize {
+			continue
+		}
+		batches[w] = append(batches[w], core.Event{
+			Time: core.ExperimentStart, Src: netip.AddrPortFrom(addr, 1024),
+			Honeypot: hp, Kind: core.EventLogin,
+			User: "sa", Pass: fmt.Sprintf("pw%d", i%16),
+		})
+		if len(batches[w]) == batchSize {
+			filled++
+		}
+	}
+	shardCounts := []int{1, storeIngestWorkers}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != storeIngestWorkers {
+		shardCounts = append(shardCounts, n)
+	}
+	for _, shards := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			store := evstore.NewSharded(core.ExperimentStart, core.ExperimentDays, nil, shards)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < storeIngestWorkers; w++ {
+				wg.Add(1)
+				go func(batch []core.Event) {
+					defer wg.Done()
+					for i := 0; i < b.N; i++ {
+						if err := store.RecordBatch(batch); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(batches[w])
+			}
+			wg.Wait()
+			b.StopTimer()
+			events := int64(b.N) * storeIngestWorkers * batchSize
+			if store.Events() != events {
+				b.Fatalf("store has %d events, want %d", store.Events(), events)
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
 }
 
 // --- Protocol microbenchmark: the hottest parse in the system ---

@@ -52,7 +52,11 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(w, "dataset built in %v: %d events from %d sources\n",
-		time.Since(began).Round(time.Millisecond), ds.Store.Events(), len(ds.Recs))
+		time.Since(began).Round(time.Millisecond), ds.Snap.Events(), len(ds.Recs))
+	if ds.InstApplied == 0 && len(ds.Pop.Institutional) > 0 {
+		fmt.Fprintf(w, "warning: institutional scanner list (%d addresses) does not overlap the capture — Section 6.1 shares will be zero\n",
+			len(ds.Pop.Institutional))
+	}
 	fmt.Fprintf(w, "transport: %s\n\n", ds.Bus)
 
 	selected := map[string]bool{}

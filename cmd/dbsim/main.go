@@ -18,6 +18,7 @@ import (
 	"os/signal"
 
 	"decoydb/internal/core"
+	"decoydb/internal/evstore"
 	"decoydb/internal/geoip"
 	"decoydb/internal/pipeline"
 	"decoydb/internal/simnet"
@@ -60,8 +61,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	store.MarkInstitutional(res.Population.Institutional)
+	applied := store.MarkInstitutional(res.Population.Institutional)
+	if applied == 0 && len(res.Population.Institutional) > 0 {
+		log.Printf("warning: institutional list (%d addresses) does not overlap the capture",
+			len(res.Population.Institutional))
+	}
 	fmt.Printf("pipeline reload: %d events, %d unique sources, %d total logins\n",
-		store.Events(), store.UniqueIPs(nil), store.TotalLogins(""))
+		store.Events(), store.UniqueIPs(evstore.Query{}), store.Logins(evstore.Query{}))
 	fmt.Printf("logs written to %s (run dbreport for the full table/figure report)\n", *dir)
 }

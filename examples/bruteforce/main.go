@@ -71,12 +71,12 @@ func main() {
 
 	// Wait for the async farm sessions to drain into the store.
 	deadline := time.Now().Add(2 * time.Second)
-	for store.TotalLogins("") < int64(len(creds)) && time.Now().Before(deadline) {
+	for store.Logins(evstore.Query{}) < int64(len(creds)) && time.Now().Before(deadline) {
 		time.Sleep(10 * time.Millisecond)
 	}
 
 	fmt.Println("\nharvested credentials (by frequency):")
-	for _, cc := range store.Creds(core.MSSQL) {
+	for _, cc := range store.Creds(evstore.Query{DBMS: core.MSSQL}) {
 		fmt.Printf("  %-8s %-10s x%d\n", cc.User, cc.Pass, cc.Count)
 	}
 

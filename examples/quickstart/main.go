@@ -67,12 +67,12 @@ func main() {
 
 	// 3. The events are already in the store; classify the attacker.
 	deadline := time.Now().Add(2 * time.Second)
-	for store.UniqueIPs(nil) == 0 && time.Now().Before(deadline) {
+	for store.UniqueIPs(evstore.Query{}) == 0 && time.Now().Before(deadline) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	fmt.Println()
 	for _, rec := range store.IPs() {
-		behaviour := classify.IP(rec, nil)
+		behaviour := classify.IP(rec, evstore.Query{})
 		fmt.Printf("source %s classified as: %s\n", rec.Addr, behaviour)
 		for key, act := range rec.Per {
 			fmt.Printf("  %s/%s sessions=%d commands=%d\n", key.DBMS, key.Level, act.Sessions, act.CommandsRun)

@@ -358,10 +358,10 @@ func BehaviorByASType(recs []*evstore.IPRecord) map[asdb.Type]*classify.Counts {
 	out := map[asdb.Type]*classify.Counts{}
 	for _, r := range recs {
 		for _, dbms := range MHDBMSes {
-			filter := classify.ForDBMS(dbms)
+			q := classify.ForDBMS(dbms)
 			touched := false
 			for k := range r.Per {
-				if filter(k) {
+				if q.MatchKey(k) {
 					touched = true
 					break
 				}
@@ -375,7 +375,7 @@ func BehaviorByASType(recs []*evstore.IPRecord) map[asdb.Type]*classify.Counts {
 				out[r.ASType] = c
 			}
 			c.IPs++
-			switch classify.IP(r, filter) {
+			switch classify.IP(r, q) {
 			case classify.Scanning:
 				c.Scanning++
 			case classify.Scouting:
@@ -402,12 +402,13 @@ type BruteStats struct {
 	HeaviestIPCountry string
 }
 
-// BruteForce computes the Section 5 statistics over the low tier.
-func BruteForce(store *evstore.Store) BruteStats {
+// BruteForce computes the Section 5 statistics over the low tier of a
+// dataset snapshot.
+func BruteForce(snap *evstore.Snapshot) BruteStats {
 	var st BruteStats
 	users := map[string]bool{}
 	passes := map[string]bool{}
-	for _, c := range store.CredsTier("", true) {
+	for _, c := range snap.Creds(evstore.Query{Tier: evstore.LowTier}) {
 		st.UniqueCombos++
 		st.TotalLogins += c.Count
 		users[c.User] = true
@@ -415,7 +416,7 @@ func BruteForce(store *evstore.Store) BruteStats {
 	}
 	st.UniqueUsers = len(users)
 	st.UniquePasses = len(passes)
-	for _, r := range store.IPs() {
+	for _, r := range snap.Recs() {
 		var n int64
 		for _, v := range lowLogins(r) {
 			n += v
@@ -595,15 +596,15 @@ func InstitutionalShare(recs []*evstore.IPRecord) map[string][2]int {
 	out := map[string][2]int{}
 	for _, r := range recs {
 		for _, dbms := range MHDBMSes {
-			filter := classify.ForDBMS(dbms)
+			q := classify.ForDBMS(dbms)
 			touched := false
 			for k := range r.Per {
-				if filter(k) {
+				if q.MatchKey(k) {
 					touched = true
 					break
 				}
 			}
-			if !touched || classify.IP(r, filter) != classify.Scanning {
+			if !touched || classify.IP(r, q) != classify.Scanning {
 				continue
 			}
 			v := out[dbms]

@@ -374,7 +374,7 @@ func TestBruteForceStats(t *testing.T) {
 		Kind:     core.EventConnect,
 	})
 
-	st := BruteForce(s)
+	st := BruteForce(s.Snapshot())
 	if st.TotalLogins != 16 || st.Clients != 2 {
 		t.Fatalf("stats = %+v", st)
 	}

@@ -8,15 +8,20 @@
 //	sessions ──Record──▶ shard queues ──workers──▶ sinks (batched)
 //
 // Each event's source IP is hashed onto one of N shards (default
-// GOMAXPROCS), buffered in a bounded ring queue, and delivered by that
-// shard's worker goroutine in batches to every registered sink. Sinks
-// implementing BatchSink receive whole batches (one lock/flush per
-// batch); plain core.Sinks receive the events one by one.
+// GOMAXPROCS) with core.ShardOf, buffered in a bounded ring queue, and
+// delivered by that shard's worker goroutine in batches to every
+// registered sink. Sinks implementing core.BatchSink receive whole
+// batches (one lock/flush per batch); plain core.Sinks receive the
+// events one by one.
 //
 // Because all events from one source IP land on one shard, per-attacker
 // event order is preserved end to end — the property the evstore's
 // command sequences and the clustering depend on. Order across different
 // sources is not defined, which is exactly the situation on a real wire.
+// core.ShardOf is also how the sharded evstore partitions records, so a
+// store whose shard count matches the bus's commits each delivery batch
+// entirely within one store shard: N workers, N store shards, zero
+// cross-shard lock contention.
 //
 // Backpressure is a policy choice: Block throttles producers when a
 // shard queue fills (lossless collection, the simulator's choice), Drop
@@ -58,14 +63,6 @@ func (p Policy) String() string {
 		return "drop"
 	}
 	return fmt.Sprintf("policy(%d)", int(p))
-}
-
-// BatchSink is a core.Sink that can accept a whole delivery batch in one
-// call, amortising per-event locking. Implementations must not retain
-// the batch slice after returning; the bus reuses it.
-type BatchSink interface {
-	core.Sink
-	RecordBatch(events []core.Event) error
 }
 
 // Options tune a Bus. The zero value is usable: GOMAXPROCS shards,
@@ -131,7 +128,7 @@ func (sh *shard) init(size int) {
 type sinkEntry struct {
 	name    string
 	sink    core.Sink
-	batch   BatchSink // non-nil when sink supports batch delivery
+	batch   core.BatchSink // non-nil when sink supports batch delivery
 	batches atomic.Uint64
 	events  atomic.Uint64
 	errors  atomic.Uint64
@@ -169,7 +166,7 @@ func New(opts Options, sinks ...core.Sink) *Bus {
 	b := &Bus{opts: opts.withDefaults()}
 	for _, s := range sinks {
 		e := &sinkEntry{name: fmt.Sprintf("%T", s), sink: s}
-		if bs, ok := s.(BatchSink); ok {
+		if bs, ok := s.(core.BatchSink); ok {
 			e.batch = bs
 		}
 		b.sinks = append(b.sinks, e)
@@ -185,21 +182,12 @@ func New(opts Options, sinks ...core.Sink) *Bus {
 	return b
 }
 
-// shardFor hashes an event's source address onto a shard. Hashing the
-// address (not the port) keeps all events from one attacker on one
-// shard, preserving their order through delivery.
+// shardFor hashes an event's source address onto a shard via
+// core.ShardOf — the partitioning contract shared with the sharded
+// evstore. Hashing the address (not the port) keeps all events from one
+// attacker on one shard, preserving their order through delivery.
 func (b *Bus) shardFor(e core.Event) *shard {
-	if len(b.shards) == 1 {
-		return b.shards[0]
-	}
-	a := e.Src.Addr().As16()
-	// FNV-1a over the 16 address bytes.
-	h := uint64(14695981039346656037)
-	for _, c := range a {
-		h ^= uint64(c)
-		h *= 1099511628211
-	}
-	return b.shards[h%uint64(len(b.shards))]
+	return b.shards[core.ShardOf(e.Src.Addr(), len(b.shards))]
 }
 
 // Record implements core.Sink: it enqueues the event on its source's

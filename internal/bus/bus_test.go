@@ -202,7 +202,7 @@ func TestConcurrentIngestBlockNoLoss(t *testing.T) {
 	if reloaded.Events() != total {
 		t.Fatalf("log round trip has %d events, want %d", reloaded.Events(), total)
 	}
-	if got := reloaded.TotalLogins(core.MSSQL); got != total {
+	if got := reloaded.Logins(evstore.Query{DBMS: core.MSSQL}); got != total {
 		t.Fatalf("logins after round trip = %d, want %d", got, total)
 	}
 }

@@ -7,7 +7,7 @@ import (
 	"decoydb/internal/core"
 )
 
-// StatsSink is a lock-free BatchSink counting events by kind. A live
+// StatsSink is a lock-free core.BatchSink counting events by kind. A live
 // farm registers it alongside the real consumers so operational log
 // lines can report what the deployment is seeing without touching the
 // stores.
@@ -29,7 +29,7 @@ func (s *StatsSink) Record(e core.Event) {
 	}
 }
 
-// RecordBatch implements BatchSink.
+// RecordBatch implements core.BatchSink.
 func (s *StatsSink) RecordBatch(events []core.Event) error {
 	for _, e := range events {
 		s.Record(e)

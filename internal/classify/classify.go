@@ -167,12 +167,13 @@ func Activity(dbms string, act *evstore.Activity) Behavior {
 	return best
 }
 
-// IP classifies a source across the honeypots selected by filter
-// (nil = all): the most intrusive behaviour observed anywhere wins.
-func IP(rec *evstore.IPRecord, filter func(evstore.PerKey) bool) Behavior {
+// IP classifies a source across the honeypots selected by q (its DBMS
+// and Tier fields, see evstore.Query.MatchKey; the zero Query selects
+// all): the most intrusive behaviour observed anywhere wins.
+func IP(rec *evstore.IPRecord, q evstore.Query) Behavior {
 	best := Scanning
 	for k, act := range rec.Per {
-		if filter != nil && !filter(k) {
+		if !q.MatchKey(k) {
 			continue
 		}
 		if b := Activity(k.DBMS, act); b > best {
@@ -185,15 +186,15 @@ func IP(rec *evstore.IPRecord, filter func(evstore.PerKey) bool) Behavior {
 	return best
 }
 
-// MediumHigh is a filter selecting medium/high-interaction activity.
-func MediumHigh(k evstore.PerKey) bool { return k.Level >= core.Medium }
+// MediumHigh selects medium/high-interaction activity.
+var MediumHigh = evstore.Query{Tier: evstore.MediumHighTier}
 
-// ForDBMS returns a filter selecting medium/high activity on one DBMS.
-func ForDBMS(dbms string) func(evstore.PerKey) bool {
-	return func(k evstore.PerKey) bool { return k.Level >= core.Medium && k.DBMS == dbms }
+// ForDBMS returns a query selecting medium/high activity on one DBMS.
+func ForDBMS(dbms string) evstore.Query {
+	return evstore.Query{DBMS: dbms, Tier: evstore.MediumHighTier}
 }
 
-// Counts tallies behaviours for a set of records under filter.
+// Counts tallies behaviours for a set of records under a query.
 type Counts struct {
 	IPs        int
 	Scanning   int
@@ -201,13 +202,13 @@ type Counts struct {
 	Exploiting int
 }
 
-// Count classifies every record that has activity matching filter.
-func Count(recs []*evstore.IPRecord, filter func(evstore.PerKey) bool) Counts {
+// Count classifies every record that has activity matching q.
+func Count(recs []*evstore.IPRecord, q evstore.Query) Counts {
 	var c Counts
 	for _, r := range recs {
 		touched := false
 		for k := range r.Per {
-			if filter == nil || filter(k) {
+			if q.MatchKey(k) {
 				touched = true
 				break
 			}
@@ -216,7 +217,7 @@ func Count(recs []*evstore.IPRecord, filter func(evstore.PerKey) bool) Counts {
 			continue
 		}
 		c.IPs++
-		switch IP(r, filter) {
+		switch IP(r, q) {
 		case Scanning:
 			c.Scanning++
 		case Scouting:

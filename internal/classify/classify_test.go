@@ -79,26 +79,26 @@ func TestIPTakesMax(t *testing.T) {
 		pgLow:    act(100),                         // scouting on low tier
 		redisMed: act(0, "SLAVEOF", "MODULE LOAD"), // exploiting on medium
 	})
-	if got := IP(rec, nil); got != Exploiting {
+	if got := IP(rec, evstore.Query{}); got != Exploiting {
 		t.Fatalf("IP = %v", got)
 	}
-	if got := IP(rec, func(k evstore.PerKey) bool { return k.Level == core.Low }); got != Scouting {
+	if got := IP(rec, evstore.Query{Tier: evstore.LowTier}); got != Scouting {
 		t.Fatalf("IP(low only) = %v", got)
 	}
 }
 
 func TestFilters(t *testing.T) {
-	if !MediumHigh(evstore.PerKey{Level: core.High}) || MediumHigh(evstore.PerKey{Level: core.Low}) {
+	if !MediumHigh.MatchKey(evstore.PerKey{Level: core.High}) || MediumHigh.MatchKey(evstore.PerKey{Level: core.Low}) {
 		t.Fatal("MediumHigh filter")
 	}
-	f := ForDBMS(core.Redis)
-	if !f(evstore.PerKey{DBMS: core.Redis, Level: core.Medium}) {
+	q := ForDBMS(core.Redis)
+	if !q.MatchKey(evstore.PerKey{DBMS: core.Redis, Level: core.Medium}) {
 		t.Fatal("ForDBMS accept")
 	}
-	if f(evstore.PerKey{DBMS: core.Redis, Level: core.Low}) {
+	if q.MatchKey(evstore.PerKey{DBMS: core.Redis, Level: core.Low}) {
 		t.Fatal("ForDBMS low accepted")
 	}
-	if f(evstore.PerKey{DBMS: core.MongoDB, Level: core.High}) {
+	if q.MatchKey(evstore.PerKey{DBMS: core.MongoDB, Level: core.High}) {
 		t.Fatal("ForDBMS wrong dbms accepted")
 	}
 }

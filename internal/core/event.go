@@ -2,7 +2,6 @@ package core
 
 import (
 	"net/netip"
-	"sync"
 	"time"
 )
 
@@ -58,75 +57,4 @@ func (e Event) Day(start time.Time) int {
 // start.
 func (e Event) Hour(start time.Time) int {
 	return int(e.Time.Sub(start) / time.Hour)
-}
-
-// Sink consumes events. Implementations must be safe for concurrent use:
-// honeypot sessions run on independent goroutines.
-type Sink interface {
-	Record(Event)
-}
-
-// Flusher is implemented by sinks that buffer events asynchronously
-// (e.g. the event bus). Holders of such a sink call Flush at quiesce
-// points — the Farm does so during Shutdown — to guarantee everything
-// recorded so far has reached the final consumers.
-type Flusher interface {
-	Flush()
-}
-
-// SinkFunc adapts a function to the Sink interface.
-type SinkFunc func(Event)
-
-// Record implements Sink.
-func (f SinkFunc) Record(e Event) { f(e) }
-
-// MultiSink fans events out to several sinks in order.
-type MultiSink []Sink
-
-// Record implements Sink.
-func (m MultiSink) Record(e Event) {
-	for _, s := range m {
-		s.Record(e)
-	}
-}
-
-// NopSink discards all events.
-var NopSink Sink = SinkFunc(func(Event) {})
-
-// MemSink accumulates events in memory, guarded by a mutex. It is intended
-// for tests and small live deployments; large runs should stream into an
-// evstore.Store instead.
-type MemSink struct {
-	mu     sync.Mutex
-	events []Event
-}
-
-// Record implements Sink.
-func (m *MemSink) Record(e Event) {
-	m.mu.Lock()
-	m.events = append(m.events, e)
-	m.mu.Unlock()
-}
-
-// Events returns a copy of the recorded events.
-func (m *MemSink) Events() []Event {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]Event, len(m.events))
-	copy(out, m.events)
-	return out
-}
-
-// Len reports the number of recorded events.
-func (m *MemSink) Len() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.events)
-}
-
-// Reset discards all recorded events.
-func (m *MemSink) Reset() {
-	m.mu.Lock()
-	m.events = nil
-	m.mu.Unlock()
 }

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"net/netip"
+	"sync"
+)
+
+// This file is the event-consumer contract: everything downstream of a
+// honeypot session implements one of these interfaces. The transport
+// (internal/bus) and the store (internal/evstore) both build on the same
+// three seams — per-event delivery (Sink), amortised batch delivery
+// (BatchSink), and quiesce-point draining (Flusher).
+
+// Sink consumes events. Implementations must be safe for concurrent use:
+// honeypot sessions run on independent goroutines.
+type Sink interface {
+	Record(Event)
+}
+
+// BatchSink is a Sink that can accept a whole delivery batch in one
+// call, amortising per-event locking. The event bus prefers this path:
+// one lock acquisition and one flush per batch instead of per event.
+// Implementations must not retain the batch slice after returning; the
+// caller reuses it.
+type BatchSink interface {
+	Sink
+	RecordBatch(events []Event) error
+}
+
+// Flusher is implemented by sinks that buffer events asynchronously
+// (e.g. the event bus). Holders of such a sink call Flush at quiesce
+// points — the Farm does so during Shutdown — to guarantee everything
+// recorded so far has reached the final consumers.
+type Flusher interface {
+	Flush()
+}
+
+// ShardOf maps a source address onto one of n shards with an FNV-1a
+// hash over the 16 address bytes. It is the partitioning contract shared
+// by the event bus and the sharded event store: both split work by
+// source IP with this exact function, so when their shard counts match,
+// every batch a bus worker delivers lands wholly inside one store shard
+// and batch commits never contend across shards. Hashing the address
+// (not the port) keeps all events from one attacker in one partition,
+// preserving per-attacker event order end to end.
+func ShardOf(addr netip.Addr, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	a := addr.As16()
+	h := uint64(14695981039346656037)
+	for _, c := range a {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return int(h % uint64(n))
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// Record implements Sink.
+func (f SinkFunc) Record(e Event) { f(e) }
+
+// MultiSink fans events out to several sinks in order.
+type MultiSink []Sink
+
+// Record implements Sink.
+func (m MultiSink) Record(e Event) {
+	for _, s := range m {
+		s.Record(e)
+	}
+}
+
+// NopSink discards all events.
+var NopSink Sink = SinkFunc(func(Event) {})
+
+// MemSink accumulates events in memory, guarded by a mutex. It is intended
+// for tests and small live deployments; large runs should stream into an
+// evstore.Store instead.
+type MemSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Record implements Sink.
+func (m *MemSink) Record(e Event) {
+	m.mu.Lock()
+	m.events = append(m.events, e)
+	m.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events.
+func (m *MemSink) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Event, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// Len reports the number of recorded events.
+func (m *MemSink) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.events)
+}
+
+// Reset discards all recorded events.
+func (m *MemSink) Reset() {
+	m.mu.Lock()
+	m.events = nil
+	m.mu.Unlock()
+}

@@ -10,10 +10,20 @@
 // dataset contains 18.16M brute-force logins from a few hundred sources,
 // which aggregates losslessly into (source, honeypot, credential) counts —
 // every login analysis in the paper is expressible over those counts.
+//
+// The store is sharded by source IP with the same hash the event bus
+// uses (core.ShardOf). Each shard owns its own mutex and maps, so when
+// the store's shard count matches the bus's, every delivery batch a bus
+// worker commits lands in exactly one shard and ingest never contends
+// across workers. Reads merge shards at query time; sharding by source
+// makes the shards disjoint address sets, so unique-count merges are
+// plain sums. All reads go through the Query options struct (see
+// query.go) or through an immutable point-in-time Snapshot (snapshot.go).
 package evstore
 
 import (
 	"net/netip"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -83,16 +93,34 @@ func (r *IPRecord) TotalLogins() int64 {
 	return n
 }
 
-// ActiveDaysMask returns the union of active-day bitmasks, optionally
-// restricted by filter (nil = all).
-func (r *IPRecord) ActiveDaysMask(filter func(PerKey) bool) uint32 {
+// ActiveDaysMask returns the union of active-day bitmasks over the
+// activities matching q (DBMS and Tier; see Query.MatchKey). A non-zero
+// q.Days additionally intersects the union with the selected day window.
+func (r *IPRecord) ActiveDaysMask(q Query) uint32 {
 	var m uint32
 	for k, a := range r.Per {
-		if filter == nil || filter(k) {
+		if q.MatchKey(k) {
 			m |= a.ActiveDays
 		}
 	}
+	if !q.Days.IsZero() {
+		m &= q.Days.Mask(32)
+	}
 	return m
+}
+
+// clone deep-copies the record: the Per map and every Activity including
+// its Actions slice. Snapshots hand clones to the analysis layer so later
+// ingest cannot race with reads.
+func (r *IPRecord) clone() *IPRecord {
+	c := *r
+	c.Per = make(map[PerKey]*Activity, len(r.Per))
+	for k, a := range r.Per {
+		ac := *a
+		ac.Actions = append([]Action(nil), a.Actions...)
+		c.Per[k] = &ac
+	}
+	return &c
 }
 
 // Cred is an aggregated credential observation. Low separates the
@@ -106,42 +134,58 @@ type Cred struct {
 	Low  bool
 }
 
-// Series names for hourly unique-client tracking (low tier, per Figure 2
-// and Figures 6–9).
-func seriesAll() string { return "low" }
-func seriesDBMS(dbms string) string {
-	return "low:" + dbms
-}
-
-// Store accumulates events. It implements core.Sink and is safe for
-// concurrent use.
-type Store struct {
-	mu sync.Mutex
-
-	start time.Time
-	days  int
-	geo   *geoip.DB
-
+// storeShard is one independently locked partition of the store. The
+// hourly series map is keyed by DBMS name ("" = all DBMS); the series
+// track the low tier only (Figure 2, Figures 6–9).
+type storeShard struct {
+	mu     sync.Mutex
 	ips    map[netip.Addr]*IPRecord
 	creds  map[Cred]int64
-	hourly map[string][]map[netip.Addr]struct{} // series -> hour -> unique IPs
+	hourly map[string][]map[netip.Addr]struct{} // dbms -> hour -> unique IPs
 	events int64
 }
 
-// New creates a store for an experiment window starting at start and
-// lasting days days (max 32), enriching sources against geo.
-func New(start time.Time, days int, geo *geoip.DB) *Store {
-	if days > 32 {
-		panic("evstore: day bitmask supports at most 32 days")
-	}
-	return &Store{
-		start:  start,
-		days:   days,
-		geo:    geo,
+func newShard() *storeShard {
+	return &storeShard{
 		ips:    make(map[netip.Addr]*IPRecord),
 		creds:  make(map[Cred]int64),
 		hourly: make(map[string][]map[netip.Addr]struct{}),
 	}
+}
+
+// Store accumulates events, partitioned by source IP into independently
+// locked shards. It implements core.Sink and core.BatchSink and is safe
+// for concurrent use.
+type Store struct {
+	start  time.Time
+	days   int
+	geo    *geoip.DB
+	shards []*storeShard
+}
+
+// New creates a store for an experiment window starting at start and
+// lasting days days (max 32), enriching sources against geo. The shard
+// count defaults to GOMAXPROCS — the same default the event bus uses —
+// so a bus and a store built with defaults have matching partitions and
+// batch commits never cross shards.
+func New(start time.Time, days int, geo *geoip.DB) *Store {
+	return NewSharded(start, days, geo, runtime.GOMAXPROCS(0))
+}
+
+// NewSharded is New with an explicit shard count. Pass the bus's shard
+// count to keep delivery batches shard-affine; shards < 1 means 1.
+func NewSharded(start time.Time, days int, geo *geoip.DB, shards int) *Store {
+	if days > 32 {
+		panic("evstore: day bitmask supports at most 32 days")
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	s := &Store{start: start, days: days, geo: geo, shards: make([]*storeShard, shards)}
+	for i := range s.shards {
+		s.shards[i] = newShard()
+	}
+	return s
 }
 
 // Start returns the experiment start time.
@@ -150,37 +194,62 @@ func (s *Store) Start() time.Time { return s.start }
 // Days returns the experiment length in days.
 func (s *Store) Days() int { return s.days }
 
+// Shards returns the shard count, for matching against bus.Options.Shards.
+func (s *Store) Shards() int { return len(s.shards) }
+
 // Events returns the number of events ingested.
 func (s *Store) Events() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.events
+	var n int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += sh.events
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+func (s *Store) shardFor(addr netip.Addr) *storeShard {
+	return s.shards[core.ShardOf(addr, len(s.shards))]
 }
 
 // Record implements core.Sink.
 func (s *Store) Record(e core.Event) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.record(e)
+	sh := s.shardFor(e.Src.Addr())
+	sh.mu.Lock()
+	s.record(sh, e)
+	sh.mu.Unlock()
 }
 
-// RecordBatch implements bus.BatchSink: one lock acquisition per
-// delivery batch, which is what lets the store sit directly on the live
-// event bus instead of behind the log-file round trip.
+// RecordBatch implements core.BatchSink. Events are committed in
+// shard-aligned runs: consecutive events hashing to the same shard share
+// one lock acquisition. When the batch comes from an event bus with a
+// matching shard count, the whole batch is a single run — one lock per
+// batch, and different bus workers never touch the same shard.
 func (s *Store) RecordBatch(events []core.Event) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, e := range events {
-		s.record(e)
+	n := len(s.shards)
+	for i := 0; i < len(events); {
+		si := core.ShardOf(events[i].Src.Addr(), n)
+		j := i + 1
+		for j < len(events) && core.ShardOf(events[j].Src.Addr(), n) == si {
+			j++
+		}
+		sh := s.shards[si]
+		sh.mu.Lock()
+		for _, e := range events[i:j] {
+			s.record(sh, e)
+		}
+		sh.mu.Unlock()
+		i = j
 	}
 	return nil
 }
 
-func (s *Store) record(e core.Event) {
-	s.events++
+// record applies one event to its shard. The caller holds sh.mu.
+func (s *Store) record(sh *storeShard, e core.Event) {
+	sh.events++
 
 	addr := e.Src.Addr()
-	rec, ok := s.ips[addr]
+	rec, ok := sh.ips[addr]
 	if !ok {
 		rec = &IPRecord{Addr: addr, FirstSeen: e.Time, LastSeen: e.Time, Per: make(map[PerKey]*Activity)}
 		if s.geo != nil {
@@ -196,7 +265,7 @@ func (s *Store) record(e core.Event) {
 		} else {
 			rec.ASType = asdb.Unknown
 		}
-		s.ips[addr] = rec
+		sh.ips[addr] = rec
 	}
 	if e.Time.Before(rec.FirstSeen) {
 		rec.FirstSeen = e.Time
@@ -220,15 +289,15 @@ func (s *Store) record(e core.Event) {
 		act.Sessions++
 		if e.Honeypot.Level == core.Low {
 			hour := e.Hour(s.start)
-			s.markHour(seriesAll(), hour, addr)
-			s.markHour(seriesDBMS(e.Honeypot.DBMS), hour, addr)
+			s.markHour(sh, "", hour, addr)
+			s.markHour(sh, e.Honeypot.DBMS, hour, addr)
 		}
 	case core.EventLogin:
 		act.Logins++
 		if e.OK {
 			act.LoginOK++
 		}
-		s.creds[Cred{DBMS: e.Honeypot.DBMS, User: e.User, Pass: e.Pass, Low: e.Honeypot.Level == core.Low}]++
+		sh.creds[Cred{DBMS: e.Honeypot.DBMS, User: e.User, Pass: e.Pass, Low: e.Honeypot.Level == core.Low}]++
 	case core.EventCommand:
 		act.CommandsRun++
 		if len(act.Actions) < MaxActionsPerActivity {
@@ -239,14 +308,16 @@ func (s *Store) record(e core.Event) {
 	}
 }
 
-func (s *Store) markHour(series string, hour int, addr netip.Addr) {
+// markHour adds addr to the hourly unique set of series dbms ("" = all).
+// The caller holds sh.mu.
+func (s *Store) markHour(sh *storeShard, dbms string, hour int, addr netip.Addr) {
 	if hour < 0 || hour >= s.days*24 {
 		return
 	}
-	hs := s.hourly[series]
+	hs := sh.hourly[dbms]
 	if hs == nil {
 		hs = make([]map[netip.Addr]struct{}, s.days*24)
-		s.hourly[series] = hs
+		sh.hourly[dbms] = hs
 	}
 	if hs[hour] == nil {
 		hs[hour] = make(map[netip.Addr]struct{})
@@ -255,26 +326,37 @@ func (s *Store) markHour(series string, hour int, addr netip.Addr) {
 }
 
 // MarkInstitutional overrides the institutional flag for the given
-// addresses. The paper identifies institutional scanners from an IP list
+// addresses and reports how many of them were actually present in the
+// capture. The paper identifies institutional scanners from an IP list
 // (Griffioen et al.), not from AS ownership; callers holding such a list
-// apply it here after ingestion.
-func (s *Store) MarkInstitutional(addrs []netip.Addr) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// apply it here after ingestion. A return value of zero for a non-empty
+// list means the list does not overlap the capture at all — worth a
+// warning in report tooling.
+func (s *Store) MarkInstitutional(addrs []netip.Addr) int {
+	applied := 0
 	for _, a := range addrs {
-		if rec, ok := s.ips[a]; ok {
+		sh := s.shardFor(a)
+		sh.mu.Lock()
+		if rec, ok := sh.ips[a]; ok {
 			rec.Institutional = true
+			applied++
 		}
+		sh.mu.Unlock()
 	}
+	return applied
 }
 
-// IPs returns all IP records sorted by address.
+// IPs returns all IP records sorted by address. The records are the live
+// aggregates: callers that read while ingest continues should use
+// Snapshot instead.
 func (s *Store) IPs() []*IPRecord {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]*IPRecord, 0, len(s.ips))
-	for _, r := range s.ips {
-		out = append(out, r)
+	var out []*IPRecord
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, r := range sh.ips {
+			out = append(out, r)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Addr.Less(out[j].Addr) })
 	return out
@@ -282,138 +364,8 @@ func (s *Store) IPs() []*IPRecord {
 
 // IP returns the record for addr, or nil.
 func (s *Store) IP(addr netip.Addr) *IPRecord {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ips[addr]
-}
-
-// UniqueIPs reports the number of sources matching filter (nil = all).
-func (s *Store) UniqueIPs(filter func(*IPRecord) bool) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if filter == nil {
-		return len(s.ips)
-	}
-	n := 0
-	for _, r := range s.ips {
-		if filter(r) {
-			n++
-		}
-	}
-	return n
-}
-
-// HourlyUnique returns the per-hour unique-client counts for the low tier,
-// optionally restricted to one DBMS ("" = all).
-func (s *Store) HourlyUnique(dbms string) []int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	series := seriesAll()
-	if dbms != "" {
-		series = seriesDBMS(dbms)
-	}
-	out := make([]int, s.days*24)
-	for h, set := range s.hourly[series] {
-		out[h] = len(set)
-	}
-	return out
-}
-
-// CumulativeNew returns, per hour, the cumulative number of distinct
-// clients first seen up to that hour on the low tier ("" = all DBMS).
-func (s *Store) CumulativeNew(dbms string) []int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	series := seriesAll()
-	if dbms != "" {
-		series = seriesDBMS(dbms)
-	}
-	out := make([]int, s.days*24)
-	seen := make(map[netip.Addr]struct{})
-	for h := 0; h < s.days*24; h++ {
-		hs := s.hourly[series]
-		if hs != nil && hs[h] != nil {
-			for a := range hs[h] {
-				seen[a] = struct{}{}
-			}
-		}
-		out[h] = len(seen)
-	}
-	return out
-}
-
-// CredCount is a credential with its observation count.
-type CredCount struct {
-	Cred
-	Count int64
-}
-
-// Creds returns all aggregated credentials for a DBMS ("" = all) across
-// both tiers, merged by (dbms, user, pass) and sorted by descending count
-// then user/pass.
-func (s *Store) Creds(dbms string) []CredCount {
-	return s.creds0(dbms, nil)
-}
-
-// CredsTier returns the credentials observed on one tier only (low =
-// true for the low-interaction honeypots).
-func (s *Store) CredsTier(dbms string, low bool) []CredCount {
-	return s.creds0(dbms, &low)
-}
-
-func (s *Store) creds0(dbms string, low *bool) []CredCount {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	merged := make(map[Cred]int64)
-	for c, n := range s.creds {
-		if dbms != "" && c.DBMS != dbms {
-			continue
-		}
-		if low != nil && c.Low != *low {
-			continue
-		}
-		key := Cred{DBMS: c.DBMS, User: c.User, Pass: c.Pass}
-		merged[key] += n
-	}
-	out := make([]CredCount, 0, len(merged))
-	for c, n := range merged {
-		out = append(out, CredCount{Cred: c, Count: n})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
-		}
-		if out[i].User != out[j].User {
-			return out[i].User < out[j].User
-		}
-		return out[i].Pass < out[j].Pass
-	})
-	return out
-}
-
-// TotalLogins sums all login attempts for a DBMS ("" = all) across both
-// tiers.
-func (s *Store) TotalLogins(dbms string) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var n int64
-	for c, cnt := range s.creds {
-		if dbms == "" || c.DBMS == dbms {
-			n += cnt
-		}
-	}
-	return n
-}
-
-// TotalLoginsTier sums login attempts for one tier.
-func (s *Store) TotalLoginsTier(dbms string, low bool) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var n int64
-	for c, cnt := range s.creds {
-		if (dbms == "" || c.DBMS == dbms) && c.Low == low {
-			n += cnt
-		}
-	}
-	return n
+	sh := s.shardFor(addr)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.ips[addr]
 }

@@ -32,18 +32,18 @@ func TestConnectTracking(t *testing.T) {
 	s.Record(ev("198.51.100.2", lowInfo(core.MySQL), core.EventConnect, 1))
 	s.Record(ev("198.51.100.3", lowInfo(core.MSSQL), core.EventConnect, 25))
 
-	if got := s.UniqueIPs(nil); got != 3 {
+	if got := s.UniqueIPs(Query{}); got != 3 {
 		t.Fatalf("unique IPs = %d", got)
 	}
-	hourly := s.HourlyUnique("")
+	hourly := s.HourlyUnique(Query{})
 	if hourly[0] != 1 || hourly[1] != 2 || hourly[25] != 1 {
 		t.Fatalf("hourly = %v", hourly[:26])
 	}
-	mssql := s.HourlyUnique(core.MSSQL)
+	mssql := s.HourlyUnique(Query{DBMS: core.MSSQL})
 	if mssql[1] != 1 || mssql[25] != 1 {
 		t.Fatalf("mssql hourly = %v", mssql[:26])
 	}
-	cum := s.CumulativeNew("")
+	cum := s.CumulativeNew(Query{})
 	if cum[0] != 1 || cum[1] != 2 || cum[24] != 2 || cum[25] != 3 || cum[479] != 3 {
 		t.Fatalf("cumulative = [0]=%d [1]=%d [25]=%d [479]=%d", cum[0], cum[1], cum[25], cum[479])
 	}
@@ -61,17 +61,17 @@ func TestLoginAggregation(t *testing.T) {
 	e.User, e.Pass = "sa", "password"
 	s.Record(e)
 
-	creds := s.Creds(core.MSSQL)
+	creds := s.Creds(Query{DBMS: core.MSSQL})
 	if len(creds) != 2 {
 		t.Fatalf("creds = %v", creds)
 	}
 	if creds[0].User != "sa" || creds[0].Pass != "123" || creds[0].Count != 5 {
 		t.Fatalf("top cred = %+v", creds[0])
 	}
-	if s.TotalLogins(core.MSSQL) != 6 {
-		t.Fatalf("total logins = %d", s.TotalLogins(core.MSSQL))
+	if s.Logins(Query{DBMS: core.MSSQL}) != 6 {
+		t.Fatalf("total logins = %d", s.Logins(Query{DBMS: core.MSSQL}))
 	}
-	if s.TotalLogins(core.MySQL) != 0 {
+	if s.Logins(Query{DBMS: core.MySQL}) != 0 {
 		t.Fatal("mysql logins non-zero")
 	}
 	rec := s.IP(netip.MustParseAddr("198.51.100.9"))
@@ -175,7 +175,7 @@ func TestAggregationCommutesQuick(t *testing.T) {
 				s.Record(e)
 			}
 			out := map[Cred]int64{}
-			for _, c := range s.Creds("") {
+			for _, c := range s.Creds(Query{}) {
 				out[c.Cred] = c.Count
 			}
 			return out
@@ -207,7 +207,7 @@ func TestUniqueIPsFilter(t *testing.T) {
 	e := ev("192.0.2.2", lowInfo(core.MySQL), core.EventLogin, 0)
 	e.User = "root"
 	s.Record(e)
-	n := s.UniqueIPs(func(r *IPRecord) bool { return r.TotalLogins() > 0 })
+	n := s.UniqueIPs(Query{Where: func(r *IPRecord) bool { return r.TotalLogins() > 0 }})
 	if n != 1 {
 		t.Fatalf("filtered = %d", n)
 	}
@@ -228,7 +228,9 @@ func TestAccessors(t *testing.T) {
 	if len(recs) != 2 || !recs[0].Addr.Less(recs[1].Addr) {
 		t.Fatalf("IPs = %v", recs)
 	}
-	s.MarkInstitutional([]netip.Addr{netip.MustParseAddr("192.0.2.1"), netip.MustParseAddr("192.0.2.99")})
+	if applied := s.MarkInstitutional([]netip.Addr{netip.MustParseAddr("192.0.2.1"), netip.MustParseAddr("192.0.2.99")}); applied != 1 {
+		t.Fatalf("MarkInstitutional applied = %d, want 1", applied)
+	}
 	if !s.IP(netip.MustParseAddr("192.0.2.1")).Institutional {
 		t.Fatal("institutional not marked")
 	}
@@ -253,21 +255,21 @@ func TestCredTiers(t *testing.T) {
 	s.Record(mk(med, "postgres"))
 	s.Record(mk(med, "admin"))
 
-	if got := s.TotalLoginsTier(core.Postgres, true); got != 1 {
+	if got := s.Logins(Query{DBMS: core.Postgres, Tier: LowTier}); got != 1 {
 		t.Fatalf("low logins = %d", got)
 	}
-	if got := s.TotalLoginsTier(core.Postgres, false); got != 2 {
+	if got := s.Logins(Query{DBMS: core.Postgres, Tier: MediumHighTier}); got != 2 {
 		t.Fatalf("med logins = %d", got)
 	}
-	if got := s.TotalLogins(core.Postgres); got != 3 {
+	if got := s.Logins(Query{DBMS: core.Postgres}); got != 3 {
 		t.Fatalf("all logins = %d", got)
 	}
-	lowCreds := s.CredsTier(core.Postgres, true)
+	lowCreds := s.Creds(Query{DBMS: core.Postgres, Tier: LowTier})
 	if len(lowCreds) != 1 || lowCreds[0].Count != 1 {
 		t.Fatalf("low creds = %v", lowCreds)
 	}
-	// Creds merges the tiers: postgres/pw appears once with count 2.
-	all := s.Creds(core.Postgres)
+	// AllTiers merges the tiers: postgres/pw appears once with count 2.
+	all := s.Creds(Query{DBMS: core.Postgres})
 	if len(all) != 2 || all[0].User != "postgres" || all[0].Count != 2 {
 		t.Fatalf("merged creds = %v", all)
 	}
@@ -280,12 +282,16 @@ func TestActiveDaysMaskFilter(t *testing.T) {
 	s.Record(ev("192.0.2.50", low, core.EventConnect, 0))
 	s.Record(ev("192.0.2.50", med, core.EventConnect, 24*3))
 	rec := s.IP(netip.MustParseAddr("192.0.2.50"))
-	if got := rec.ActiveDaysMask(nil); got != 0b1001 {
+	if got := rec.ActiveDaysMask(Query{}); got != 0b1001 {
 		t.Fatalf("all mask = %b", got)
 	}
-	medOnly := rec.ActiveDaysMask(func(k PerKey) bool { return k.Level >= core.Medium })
+	medOnly := rec.ActiveDaysMask(Query{Tier: MediumHighTier})
 	if medOnly != 0b1000 {
 		t.Fatalf("med mask = %b", medOnly)
+	}
+	ranged := rec.ActiveDaysMask(Query{Days: DayRange{From: 0, To: 2}})
+	if ranged != 0b0001 {
+		t.Fatalf("ranged mask = %b", ranged)
 	}
 }
 

@@ -1,0 +1,276 @@
+package evstore
+
+import (
+	"net/netip"
+	"sort"
+
+	"decoydb/internal/core"
+)
+
+// Tier selects honeypot interaction tiers in a Query.
+type Tier int
+
+// Tiers. The paper splits most analyses between the low-interaction
+// credential traps and the medium/high-interaction honeypots.
+const (
+	AllTiers Tier = iota
+	LowTier
+	MediumHighTier
+)
+
+func (t Tier) matchLevel(l core.Level) bool {
+	switch t {
+	case LowTier:
+		return l == core.Low
+	case MediumHighTier:
+		return l >= core.Medium
+	}
+	return true
+}
+
+func (t Tier) matchLow(low bool) bool {
+	switch t {
+	case LowTier:
+		return low
+	case MediumHighTier:
+		return !low
+	}
+	return true
+}
+
+// DayRange selects experiment days [From, To). The zero value selects
+// the whole window; To <= 0 means "through the end of the window".
+type DayRange struct {
+	From int
+	To   int
+}
+
+// IsZero reports whether the range is the whole-window zero value.
+func (d DayRange) IsZero() bool { return d.From == 0 && d.To == 0 }
+
+// bounds clamps the range to [0, days).
+func (d DayRange) bounds(days int) (lo, hi int) {
+	lo, hi = d.From, d.To
+	if hi <= 0 || hi > days {
+		hi = days
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// Mask returns the day bitmask covering the range within a days-long
+// window.
+func (d DayRange) Mask(days int) uint32 {
+	lo, hi := d.bounds(days)
+	var m uint32
+	for day := lo; day < hi; day++ {
+		m |= 1 << uint(day)
+	}
+	return m
+}
+
+// Query selects a slice of the capture. The zero value selects
+// everything. It replaces the old per-dimension method family
+// (Creds/CredsTier, TotalLogins/TotalLoginsTier, bare predicate
+// arguments): one options struct feeds every read path.
+//
+// Field applicability per method:
+//
+//   - Creds, Logins: DBMS and Tier. Credential observations are
+//     whole-window aggregates, so Days and Where do not apply.
+//   - UniqueIPs: all four fields. A record matches when Where accepts it
+//     and some activity matches DBMS/Tier with an active day inside Days.
+//   - HourlyUnique, CumulativeNew: DBMS and Days. The hourly series
+//     exist for the low tier only (Figure 2), so Tier is implicit.
+//   - classify and ActiveDaysMask use MatchKey: DBMS and Tier.
+type Query struct {
+	DBMS string // "" = all DBMS
+	Tier Tier
+	Days DayRange
+	// Where is an optional record-level predicate, applied on top of the
+	// structured fields (UniqueIPs only).
+	Where func(*IPRecord) bool
+}
+
+// MatchKey reports whether a honeypot grouping matches the query's DBMS
+// and Tier. Days and Where do not participate: they are record- and
+// time-scoped, not key-scoped.
+func (q Query) MatchKey(k PerKey) bool {
+	if q.DBMS != "" && k.DBMS != q.DBMS {
+		return false
+	}
+	return q.Tier.matchLevel(k.Level)
+}
+
+// matchRecord reports whether a record matches the full query.
+func (q Query) matchRecord(r *IPRecord, days int) bool {
+	if q.Where != nil && !q.Where(r) {
+		return false
+	}
+	if q.DBMS == "" && q.Tier == AllTiers && q.Days.IsZero() {
+		return true
+	}
+	mask := uint32(0)
+	if !q.Days.IsZero() {
+		mask = q.Days.Mask(days)
+	}
+	for k, a := range r.Per {
+		if !q.MatchKey(k) {
+			continue
+		}
+		if mask == 0 || a.ActiveDays&mask != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CredCount is a credential with its observation count.
+type CredCount struct {
+	Cred
+	Count int64
+}
+
+// mergeCreds folds tier-filtered credential counts from src into dst,
+// collapsing the Low dimension: the result is keyed by (dbms, user, pass).
+func mergeCreds(dst, src map[Cred]int64, q Query) {
+	for c, n := range src {
+		if q.DBMS != "" && c.DBMS != q.DBMS {
+			continue
+		}
+		if !q.Tier.matchLow(c.Low) {
+			continue
+		}
+		dst[Cred{DBMS: c.DBMS, User: c.User, Pass: c.Pass}] += n
+	}
+}
+
+// sortCreds flattens a merged credential map, sorted by descending count
+// then user/pass.
+func sortCreds(merged map[Cred]int64) []CredCount {
+	out := make([]CredCount, 0, len(merged))
+	for c, n := range merged {
+		out = append(out, CredCount{Cred: c, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].User != out[j].User {
+			return out[i].User < out[j].User
+		}
+		return out[i].Pass < out[j].Pass
+	})
+	return out
+}
+
+// loginSum totals login observations matching the query's DBMS and Tier.
+func loginSum(src map[Cred]int64, q Query) int64 {
+	var n int64
+	for c, cnt := range src {
+		if q.DBMS != "" && c.DBMS != q.DBMS {
+			continue
+		}
+		if !q.Tier.matchLow(c.Low) {
+			continue
+		}
+		n += cnt
+	}
+	return n
+}
+
+// Creds returns the aggregated credentials matching q (DBMS, Tier),
+// merged by (dbms, user, pass) and sorted by descending count then
+// user/pass.
+func (s *Store) Creds(q Query) []CredCount {
+	merged := make(map[Cred]int64)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		mergeCreds(merged, sh.creds, q)
+		sh.mu.Unlock()
+	}
+	return sortCreds(merged)
+}
+
+// Logins sums the login attempts matching q (DBMS, Tier).
+func (s *Store) Logins(q Query) int64 {
+	var n int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += loginSum(sh.creds, q)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// UniqueIPs reports the number of sources matching q. The zero Query
+// counts every source seen.
+func (s *Store) UniqueIPs(q Query) int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, r := range sh.ips {
+			if q.matchRecord(r, s.days) {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// hourSpan converts the query's day range into hour bounds.
+func hourSpan(q Query, days int) (lo, hi int) {
+	dlo, dhi := q.Days.bounds(days)
+	return dlo * 24, dhi * 24
+}
+
+// HourlyUnique returns the per-hour unique-client counts on the low tier
+// for q.DBMS ("" = all), over q.Days (zero = whole window). Shards
+// partition by source address, so per-hour counts sum across shards.
+func (s *Store) HourlyUnique(q Query) []int {
+	lo, hi := hourSpan(q, s.days)
+	out := make([]int, hi-lo)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if hs := sh.hourly[q.DBMS]; hs != nil {
+			for h := lo; h < hi; h++ {
+				out[h-lo] += len(hs[h])
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// CumulativeNew returns, per hour over q.Days, the cumulative number of
+// distinct clients first seen up to that hour on the low tier for q.DBMS
+// ("" = all). With a restricted day range the count starts from zero at
+// the range start. Disjoint shard address sets make the per-shard
+// cumulative counts sum exactly.
+func (s *Store) CumulativeNew(q Query) []int {
+	lo, hi := hourSpan(q, s.days)
+	out := make([]int, hi-lo)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		hs := sh.hourly[q.DBMS]
+		if hs == nil {
+			sh.mu.Unlock()
+			continue
+		}
+		seen := make(map[netip.Addr]struct{})
+		for h := lo; h < hi; h++ {
+			for a := range hs[h] {
+				seen[a] = struct{}{}
+			}
+			out[h-lo] += len(seen)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}

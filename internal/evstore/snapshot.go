@@ -1,0 +1,151 @@
+package evstore
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+)
+
+// Snapshot is an immutable point-in-time view of the whole store, merged
+// across shards. The analysis/report layer queries a Snapshot instead of
+// the live Store: one lock pass at construction, then every Table 1–12
+// experiment reads lock-free from the same consistent dataset. All data
+// is deep-copied, so a Snapshot stays valid and race-free while ingest
+// continues.
+type Snapshot struct {
+	start  time.Time
+	days   int
+	events int64
+	recs   []*IPRecord // sorted by address
+	byAddr map[netip.Addr]*IPRecord
+	creds  map[Cred]int64
+	hourly map[string][]map[netip.Addr]struct{}
+}
+
+// Snapshot builds an immutable merged view. All shards are locked for
+// the duration of the copy, so the view is consistent across shards even
+// under concurrent ingest.
+func (s *Store) Snapshot() *Snapshot {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for _, sh := range s.shards {
+			sh.mu.Unlock()
+		}
+	}()
+
+	snap := &Snapshot{
+		start:  s.start,
+		days:   s.days,
+		byAddr: make(map[netip.Addr]*IPRecord),
+		creds:  make(map[Cred]int64),
+		hourly: make(map[string][]map[netip.Addr]struct{}),
+	}
+	for _, sh := range s.shards {
+		snap.events += sh.events
+		for _, r := range sh.ips {
+			c := r.clone()
+			snap.byAddr[c.Addr] = c
+			snap.recs = append(snap.recs, c)
+		}
+		for c, n := range sh.creds {
+			snap.creds[c] += n
+		}
+		for dbms, hs := range sh.hourly {
+			merged := snap.hourly[dbms]
+			if merged == nil {
+				merged = make([]map[netip.Addr]struct{}, s.days*24)
+				snap.hourly[dbms] = merged
+			}
+			for h, set := range hs {
+				if set == nil {
+					continue
+				}
+				if merged[h] == nil {
+					merged[h] = make(map[netip.Addr]struct{}, len(set))
+				}
+				for a := range set {
+					merged[h][a] = struct{}{}
+				}
+			}
+		}
+	}
+	sort.Slice(snap.recs, func(i, j int) bool { return snap.recs[i].Addr.Less(snap.recs[j].Addr) })
+	return snap
+}
+
+// Start returns the experiment start time.
+func (v *Snapshot) Start() time.Time { return v.start }
+
+// Days returns the experiment length in days.
+func (v *Snapshot) Days() int { return v.days }
+
+// Events returns the number of events ingested at snapshot time.
+func (v *Snapshot) Events() int64 { return v.events }
+
+// Recs returns all IP records sorted by address. The slice and records
+// are owned by the snapshot; callers must treat them as read-only.
+func (v *Snapshot) Recs() []*IPRecord { return v.recs }
+
+// IP returns the record for addr, or nil.
+func (v *Snapshot) IP(addr netip.Addr) *IPRecord { return v.byAddr[addr] }
+
+// Creds returns the aggregated credentials matching q (DBMS, Tier),
+// merged by (dbms, user, pass) and sorted by descending count then
+// user/pass.
+func (v *Snapshot) Creds(q Query) []CredCount {
+	merged := make(map[Cred]int64)
+	mergeCreds(merged, v.creds, q)
+	return sortCreds(merged)
+}
+
+// Logins sums the login attempts matching q (DBMS, Tier).
+func (v *Snapshot) Logins(q Query) int64 {
+	return loginSum(v.creds, q)
+}
+
+// UniqueIPs reports the number of sources matching q. The zero Query
+// counts every source seen.
+func (v *Snapshot) UniqueIPs(q Query) int {
+	n := 0
+	for _, r := range v.recs {
+		if q.matchRecord(r, v.days) {
+			n++
+		}
+	}
+	return n
+}
+
+// HourlyUnique returns the per-hour unique-client counts on the low tier
+// for q.DBMS ("" = all), over q.Days (zero = whole window).
+func (v *Snapshot) HourlyUnique(q Query) []int {
+	lo, hi := hourSpan(q, v.days)
+	out := make([]int, hi-lo)
+	if hs := v.hourly[q.DBMS]; hs != nil {
+		for h := lo; h < hi; h++ {
+			out[h-lo] = len(hs[h])
+		}
+	}
+	return out
+}
+
+// CumulativeNew returns, per hour over q.Days, the cumulative number of
+// distinct clients first seen up to that hour on the low tier for q.DBMS
+// ("" = all).
+func (v *Snapshot) CumulativeNew(q Query) []int {
+	lo, hi := hourSpan(q, v.days)
+	out := make([]int, hi-lo)
+	hs := v.hourly[q.DBMS]
+	if hs == nil {
+		return out
+	}
+	seen := make(map[netip.Addr]struct{})
+	for h := lo; h < hi; h++ {
+		for a := range hs[h] {
+			seen[a] = struct{}{}
+		}
+		out[h-lo] = len(seen)
+	}
+	return out
+}

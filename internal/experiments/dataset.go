@@ -24,9 +24,16 @@ type Dataset struct {
 	Seed  int64
 	Scale int
 	Store *evstore.Store
-	Recs  []*evstore.IPRecord
-	Pop   *simnet.Population
-	Feeds map[string]*intel.Feed
+	// Snap is the immutable post-collection view every experiment reads:
+	// one merge across store shards at build time, lock-free thereafter.
+	Snap *evstore.Snapshot
+	Recs []*evstore.IPRecord
+	Pop  *simnet.Population
+	// InstApplied is how many institutional-list addresses were actually
+	// present in the capture (see evstore.MarkInstitutional); zero for a
+	// non-empty list means the intel list does not overlap the capture.
+	InstApplied int
+	Feeds       map[string]*intel.Feed
 	// Bus is the event-transport counter snapshot from the collection
 	// run: how the events reached the store, not what they contain.
 	Bus bus.Stats
@@ -51,16 +58,19 @@ func Build(ctx context.Context, seed int64, scale int) (*Dataset, error) {
 	}
 	// Apply the institutional scanner list, as the paper applies the
 	// list from Griffioen et al.
-	store.MarkInstitutional(res.Population.Institutional)
+	applied := store.MarkInstitutional(res.Population.Institutional)
 
+	snap := store.Snapshot()
 	ds := &Dataset{
-		Seed:     seed,
-		Scale:    scale,
-		Store:    store,
-		Recs:     store.IPs(),
-		Pop:      res.Population,
-		Bus:      res.Bus,
-		clusters: map[string]*clustered{},
+		Seed:        seed,
+		Scale:       scale,
+		Store:       store,
+		Snap:        snap,
+		Recs:        snap.Recs(),
+		Pop:         res.Population,
+		InstApplied: applied,
+		Bus:         res.Bus,
+		clusters:    map[string]*clustered{},
 	}
 	ds.Feeds = buildFeeds(seed, res.Population)
 	return ds, nil

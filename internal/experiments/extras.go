@@ -6,6 +6,7 @@ import (
 
 	"decoydb/internal/analysis"
 	"decoydb/internal/core"
+	"decoydb/internal/evstore"
 	"decoydb/internal/intel"
 	"decoydb/internal/report"
 )
@@ -29,25 +30,25 @@ func Headline(ds *Dataset) report.Artifact {
 			mh++
 		}
 	}
-	hourly := ds.Store.HourlyUnique("")
+	hourly := ds.Snap.HourlyUnique(evstore.Query{})
 	sum := 0
 	for _, h := range hourly {
 		sum += h
 	}
-	cum := ds.Store.CumulativeNew("")
+	cum := ds.Snap.CumulativeNew(evstore.Query{})
 	var b strings.Builder
 	fmt.Fprintf(&b, "low-interaction unique IPs: %d (paper 3,340)\n", low)
 	fmt.Fprintf(&b, "medium/high unique IPs:     %d (paper 3,665)\n", mh)
 	fmt.Fprintf(&b, "exploitative IPs:           %d (paper 324)\n", len(ds.Pop.Exploiters))
 	fmt.Fprintf(&b, "avg clients/hour (low):     %.1f (paper ~50)\n", float64(sum)/float64(len(hourly)))
 	fmt.Fprintf(&b, "avg new clients/hour:       %.1f (paper ~7)\n", float64(cum[len(cum)-1])/float64(len(cum)))
-	fmt.Fprintf(&b, "total events ingested:      %d\n", ds.Store.Events())
+	fmt.Fprintf(&b, "total events ingested:      %d\n", ds.Snap.Events())
 	return report.Artifact{ID: "H1", Title: "Headline dataset counts", Body: b.String()}
 }
 
 // BruteStats reproduces the Section 5 brute-force statistics.
 func BruteStats(ds *Dataset) report.Artifact {
-	st := analysis.BruteForce(ds.Store)
+	st := analysis.BruteForce(ds.Snap)
 	var b strings.Builder
 	fmt.Fprintf(&b, "scale factor: 1/%d (volumes below are scaled; rescaled in parens)\n", ds.Scale)
 	fmt.Fprintf(&b, "total logins:        %d (~%d; paper 18,162,811)\n", st.TotalLogins, st.TotalLogins*int64(ds.Scale))
@@ -59,10 +60,10 @@ func BruteStats(ds *Dataset) report.Artifact {
 	fmt.Fprintf(&b, "unique passwords:    %d (paper 226,961 at scale 1)\n", st.UniquePasses)
 	fmt.Fprintf(&b, "heaviest source:     %d logins from %s (paper: ~4M each from 4 Russian IPs on AS208091)\n",
 		st.HeaviestIPLogins, st.HeaviestIPCountry)
-	mssql := ds.Store.TotalLoginsTier(core.MSSQL, true)
+	mssql := ds.Snap.Logins(evstore.Query{DBMS: core.MSSQL, Tier: evstore.LowTier})
 	fmt.Fprintf(&b, "MSSQL share:         %.2f%% (paper 18,076,729/18,162,811 = 99.5%%)\n",
 		100*float64(mssql)/float64(max64(st.TotalLogins, 1)))
-	fmt.Fprintf(&b, "Redis logins:        %d (paper 0)\n", ds.Store.TotalLoginsTier(core.Redis, true))
+	fmt.Fprintf(&b, "Redis logins:        %d (paper 0)\n", ds.Snap.Logins(evstore.Query{DBMS: core.Redis, Tier: evstore.LowTier}))
 	return report.Artifact{ID: "X1", Title: "Section 5 brute-force statistics", Body: b.String()}
 }
 

@@ -7,6 +7,7 @@ import (
 	"decoydb/internal/analysis"
 	"decoydb/internal/classify"
 	"decoydb/internal/core"
+	"decoydb/internal/evstore"
 	"decoydb/internal/report"
 )
 
@@ -32,8 +33,8 @@ func Figures6to9(ds *Dataset) report.Artifact {
 }
 
 func hourlyFigure(ds *Dataset, id, title, dbms string) report.Artifact {
-	hourly := ds.Store.HourlyUnique(dbms)
-	cum := ds.Store.CumulativeNew(dbms)
+	hourly := ds.Snap.HourlyUnique(evstore.Query{DBMS: dbms})
+	cum := ds.Snap.CumulativeNew(evstore.Query{DBMS: dbms})
 	var b strings.Builder
 	b.WriteString(report.IntStats("clients/hour", hourly))
 	// New uniques per hour = diff of the cumulative series.
@@ -48,7 +49,7 @@ func hourlyFigure(ds *Dataset, id, title, dbms string) report.Artifact {
 		cum[5*24-1], cum[10*24-1], cum[15*24-1], cum[len(cum)-1])
 	// Daily midline samples give the series shape.
 	var pts []string
-	for d := 0; d < ds.Store.Days(); d++ {
+	for d := 0; d < ds.Snap.Days(); d++ {
 		pts = append(pts, fmt.Sprintf("d%d:%d", d, hourly[d*24+12]))
 	}
 	fmt.Fprintf(&b, "noon samples: %s\n", strings.Join(pts, " "))
@@ -68,14 +69,14 @@ func Figure3(ds *Dataset) report.Artifact {
 		if name == "" {
 			name = "all"
 		}
-		cdf := analysis.RetentionCDF(samples[dbms], ds.Store.Days())
+		cdf := analysis.RetentionCDF(samples[dbms], ds.Snap.Days())
 		ys := make([]float64, len(cdfDays))
 		for i, d := range cdfDays {
 			ys[i] = cdf.At(d)
 		}
 		b.WriteString(report.Series("CDF("+name+")", cdfDays, ys))
 	}
-	all := analysis.RetentionCDF(samples[""], ds.Store.Days())
+	all := analysis.RetentionCDF(samples[""], ds.Snap.Days())
 	fmt.Fprintf(&b, "single-day clients: %.1f%% (paper: 43%%)\n", 100*all.At(1))
 	return report.Artifact{ID: "F3", Title: "Figure 3: CDF of client retention by DBMS (low tier)", Body: b.String()}
 }
@@ -117,15 +118,15 @@ func Figure5(ds *Dataset) report.Artifact {
 	samples := analysis.MHRetentionByBehavior(ds.Recs)
 	var b strings.Builder
 	for _, cls := range []classify.Behavior{classify.Scanning, classify.Scouting, classify.Exploiting} {
-		cdf := analysis.RetentionCDF(samples[cls], ds.Store.Days())
+		cdf := analysis.RetentionCDF(samples[cls], ds.Snap.Days())
 		ys := make([]float64, len(cdfDays))
 		for i, d := range cdfDays {
 			ys[i] = cdf.At(d)
 		}
 		b.WriteString(report.Series("CDF("+cls.String()+")", cdfDays, ys))
 	}
-	scan := analysis.RetentionCDF(samples[classify.Scanning], ds.Store.Days())
-	exp := analysis.RetentionCDF(samples[classify.Exploiting], ds.Store.Days())
+	scan := analysis.RetentionCDF(samples[classify.Scanning], ds.Snap.Days())
+	exp := analysis.RetentionCDF(samples[classify.Exploiting], ds.Snap.Days())
 	fmt.Fprintf(&b, "3-day retention: scanners %.0f%% done vs exploiters %.0f%% done (paper: exploiters are the most persistent)\n",
 		100*scan.At(3), 100*exp.At(3))
 	return report.Artifact{ID: "F5", Title: "Figure 5: retention CDF by behaviour class (medium/high tier)", Body: b.String()}

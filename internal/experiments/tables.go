@@ -224,7 +224,7 @@ func Table11(ds *Dataset) report.Artifact {
 
 // Table12 reproduces the top MSSQL credentials.
 func Table12(ds *Dataset) report.Artifact {
-	creds := ds.Store.CredsTier(core.MSSQL, true)
+	creds := ds.Snap.Creds(evstore.Query{DBMS: core.MSSQL, Tier: evstore.LowTier})
 	t := &report.Table{
 		Title:  "Top-10 MSSQL credentials",
 		Header: []string{"username", "password", "count"},

@@ -195,13 +195,13 @@ func TestLiveFarmAllProtocols(t *testing.T) {
 		recs := store.IPs()
 		if len(recs) == 1 && len(recs[0].Per) >= 6 {
 			rec := recs[0]
-			if got := classify.IP(rec, nil); got != classify.Exploiting {
+			if got := classify.IP(rec, evstore.Query{}); got != classify.Exploiting {
 				t.Fatalf("classification = %v, want exploiting", got)
 			}
 			if rec.TotalLogins() != 3 { // mysql + mssql + postgres
 				t.Fatalf("logins = %d, want 3", rec.TotalLogins())
 			}
-			creds := store.Creds(core.MSSQL)
+			creds := store.Creds(evstore.Query{DBMS: core.MSSQL})
 			if len(creds) != 1 || creds[0].User != "sa" {
 				t.Fatalf("mssql creds = %v", creds)
 			}
