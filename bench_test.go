@@ -308,12 +308,12 @@ func busShardN() int {
 }
 
 // benchBus measures ingest throughput (Record calls per second) through
-// a bus with the given shard count and backpressure policy. Producers
-// run on all cores with distinct source IPs, the shape of a farm under
-// Internet-wide load.
-func benchBus(b *testing.B, shards int, policy bus.Policy) {
+// a bus with the given options. Producers run on all cores with distinct
+// source IPs, the shape of a farm under Internet-wide load.
+func benchBus(b *testing.B, opts bus.Options) {
 	sink := &busWorkSink{}
-	evbus := bus.New(bus.Options{Shards: shards, Policy: policy, QueueSize: 4096}, sink)
+	opts.QueueSize = 4096
+	evbus := bus.New(opts, sink)
 	raw := "N'4120BA6D...x" // bounded payload excerpt, exercises the hash
 	var src atomic.Uint32
 	b.ResetTimer()
@@ -344,10 +344,22 @@ func benchBus(b *testing.B, shards int, policy bus.Policy) {
 	b.ReportMetric(st.MeanBatch(), "batch-size")
 }
 
-func BenchmarkBusShard1Block(b *testing.B) { benchBus(b, 1, bus.Block) }
-func BenchmarkBusShardNBlock(b *testing.B) { benchBus(b, busShardN(), bus.Block) }
-func BenchmarkBusShard1Drop(b *testing.B)  { benchBus(b, 1, bus.Drop) }
-func BenchmarkBusShardNDrop(b *testing.B)  { benchBus(b, busShardN(), bus.Drop) }
+func BenchmarkBusShard1Block(b *testing.B) { benchBus(b, bus.Options{Shards: 1, Policy: bus.Block}) }
+func BenchmarkBusShardNBlock(b *testing.B) {
+	benchBus(b, bus.Options{Shards: busShardN(), Policy: bus.Block})
+}
+func BenchmarkBusShard1Drop(b *testing.B) { benchBus(b, bus.Options{Shards: 1, Policy: bus.Drop}) }
+func BenchmarkBusShardNDrop(b *testing.B) {
+	benchBus(b, bus.Options{Shards: busShardN(), Policy: bus.Drop})
+}
+
+// BenchmarkBusAdaptive pins the Adaptive fast path against Block: with
+// the high-water mark above the queue size, shedding can never engage,
+// so the only difference from BenchmarkBusShardNBlock is the per-Record
+// admission check. The two must stay within noise of each other.
+func BenchmarkBusAdaptive(b *testing.B) {
+	benchBus(b, bus.Options{Shards: busShardN(), Policy: bus.Adaptive, HighWater: 1 << 30})
+}
 
 // BenchmarkBusSinkModes compares batched vs per-event delivery into the
 // real LogWriter — the amortisation RecordBatch buys on the hot path.

@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	dbsim [-seed N] [-scale N] [-logs DIR]
+//	dbsim [-seed N] [-scale N] [-logs DIR] [-bus-policy block|drop|adaptive]
+//
+// The default block policy is lossless and keeps the dataset a pure
+// function of the seed; -bus-policy adaptive (with -bus-highwater,
+// -bus-lowwater, -bus-source-budget, -bus-source-window) exercises the
+// per-source shedding a live farm would use under a hostile flood.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"os"
 	"os/signal"
 
+	"decoydb/internal/bus"
 	"decoydb/internal/core"
 	"decoydb/internal/evstore"
 	"decoydb/internal/geoip"
@@ -28,11 +34,24 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dbsim: ")
 	var (
-		seed  = flag.Int64("seed", 1, "simulation seed")
-		scale = flag.Int("scale", simnet.DefaultScale, "brute-force volume divisor (1 = paper volume, slow)")
-		dir   = flag.String("logs", "honeypot-logs", "directory for honeypot log files")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		scale     = flag.Int("scale", simnet.DefaultScale, "brute-force volume divisor (1 = paper volume, slow)")
+		dir       = flag.String("logs", "honeypot-logs", "directory for honeypot log files")
+		policy    = flag.String("bus-policy", "block", "event bus backpressure policy: block (lossless, reproducible), drop or adaptive")
+		highWater = flag.Int("bus-highwater", 0, "adaptive: queue depth that starts per-source shedding (0 = 3/4 of queue)")
+		lowWater  = flag.Int("bus-lowwater", 0, "adaptive: queue depth that stops shedding (0 = 1/4 of queue)")
+		srcBudget = flag.Int("bus-source-budget", 0, "adaptive: events each source keeps per window while shedding (0 = default)")
+		srcWindow = flag.Duration("bus-source-window", 0, "adaptive: per-source budget window (0 = default)")
 	)
 	flag.Parse()
+
+	busPolicy, err := bus.ParsePolicy(*policy)
+	if err != nil {
+		log.Fatalf("-bus-policy: %v", err)
+	}
+	if busPolicy != bus.Block {
+		log.Printf("warning: -bus-policy %s can shed events; the dataset is no longer a pure function of the seed", busPolicy)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -42,7 +61,14 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("running 20-day deployment simulation (seed=%d scale=1/%d)...\n", *seed, *scale)
-	res, err := simnet.Run(ctx, simnet.Config{Seed: *seed, Scale: *scale}, lw)
+	res, err := simnet.Run(ctx, simnet.Config{
+		Seed: *seed, Scale: *scale,
+		Bus: bus.Options{
+			Policy:    busPolicy,
+			HighWater: *highWater, LowWater: *lowWater,
+			SourceBudget: *srcBudget, SourceWindow: *srcWindow,
+		},
+	}, lw)
 	if err != nil {
 		lw.Close()
 		log.Fatal(err)

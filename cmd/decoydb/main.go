@@ -45,21 +45,21 @@ func main() {
 		fake      = flag.Bool("fakedata", true, "seed medium/high honeypots with bait data")
 		seed      = flag.Int64("seed", 42, "seed for bait data generation")
 		shards    = flag.Int("bus-shards", 0, "event bus shard count (0 = GOMAXPROCS)")
-		policy    = flag.String("bus-policy", "drop", "event bus backpressure policy under load: block or drop")
+		policy    = flag.String("bus-policy", "adaptive", "event bus backpressure policy under load: block, drop or adaptive")
+		highWater = flag.Int("bus-highwater", 0, "adaptive: queue depth that starts per-source shedding (0 = 3/4 of queue)")
+		lowWater  = flag.Int("bus-lowwater", 0, "adaptive: queue depth that stops shedding (0 = 1/4 of queue)")
+		srcBudget = flag.Int("bus-source-budget", 0, "adaptive: events each source keeps per window while shedding (0 = default)")
+		srcWindow = flag.Duration("bus-source-window", 0, "adaptive: per-source budget window (0 = default)")
 		statsEach = flag.Duration("statsevery", time.Minute, "interval between transport stats log lines (0 = off)")
 	)
 	flag.Parse()
 
-	var busPolicy bus.Policy
-	switch *policy {
-	case "block":
-		busPolicy = bus.Block
-	case "drop":
-		// A live farm sheds load rather than letting a hostile flood
-		// stall every honeypot behind a slow disk.
-		busPolicy = bus.Drop
-	default:
-		log.Fatalf("unknown -bus-policy %q (want block or drop)", *policy)
+	// A live farm sheds load rather than letting a hostile flood stall
+	// every honeypot behind a slow disk; adaptive shedding caps the
+	// flooding source while keeping everyone else lossless.
+	busPolicy, err := bus.ParsePolicy(*policy)
+	if err != nil {
+		log.Fatalf("-bus-policy: %v", err)
 	}
 
 	enabled := map[string]bool{}
@@ -73,7 +73,11 @@ func main() {
 	}
 
 	stats := &bus.StatsSink{}
-	evbus := bus.New(bus.Options{Shards: *shards, Policy: busPolicy}, lw, stats)
+	evbus := bus.New(bus.Options{
+		Shards: *shards, Policy: busPolicy,
+		HighWater: *highWater, LowWater: *lowWater,
+		SourceBudget: *srcBudget, SourceWindow: *srcWindow,
+	}, lw, stats)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

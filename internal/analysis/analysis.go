@@ -57,8 +57,8 @@ func (c CDF) At(d int) float64 {
 func LowRetentionByDBMS(recs []*evstore.IPRecord) map[string][]int {
 	out := map[string][]int{}
 	for _, r := range recs {
-		overall := uint32(0)
-		perDBMS := map[string]uint32{}
+		overall := uint64(0)
+		perDBMS := map[string]uint64{}
 		for k, a := range r.Per {
 			if k.Level != core.Low {
 				continue
@@ -91,7 +91,7 @@ func MHRetentionByBehavior(recs []*evstore.IPRecord) map[classify.Behavior][]int
 	return out
 }
 
-func popcount(m uint32) int {
+func popcount(m uint64) int {
 	n := 0
 	for ; m != 0; m &= m - 1 {
 		n++

@@ -25,9 +25,13 @@
 //
 // Backpressure is a policy choice: Block throttles producers when a
 // shard queue fills (lossless collection, the simulator's choice), Drop
-// sheds load and counts every shed event (a hostile flood must not OOM a
-// live farm). Counters, a batch-size histogram and per-sink delivery
-// latency are exported through Stats for operational visibility.
+// sheds load uniformly and counts every shed event (a hostile flood
+// must not OOM a live farm), and Adaptive sheds per source — a queue
+// past its high-water mark caps each source at its first N events per
+// window, so one flooding attacker is bounded while every other source
+// on the shard stays lossless. Counters, a batch-size histogram,
+// per-sink delivery latency and the heaviest shedding sources are
+// exported through Stats for operational visibility.
 package bus
 
 import (
@@ -42,7 +46,7 @@ import (
 	"decoydb/internal/core"
 )
 
-// Policy selects what Record does when a shard queue is full.
+// Policy selects what Record does when a shard queue fills up.
 type Policy int
 
 const (
@@ -52,6 +56,14 @@ const (
 	// Drop makes Record discard the event immediately and count it.
 	// A flood saturates the counters, not the heap.
 	Drop
+	// Adaptive blocks like Block while the queue is healthy, but once
+	// the queue passes Options.HighWater it sheds per source: each
+	// source keeps its first Options.SourceBudget events per
+	// Options.SourceWindow of event time and loses the rest, counted
+	// against that source. Shedding stops once the queue drains to
+	// Options.LowWater. A flooding attacker is capped at its window
+	// budget; sources below the budget never lose an event.
+	Adaptive
 )
 
 // String returns the policy name.
@@ -61,8 +73,23 @@ func (p Policy) String() string {
 		return "block"
 	case Drop:
 		return "drop"
+	case Adaptive:
+		return "adaptive"
 	}
 	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy parses a policy name as used by command-line flags.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "drop":
+		return Drop, nil
+	case "adaptive":
+		return Adaptive, nil
+	}
+	return 0, fmt.Errorf("bus: unknown policy %q (want block, drop or adaptive)", s)
 }
 
 // Options tune a Bus. The zero value is usable: GOMAXPROCS shards,
@@ -76,12 +103,41 @@ type Options struct {
 	BatchSize int
 	// Policy is the backpressure policy when a shard queue is full.
 	Policy Policy
+
+	// HighWater is the queue depth at which an Adaptive shard starts
+	// shedding per source. 0 means 3/4 of QueueSize. A value above
+	// QueueSize disables shedding entirely (pure Block behaviour).
+	HighWater int
+	// LowWater is the queue depth at which an Adaptive shard stops
+	// shedding. 0 means 1/4 of QueueSize; values >= HighWater are
+	// clamped below it.
+	LowWater int
+	// SourceBudget is the number of events each source keeps per
+	// SourceWindow while its shard is shedding. 0 means
+	// DefaultSourceBudget.
+	SourceBudget int
+	// SourceWindow is the per-source budget window, measured on event
+	// time (core.Event.Time), so it works identically under the
+	// simulator's virtual clock and a live farm's wall clock. 0 means
+	// DefaultSourceWindow.
+	SourceWindow time.Duration
+	// MaxSources bounds the per-shard source-tracking table; the least
+	// recently seen source is evicted when it fills. 0 means
+	// DefaultMaxSources.
+	MaxSources int
+	// TopShedders is the length of the Stats.Shedders list. 0 means
+	// DefaultTopShedders.
+	TopShedders int
 }
 
 // Defaults for Options.
 const (
-	DefaultQueueSize = 8192
-	DefaultBatchSize = 256
+	DefaultQueueSize    = 8192
+	DefaultBatchSize    = 256
+	DefaultSourceBudget = 256
+	DefaultSourceWindow = time.Minute
+	DefaultMaxSources   = 4096
+	DefaultTopShedders  = 8
 )
 
 func (o Options) withDefaults() Options {
@@ -96,6 +152,30 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BatchSize > o.QueueSize {
 		o.BatchSize = o.QueueSize
+	}
+	if o.HighWater <= 0 {
+		o.HighWater = o.QueueSize * 3 / 4
+	}
+	if o.HighWater < 1 {
+		o.HighWater = 1
+	}
+	if o.LowWater <= 0 {
+		o.LowWater = o.QueueSize / 4
+	}
+	if o.LowWater >= o.HighWater {
+		o.LowWater = o.HighWater / 2
+	}
+	if o.SourceBudget <= 0 {
+		o.SourceBudget = DefaultSourceBudget
+	}
+	if o.SourceWindow <= 0 {
+		o.SourceWindow = DefaultSourceWindow
+	}
+	if o.MaxSources <= 0 {
+		o.MaxSources = DefaultMaxSources
+	}
+	if o.TopShedders <= 0 {
+		o.TopShedders = DefaultTopShedders
 	}
 	return o
 }
@@ -115,6 +195,10 @@ type shard struct {
 
 	enqueued uint64
 	dropped  uint64
+
+	// Adaptive-policy state; src is nil until the shard first sheds.
+	shedding bool
+	src      *sourceTable
 }
 
 func (sh *shard) init(size int) {
@@ -126,14 +210,15 @@ func (sh *shard) init(size int) {
 
 // sinkEntry wraps one registered sink with its delivery counters.
 type sinkEntry struct {
-	name    string
-	sink    core.Sink
-	batch   core.BatchSink // non-nil when sink supports batch delivery
-	batches atomic.Uint64
-	events  atomic.Uint64
-	errors  atomic.Uint64
-	latNS   atomic.Int64 // cumulative delivery latency
-	maxNS   atomic.Int64
+	name      string
+	sink      core.Sink
+	batch     core.BatchSink // non-nil when sink supports batch delivery
+	batches   atomic.Uint64
+	events    atomic.Uint64 // events in successfully delivered batches
+	failedEvs atomic.Uint64 // events in batches whose RecordBatch errored
+	errors    atomic.Uint64
+	latNS     atomic.Int64 // cumulative delivery latency
+	maxNS     atomic.Int64
 }
 
 // HistBuckets is the number of batch-size histogram buckets: bucket i
@@ -164,8 +249,21 @@ func New(opts Options, sinks ...core.Sink) *Bus {
 		panic("bus: no sinks registered")
 	}
 	b := &Bus{opts: opts.withDefaults()}
+	// Sinks are named by type; duplicates of one type get a 1-based
+	// index suffix ("*evstore.Store#1", "*evstore.Store#2") so they stay
+	// distinguishable in Stats.Sinks and the operational log line.
+	byType := make(map[string]int, len(sinks))
 	for _, s := range sinks {
-		e := &sinkEntry{name: fmt.Sprintf("%T", s), sink: s}
+		byType[fmt.Sprintf("%T", s)]++
+	}
+	seen := make(map[string]int, len(byType))
+	for _, s := range sinks {
+		name := fmt.Sprintf("%T", s)
+		if byType[name] > 1 {
+			seen[name]++
+			name = fmt.Sprintf("%s#%d", name, seen[name])
+		}
+		e := &sinkEntry{name: name, sink: s}
 		if bs, ok := s.(core.BatchSink); ok {
 			e.batch = bs
 		}
@@ -196,7 +294,18 @@ func (b *Bus) shardFor(e core.Event) *shard {
 func (b *Bus) Record(e core.Event) {
 	sh := b.shardFor(e)
 	sh.mu.Lock()
-	if b.opts.Policy == Block {
+	switch b.opts.Policy {
+	case Block:
+		for sh.n == len(sh.buf) && !sh.closed {
+			sh.notFull.Wait()
+		}
+	case Adaptive:
+		if !sh.admitAdaptive(&b.opts, e) {
+			sh.dropped++
+			sh.mu.Unlock()
+			return
+		}
+		// Admitted events are lossless, exactly like Block.
 		for sh.n == len(sh.buf) && !sh.closed {
 			sh.notFull.Wait()
 		}
@@ -240,6 +349,9 @@ func (b *Bus) worker(sh *shard) {
 			sh.head = (sh.head + 1) % len(sh.buf)
 		}
 		sh.n -= k
+		if sh.shedding && sh.n <= b.opts.LowWater {
+			sh.shedding = false
+		}
 		sh.inflight = true
 		sh.notFull.Broadcast()
 		sh.mu.Unlock()
@@ -258,12 +370,17 @@ func (b *Bus) worker(sh *shard) {
 }
 
 // deliver hands one batch to every sink, preferring batch delivery.
+// Events in a batch whose RecordBatch errored count as failed, not
+// delivered: Stats must not report events the sink rejected.
 func (b *Bus) deliver(batch []core.Event) {
 	for _, e := range b.sinks {
 		start := time.Now()
+		failed := false
 		if e.batch != nil {
 			if err := e.batch.RecordBatch(batch); err != nil {
+				failed = true
 				e.errors.Add(1)
+				e.failedEvs.Add(uint64(len(batch)))
 				b.noteErr(fmt.Errorf("bus: %s: %w", e.name, err))
 			}
 		} else {
@@ -273,7 +390,9 @@ func (b *Bus) deliver(batch []core.Event) {
 		}
 		lat := time.Since(start)
 		e.batches.Add(1)
-		e.events.Add(uint64(len(batch)))
+		if !failed {
+			e.events.Add(uint64(len(batch)))
+		}
 		e.latNS.Add(int64(lat))
 		for {
 			cur := e.maxNS.Load()
@@ -344,12 +463,13 @@ func (b *Bus) Err() error {
 
 // SinkStats are per-sink delivery counters.
 type SinkStats struct {
-	Name       string
-	Batches    uint64
-	Events     uint64
-	Errors     uint64
-	Latency    time.Duration // cumulative time spent delivering
-	MaxLatency time.Duration // slowest single delivery
+	Name         string
+	Batches      uint64
+	Events       uint64 // events in successfully delivered batches
+	FailedEvents uint64 // events in batches whose delivery errored
+	Errors       uint64
+	Latency      time.Duration // cumulative time spent delivering
+	MaxLatency   time.Duration // slowest single delivery
 }
 
 // AvgLatency is the mean per-batch delivery latency.
@@ -371,7 +491,15 @@ type Stats struct {
 	// BatchHist[i] counts delivered batches of size in (2^(i-1), 2^i]
 	// (bucket 0 = single-event batches; last bucket open-ended).
 	BatchHist [HistBuckets]uint64
-	Sinks     []SinkStats
+	// Sinks lists per-sink counters in registration order.
+	Sinks []SinkStats
+	// Shedders are the heaviest per-source shed counts under the
+	// Adaptive policy, descending, at most Options.TopShedders entries.
+	// Shards partition sources disjointly, so entries never merge.
+	Shedders []SourceShed
+	// ShedUnattributed counts adaptive sheds whose per-source entry was
+	// LRU-evicted; Dropped still includes them.
+	ShedUnattributed uint64
 }
 
 // Stats snapshots the counters. It is safe to call concurrently with
@@ -390,19 +518,36 @@ func (b *Bus) Stats() Stats {
 		st.Enqueued += sh.enqueued
 		st.Dropped += sh.dropped
 		st.Pending += uint64(sh.n)
+		if sh.src != nil {
+			st.ShedUnattributed += sh.src.shedEvicted
+			for _, s := range sh.src.m {
+				if s.shed > 0 {
+					st.Shedders = append(st.Shedders, SourceShed{Addr: s.addr, Shed: s.shed})
+				}
+			}
+		}
 		sh.mu.Unlock()
+	}
+	sort.Slice(st.Shedders, func(i, j int) bool {
+		if st.Shedders[i].Shed != st.Shedders[j].Shed {
+			return st.Shedders[i].Shed > st.Shedders[j].Shed
+		}
+		return st.Shedders[i].Addr.Less(st.Shedders[j].Addr)
+	})
+	if len(st.Shedders) > b.opts.TopShedders {
+		st.Shedders = st.Shedders[:b.opts.TopShedders]
 	}
 	for _, e := range b.sinks {
 		st.Sinks = append(st.Sinks, SinkStats{
-			Name:       e.name,
-			Batches:    e.batches.Load(),
-			Events:     e.events.Load(),
-			Errors:     e.errors.Load(),
-			Latency:    time.Duration(e.latNS.Load()),
-			MaxLatency: time.Duration(e.maxNS.Load()),
+			Name:         e.name,
+			Batches:      e.batches.Load(),
+			Events:       e.events.Load(),
+			FailedEvents: e.failedEvs.Load(),
+			Errors:       e.errors.Load(),
+			Latency:      time.Duration(e.latNS.Load()),
+			MaxLatency:   time.Duration(e.maxNS.Load()),
 		})
 	}
-	sort.Slice(st.Sinks, func(i, j int) bool { return st.Sinks[i].Name < st.Sinks[j].Name })
 	return st
 }
 
@@ -423,12 +568,28 @@ func (s Stats) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "bus[%d shards, %s]: enq=%d dlv=%d drop=%d pend=%d batch~%.1f",
 		s.Shards, s.Policy, s.Enqueued, s.Delivered, s.Dropped, s.Pending, s.MeanBatch())
+	if len(s.Shedders) > 0 || s.ShedUnattributed > 0 {
+		sb.WriteString(" shed[")
+		for i, sd := range s.Shedders {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%s=%d", sd.Addr, sd.Shed)
+		}
+		if s.ShedUnattributed > 0 {
+			if len(s.Shedders) > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "evicted=%d", s.ShedUnattributed)
+		}
+		sb.WriteByte(']')
+	}
 	for _, sk := range s.Sinks {
 		fmt.Fprintf(&sb, " | %s: %d ev/%d batches avg=%s max=%s",
 			sk.Name, sk.Events, sk.Batches,
 			sk.AvgLatency().Round(time.Microsecond), sk.MaxLatency.Round(time.Microsecond))
 		if sk.Errors > 0 {
-			fmt.Fprintf(&sb, " errs=%d", sk.Errors)
+			fmt.Fprintf(&sb, " errs=%d failed=%d", sk.Errors, sk.FailedEvents)
 		}
 	}
 	return sb.String()

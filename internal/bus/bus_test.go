@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -310,11 +311,99 @@ func TestStatsSinkCounts(t *testing.T) {
 }
 
 func TestPolicyString(t *testing.T) {
-	if bus.Block.String() != "block" || bus.Drop.String() != "drop" {
+	if bus.Block.String() != "block" || bus.Drop.String() != "drop" || bus.Adaptive.String() != "adaptive" {
 		t.Fatal("policy names")
 	}
 	if bus.Policy(7).String() == "" {
 		t.Fatal("unknown policy empty")
+	}
+	for _, name := range []string{"block", "drop", "adaptive"} {
+		p, err := bus.ParsePolicy(name)
+		if err != nil || p.String() != name {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := bus.ParsePolicy("bogus"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+// Regression: two sinks of the same Go type used to share one %T-derived
+// name, making their Stats.Sinks entries indistinguishable; and sink
+// stats were re-sorted by name, losing registration order. Duplicates
+// now get a 1-based index suffix and the order matches registration.
+func TestDuplicateSinkNames(t *testing.T) {
+	s1 := evstore.New(core.ExperimentStart, 20, nil)
+	s2 := evstore.New(core.ExperimentStart, 20, nil)
+	mem := &core.MemSink{}
+	// Register the stores before the MemSink: a by-name sort would move
+	// "*core.MemSink" ahead of "*evstore.Store#…".
+	b := bus.New(bus.Options{Shards: 1}, s1, s2, mem)
+	b.Record(evt(1, 1))
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := b.Stats()
+	want := []string{"*evstore.Store#1", "*evstore.Store#2", "*core.MemSink"}
+	if len(st.Sinks) != len(want) {
+		t.Fatalf("sink stats = %d entries, want %d", len(st.Sinks), len(want))
+	}
+	for i, w := range want {
+		if st.Sinks[i].Name != w {
+			t.Fatalf("sink %d named %q, want %q (registration order, duplicates suffixed)", i, st.Sinks[i].Name, w)
+		}
+	}
+	for _, sk := range st.Sinks[:2] {
+		if sk.Events != 1 {
+			t.Fatalf("sink %s delivered %d events, want 1", sk.Name, sk.Events)
+		}
+	}
+}
+
+// Regression: events in a batch whose RecordBatch errored were counted
+// as delivered. They must land in FailedEvents instead.
+func TestFailedBatchNotCountedDelivered(t *testing.T) {
+	boom := errors.New("disk full")
+	b := bus.New(bus.Options{Shards: 1, BatchSize: 4}, failingSink{err: boom})
+	for j := 0; j < 3; j++ {
+		b.Record(evt(1, j))
+	}
+	if err := b.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close error = %v, want %v", err, boom)
+	}
+	sk := b.Stats().Sinks[0]
+	if sk.Events != 0 {
+		t.Fatalf("sink Events = %d, want 0: rejected events reported as delivered", sk.Events)
+	}
+	if sk.FailedEvents != 3 {
+		t.Fatalf("sink FailedEvents = %d, want 3", sk.FailedEvents)
+	}
+	if sk.Errors == 0 {
+		t.Fatal("sink errors not counted")
+	}
+	if s := b.Stats().String(); !strings.Contains(s, "failed=3") {
+		t.Fatalf("stats line %q does not surface failed events", s)
+	}
+}
+
+// Regression: StatsSink counted out-of-range event kinds in a private
+// counter that no snapshot exposed — invisible in Total and the log
+// line. Other must be surfaced everywhere.
+func TestStatsSinkOtherSurfaced(t *testing.T) {
+	s := &bus.StatsSink{}
+	good := evt(1, 1)
+	bad := evt(1, 2)
+	bad.Kind = core.EventKind(9)
+	s.RecordBatch([]core.Event{good, bad})
+	c := s.Counts()
+	if c.Other != 1 {
+		t.Fatalf("Other = %d, want 1", c.Other)
+	}
+	if c.Total() != 2 {
+		t.Fatalf("Total = %d, want 2 (out-of-range kind dropped from the sum)", c.Total())
+	}
+	if !strings.Contains(c.String(), "other=1") {
+		t.Fatalf("log line %q hides the out-of-range count", c.String())
 	}
 }
 

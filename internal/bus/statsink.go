@@ -37,24 +37,31 @@ func (s *StatsSink) RecordBatch(events []core.Event) error {
 	return nil
 }
 
-// KindCounts is a snapshot of per-kind event counts.
+// KindCounts is a snapshot of per-kind event counts. Other counts events
+// whose kind is outside the known range — a protocol handler emitting a
+// bad kind must be visible, not silently absorbed.
 type KindCounts struct {
 	Connects uint64
 	Logins   uint64
 	LoginOK  uint64
 	Commands uint64
 	Closes   uint64
+	Other    uint64
 }
 
-// Total sums all counted events.
+// Total sums all counted events, including out-of-range kinds.
 func (c KindCounts) Total() uint64 {
-	return c.Connects + c.Logins + c.Commands + c.Closes
+	return c.Connects + c.Logins + c.Commands + c.Closes + c.Other
 }
 
 // String renders the snapshot for a log line.
 func (c KindCounts) String() string {
-	return fmt.Sprintf("events=%d connects=%d logins=%d (ok=%d) commands=%d",
+	s := fmt.Sprintf("events=%d connects=%d logins=%d (ok=%d) commands=%d",
 		c.Total(), c.Connects, c.Logins, c.LoginOK, c.Commands)
+	if c.Other > 0 {
+		s += fmt.Sprintf(" other=%d", c.Other)
+	}
+	return s
 }
 
 // Counts snapshots the counters.
@@ -65,5 +72,6 @@ func (s *StatsSink) Counts() KindCounts {
 		LoginOK:  s.logins.Load(),
 		Commands: s.kinds[core.EventCommand].Load(),
 		Closes:   s.kinds[core.EventClose].Load(),
+		Other:    s.other.Load(),
 	}
 }

@@ -22,6 +22,7 @@
 package evstore
 
 import (
+	"fmt"
 	"net/netip"
 	"runtime"
 	"sort"
@@ -58,7 +59,7 @@ type Activity struct {
 	Logins      int64
 	LoginOK     int64
 	CommandsRun int64
-	ActiveDays  uint32 // bitmask over experiment days (max 32 days)
+	ActiveDays  uint64 // bitmask over experiment days (max MaxDays days)
 	Actions     []Action
 }
 
@@ -96,15 +97,15 @@ func (r *IPRecord) TotalLogins() int64 {
 // ActiveDaysMask returns the union of active-day bitmasks over the
 // activities matching q (DBMS and Tier; see Query.MatchKey). A non-zero
 // q.Days additionally intersects the union with the selected day window.
-func (r *IPRecord) ActiveDaysMask(q Query) uint32 {
-	var m uint32
+func (r *IPRecord) ActiveDaysMask(q Query) uint64 {
+	var m uint64
 	for k, a := range r.Per {
 		if q.MatchKey(k) {
 			m |= a.ActiveDays
 		}
 	}
 	if !q.Days.IsZero() {
-		m &= q.Days.Mask(32)
+		m &= q.Days.Mask(MaxDays)
 	}
 	return m
 }
@@ -163,20 +164,27 @@ type Store struct {
 	shards []*storeShard
 }
 
+// MaxDays is the longest supported experiment window: the per-activity
+// day bitmask is 64 bits wide. The paper's deployments ran 20 days; the
+// extended-deployment future work fits well inside 64.
+const MaxDays = 64
+
 // New creates a store for an experiment window starting at start and
-// lasting days days (max 32), enriching sources against geo. The shard
-// count defaults to GOMAXPROCS — the same default the event bus uses —
-// so a bus and a store built with defaults have matching partitions and
-// batch commits never cross shards.
+// lasting days days (max MaxDays), enriching sources against geo. The
+// shard count defaults to GOMAXPROCS — the same default the event bus
+// uses — so a bus and a store built with defaults have matching
+// partitions and batch commits never cross shards.
 func New(start time.Time, days int, geo *geoip.DB) *Store {
 	return NewSharded(start, days, geo, runtime.GOMAXPROCS(0))
 }
 
 // NewSharded is New with an explicit shard count. Pass the bus's shard
 // count to keep delivery batches shard-affine; shards < 1 means 1.
+// Windows longer than MaxDays are rejected here, at construction, so a
+// long capture can never silently truncate its day bitmasks.
 func NewSharded(start time.Time, days int, geo *geoip.DB, shards int) *Store {
-	if days > 32 {
-		panic("evstore: day bitmask supports at most 32 days")
+	if days > MaxDays {
+		panic(fmt.Sprintf("evstore: %d-day window exceeds the %d-day bitmask limit", days, MaxDays))
 	}
 	if shards < 1 {
 		shards = 1

@@ -295,11 +295,50 @@ func TestActiveDaysMaskFilter(t *testing.T) {
 	}
 }
 
+// Regression: the day bitmask is 64 bits wide. A 33-day window used to
+// overflow the old 32-bit mask (activity on days 32+ silently vanished
+// from DayCount and every DayRange query); both 33 and the full 64 days
+// must now track day activity exactly.
+func TestDayMask33DayWindow(t *testing.T) {
+	s := New(start, 33, nil)
+	hp := lowInfo(core.Redis)
+	for _, day := range []int{0, 31, 32} {
+		s.Record(ev("203.0.113.40", hp, core.EventConnect, day*24))
+	}
+	rec := s.IP(netip.MustParseAddr("203.0.113.40"))
+	key := PerKey{DBMS: core.Redis, Level: core.Low, Config: core.ConfigDefault, Group: core.GroupMulti}
+	if got := rec.Per[key].DayCount(); got != 3 {
+		t.Fatalf("day count = %d, want 3 (day 32 lost past a 32-bit mask)", got)
+	}
+	if want := uint64(1) | 1<<31 | 1<<32; rec.Per[key].ActiveDays != want {
+		t.Fatalf("mask = %b, want %b", rec.Per[key].ActiveDays, want)
+	}
+	if got := rec.ActiveDaysMask(Query{Days: DayRange{From: 32, To: 33}}); got != 1<<32 {
+		t.Fatalf("ranged mask = %b, want bit 32", got)
+	}
+}
+
+func TestDayMask64DayWindow(t *testing.T) {
+	s := New(start, MaxDays, nil)
+	hp := lowInfo(core.Redis)
+	for _, day := range []int{0, 63} {
+		s.Record(ev("203.0.113.41", hp, core.EventConnect, day*24))
+	}
+	rec := s.IP(netip.MustParseAddr("203.0.113.41"))
+	key := PerKey{DBMS: core.Redis, Level: core.Low, Config: core.ConfigDefault, Group: core.GroupMulti}
+	if got := rec.Per[key].DayCount(); got != 2 {
+		t.Fatalf("day count = %d, want 2", got)
+	}
+	if rec.Per[key].ActiveDays != 1|1<<63 {
+		t.Fatalf("mask = %b", rec.Per[key].ActiveDays)
+	}
+}
+
 func TestNewRejectsLongWindows(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("33-day window accepted (day bitmask is 32 bits)")
+			t.Fatalf("%d-day window accepted (day bitmask is %d bits)", MaxDays+1, MaxDays)
 		}
 	}()
-	New(start, 33, nil)
+	New(start, MaxDays+1, nil)
 }

@@ -64,10 +64,11 @@ func (d DayRange) bounds(days int) (lo, hi int) {
 }
 
 // Mask returns the day bitmask covering the range within a days-long
-// window.
-func (d DayRange) Mask(days int) uint32 {
+// window. The mask is 64 bits wide — the store rejects longer windows
+// at construction, so no representable window truncates.
+func (d DayRange) Mask(days int) uint64 {
 	lo, hi := d.bounds(days)
-	var m uint32
+	var m uint64
 	for day := lo; day < hi; day++ {
 		m |= 1 << uint(day)
 	}
@@ -115,7 +116,7 @@ func (q Query) matchRecord(r *IPRecord, days int) bool {
 	if q.DBMS == "" && q.Tier == AllTiers && q.Days.IsZero() {
 		return true
 	}
-	mask := uint32(0)
+	mask := uint64(0)
 	if !q.Days.IsZero() {
 		mask = q.Days.Mask(days)
 	}

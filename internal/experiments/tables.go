@@ -167,7 +167,7 @@ func mhLogins(rec *evstore.IPRecord, dbms string) int64 {
 	return n
 }
 
-func popcountMask(m uint32) int {
+func popcountMask(m uint64) int {
 	n := 0
 	for ; m != 0; m &= m - 1 {
 		n++

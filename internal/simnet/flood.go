@@ -1,0 +1,149 @@
+// Flooding-actor scenario: one hostile source hammering a honeypot as
+// fast as the wire allows while background scouts keep working the rest
+// of the deployment. This is the workload the bus's Adaptive
+// backpressure policy exists for — the paper's sequence analyses only
+// hold if low-volume scouting traffic survives ingestion while flood
+// noise is shed — and the scenario drives it through real protocol
+// sessions, the same path as the full simulation.
+package simnet
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"decoydb/internal/bus"
+	"decoydb/internal/core"
+)
+
+// FloodConfig parameterises the flood scenario. The zero value is
+// usable; set Bus (typically Policy: bus.Adaptive with a small queue)
+// to put the transport under test.
+type FloodConfig struct {
+	// Seed drives target/port selection; identical configs replay.
+	Seed int64
+	// FloodSessions is how many back-to-back sessions the flooding
+	// source opens (default 400). Every session is a full MSSQL login
+	// exchange: connect, LOGIN7, close — three events each.
+	FloodSessions int
+	// Scouts is the number of background scouting sources (default 4).
+	Scouts int
+	// SessionsPerScout is each scout's session count (default 5),
+	// spread over distinct virtual hours.
+	SessionsPerScout int
+	// Bus configures the event transport for the run.
+	Bus bus.Options
+}
+
+func (c FloodConfig) withDefaults() FloodConfig {
+	if c.FloodSessions <= 0 {
+		c.FloodSessions = 400
+	}
+	if c.Scouts <= 0 {
+		c.Scouts = 4
+	}
+	if c.SessionsPerScout <= 0 {
+		c.SessionsPerScout = 5
+	}
+	return c
+}
+
+// eventsPerFloodSession is what one mssqlLogin session deposits in the
+// store: connect + login + close.
+const eventsPerFloodSession = 3
+
+// FloodResult reports who sent what and what the transport did with it.
+type FloodResult struct {
+	Flooder    netip.Addr   // the flooding source
+	ScoutAddrs []netip.Addr // the background scouts
+	Sessions   int64
+	Errors     int64
+	Bus        bus.Stats // final transport snapshot, incl. Shedders
+}
+
+// RunFlood executes the scenario: the flooder opens FloodSessions
+// sessions against one honeypot with every event stamped inside a
+// single virtual hour (one budget window at default SourceWindow ≥
+// 1h is not required — the timestamps span < 1h regardless), while
+// each scout runs SessionsPerScout sessions against the other
+// instances, one per virtual hour. Flooder and scouts run concurrently;
+// each source is serial within itself so per-source event order is
+// preserved end to end. The bus is drained and closed before RunFlood
+// returns, so sinks are complete and quiescent afterwards.
+func RunFlood(ctx context.Context, cfg FloodConfig, sinks ...core.Sink) (*FloodResult, error) {
+	cfg = cfg.withDefaults()
+
+	// One dedicated flood target plus one instance per scout, so the
+	// flooder's serial session queue never throttles the scouts.
+	deploy := &core.Deployment{}
+	for i := 0; i <= cfg.Scouts; i++ {
+		deploy.Instances = append(deploy.Instances, core.Info{
+			DBMS: core.MSSQL, Level: core.Low, Port: 1433 + i,
+			Config: core.ConfigDefault, Group: core.GroupMulti,
+			VM: fmt.Sprintf("flood-%d", i),
+		})
+	}
+	insts := buildInstances(deploy, cfg.Seed)
+
+	res := &FloodResult{
+		// TEST-NET-3 sources: the flooder on .1, scouts above it. These
+		// are deliberately outside the GeoIP plan — the scenario tests
+		// transport robustness, not enrichment.
+		Flooder: netip.AddrFrom4([4]byte{203, 0, 113, 1}),
+	}
+	for i := 0; i < cfg.Scouts; i++ {
+		res.ScoutAddrs = append(res.ScoutAddrs, netip.AddrFrom4([4]byte{203, 0, 113, byte(10 + i)}))
+	}
+
+	evbus := bus.New(cfg.Bus, sinks...)
+	var sessions, errCount atomic.Int64
+	run := func(j job) {
+		sessions.Add(1)
+		if err := runSession(ctx, j, evbus); err != nil {
+			errCount.Add(1)
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the flood: one source, back to back, one virtual hour
+		defer wg.Done()
+		for i := 0; i < cfg.FloodSessions && ctx.Err() == nil; i++ {
+			run(job{
+				at:     core.ExperimentStart.Add(time.Duration(i) * time.Second),
+				src:    netip.AddrPortFrom(res.Flooder, uint16(1024+i%60000)),
+				inst:   insts.all[0],
+				script: mssqlLogin("sa", fmt.Sprintf("flood%d", i)),
+			})
+		}
+	}()
+	for s := 0; s < cfg.Scouts; s++ {
+		wg.Add(1)
+		go func(s int) { // background scouting: low and slow
+			defer wg.Done()
+			addr := res.ScoutAddrs[s]
+			for i := 0; i < cfg.SessionsPerScout && ctx.Err() == nil; i++ {
+				run(job{
+					at:     core.ExperimentStart.Add(time.Duration(i) * time.Hour),
+					src:    netip.AddrPortFrom(addr, uint16(2024+i)),
+					inst:   insts.all[1+s],
+					script: mssqlLogin("sa", "scout"),
+				})
+			}
+		}(s)
+	}
+	wg.Wait()
+	if err := evbus.Close(); err != nil {
+		return nil, fmt.Errorf("simnet: flood transport: %w", err)
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	res.Sessions = sessions.Load()
+	res.Errors = errCount.Load()
+	res.Bus = evbus.Stats()
+	return res, nil
+}

@@ -1,0 +1,142 @@
+package simnet
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"decoydb/internal/bus"
+	"decoydb/internal/core"
+)
+
+// floodCountingSink counts delivered events per source behind a fixed
+// per-batch delay — slow enough that the flooder outruns the drain and
+// pushes the shard past its high-water mark.
+type floodCountingSink struct {
+	delay time.Duration
+	mu    sync.Mutex
+	per   map[netip.Addr]int
+}
+
+func (s *floodCountingSink) Record(e core.Event) {
+	_ = s.RecordBatch([]core.Event{e})
+}
+
+func (s *floodCountingSink) RecordBatch(events []core.Event) error {
+	time.Sleep(s.delay)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.per == nil {
+		s.per = make(map[netip.Addr]int)
+	}
+	for _, e := range events {
+		s.per[e.Src.Addr()]++
+	}
+	return nil
+}
+
+func (s *floodCountingSink) count(a netip.Addr) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.per[a]
+}
+
+// TestFloodScenarioAdaptive is the acceptance test for the Adaptive
+// policy: a single-source flood and background scouts share ONE bus
+// shard over a deliberately slow sink. The scouts must come through
+// without losing a single event while the flooder is shed, and the
+// shed counts must attribute every drop to the flooder.
+func TestFloodScenarioAdaptive(t *testing.T) {
+	const budget = 6
+	sink := &floodCountingSink{delay: 2 * time.Millisecond}
+	cfg := FloodConfig{
+		Seed:          1,
+		FloodSessions: 200,
+		Bus: bus.Options{
+			// One shard forces flooder and scouts onto the same queue —
+			// the hardest case for keeping the scouts lossless.
+			Shards: 1, QueueSize: 16, BatchSize: 8,
+			Policy:    bus.Adaptive,
+			HighWater: 8, LowWater: 2,
+			// Every scout session (3 events, one per virtual hour) fits
+			// the budget; the flooder's 600 events in one virtual window
+			// do not.
+			SourceBudget: budget, SourceWindow: time.Hour,
+		},
+	}
+	res, err := RunFlood(context.Background(), cfg, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Errors != 0 {
+		t.Fatalf("%d torn sessions", res.Errors)
+	}
+	wantSessions := int64(cfg.FloodSessions + 4*5) // defaults: 4 scouts x 5 sessions
+	if res.Sessions != wantSessions {
+		t.Fatalf("sessions = %d, want %d", res.Sessions, wantSessions)
+	}
+
+	// Zero loss for every scout: all sessions' events delivered, exactly.
+	const perScout = 5 * eventsPerFloodSession
+	for _, addr := range res.ScoutAddrs {
+		if got := sink.count(addr); got != perScout {
+			t.Fatalf("scout %s delivered %d events, want %d (scout traffic lost under flood)", addr, got, perScout)
+		}
+		for _, sd := range res.Bus.Shedders {
+			if sd.Addr == addr {
+				t.Fatalf("scout %s shows up in shed stats: %+v", addr, sd)
+			}
+		}
+	}
+
+	// The flooder is capped: the bus shed traffic, all of it attributed
+	// to the flooding source via the per-source stats.
+	if res.Bus.Dropped == 0 {
+		t.Fatal("flood did not trigger shedding; scenario proves nothing")
+	}
+	floodTotal := cfg.FloodSessions * eventsPerFloodSession
+	delivered := sink.count(res.Flooder)
+	if delivered+int(res.Bus.Dropped) != floodTotal {
+		t.Fatalf("flooder: delivered %d + shed %d != sent %d", delivered, res.Bus.Dropped, floodTotal)
+	}
+	if delivered >= floodTotal/2 {
+		t.Fatalf("flooder delivered %d of %d events; cap not effective", delivered, floodTotal)
+	}
+	if len(res.Bus.Shedders) != 1 || res.Bus.Shedders[0].Addr != res.Flooder {
+		t.Fatalf("shedders = %+v, want only %s", res.Bus.Shedders, res.Flooder)
+	}
+	if res.Bus.Shedders[0].Shed+res.Bus.ShedUnattributed != res.Bus.Dropped {
+		t.Fatalf("shed attribution %d + evicted %d != dropped %d",
+			res.Bus.Shedders[0].Shed, res.Bus.ShedUnattributed, res.Bus.Dropped)
+	}
+
+	// The books balance globally too.
+	total := floodTotal + 4*perScout
+	if int(res.Bus.Enqueued+res.Bus.Dropped) != total {
+		t.Fatalf("enqueued %d + dropped %d != produced %d", res.Bus.Enqueued, res.Bus.Dropped, total)
+	}
+}
+
+// TestFloodScenarioBlockLossless pins the scenario's baseline: under the
+// Block policy the same flood loses nothing at all, it just takes longer.
+func TestFloodScenarioBlockLossless(t *testing.T) {
+	sink := &floodCountingSink{}
+	cfg := FloodConfig{
+		Seed:          1,
+		FloodSessions: 50,
+		Bus:           bus.Options{Shards: 1, QueueSize: 16, BatchSize: 8, Policy: bus.Block},
+	}
+	res, err := RunFlood(context.Background(), cfg, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bus.Dropped != 0 {
+		t.Fatalf("block policy dropped %d events", res.Bus.Dropped)
+	}
+	if got := sink.count(res.Flooder); got != 50*eventsPerFloodSession {
+		t.Fatalf("flooder delivered %d events, want %d", got, 50*eventsPerFloodSession)
+	}
+}

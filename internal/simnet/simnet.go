@@ -22,6 +22,7 @@ import (
 	"decoydb/internal/bson"
 	"decoydb/internal/bus"
 	"decoydb/internal/core"
+	"decoydb/internal/evstore"
 	"decoydb/internal/geoip"
 )
 
@@ -33,7 +34,7 @@ type Config struct {
 	// Scale divides brute-force login volume. 1 reproduces the paper's
 	// 18.16M logins; the default (32) keeps a full run under a minute.
 	Scale int
-	// Days is the experiment length (default 20, max 32).
+	// Days is the experiment length (default 20, max evstore.MaxDays).
 	Days int
 	// Deployment defaults to core.DefaultDeployment().
 	Deployment *core.Deployment
@@ -41,6 +42,13 @@ type Config struct {
 	Geo *geoip.DB
 	// BusShards overrides the event-bus shard count (0 = GOMAXPROCS).
 	BusShards int
+	// Bus overrides the full event-bus configuration (queue sizes,
+	// policy, adaptive water marks). The zero value keeps the historic
+	// behaviour: default sizes, Block policy. Shards falls back to
+	// BusShards when unset. Note that any policy other than Block makes
+	// the dataset lossy under load and therefore no longer a pure
+	// function of the seed.
+	Bus bus.Options
 }
 
 // DefaultScale balances fidelity and runtime for the default run.
@@ -50,7 +58,7 @@ func (c Config) withDefaults() Config {
 	if c.Scale < 1 {
 		c.Scale = DefaultScale
 	}
-	if c.Days <= 0 || c.Days > 32 {
+	if c.Days <= 0 || c.Days > evstore.MaxDays {
 		c.Days = core.ExperimentDays
 	}
 	if c.Deployment == nil {
@@ -99,9 +107,14 @@ func Run(ctx context.Context, cfg Config, sink core.Sink) (*Result, error) {
 	}
 	corpus := newCredCorpus(cfg.Seed, cfg.Scale)
 
-	// Block, never drop: the dataset must be a lossless function of the
-	// seed for the paper's tables to reproduce.
-	evbus := bus.New(bus.Options{Shards: cfg.BusShards, Policy: bus.Block}, sink)
+	// Default Block, never drop: the dataset must be a lossless function
+	// of the seed for the paper's tables to reproduce. Config.Bus lets
+	// robustness scenarios (see flood.go) opt into other policies.
+	busOpts := cfg.Bus
+	if busOpts.Shards <= 0 {
+		busOpts.Shards = cfg.BusShards
+	}
+	evbus := bus.New(busOpts, sink)
 
 	// One serial queue per honeypot instance: sessions against the same
 	// stateful honeypot (Redis keyspace, MongoDB store) execute in the
