@@ -1,0 +1,140 @@
+// Command dbcollect is the central collector for a fleet of honeypot
+// farms: it listens for relay connections from decoydb/dbsim -forward,
+// authenticates them with a shared token, and ingests every forwarded
+// event into a sharded in-memory event store — the aggregation half of
+// the paper's pipeline, run on the analysis host instead of on each
+// exposed VM.
+//
+// On SIGINT/SIGTERM (or after -runfor) it stops serving and dumps a
+// dbreport-style snapshot — event totals, unique sources and top
+// credentials per farm-facing window — so a collection session ends
+// with the same artefact format the offline report tool produces.
+//
+// Usage:
+//
+//	dbcollect -token SECRET [-listen :7100] [-days 20] [-runfor 0] [-statsevery 1m]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"decoydb/internal/bus"
+	"decoydb/internal/core"
+	"decoydb/internal/evstore"
+	"decoydb/internal/geoip"
+	"decoydb/internal/relay"
+	"decoydb/internal/report"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("dbcollect: ")
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7100", "address to accept relay connections on")
+		token     = flag.String("token", "", "shared secret forwarders must present (required)")
+		days      = flag.Int("days", core.ExperimentDays, "capture window length in days for the event store")
+		runFor    = flag.Duration("runfor", 0, "stop after this long (0 = until signal)")
+		statsEach = flag.Duration("statsevery", time.Minute, "interval between stats log lines (0 = off)")
+		topCreds  = flag.Int("topcreds", 10, "credential rows in the final snapshot dump")
+	)
+	flag.Parse()
+	if *token == "" {
+		log.Fatal("-token is required: forwarders authenticate with it")
+	}
+
+	// The store shares the bus's sharding so concurrent farm connections
+	// ingest without a global lock; a StatsSink rides along for the
+	// periodic log line.
+	store := evstore.NewSharded(core.ExperimentStart, *days, geoip.Default(), 0)
+	stats := &bus.StatsSink{}
+	coll, err := relay.NewCollector(relay.CollectorOptions{
+		Token: *token, Logf: log.Printf,
+	}, store, stats)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *runFor > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *runFor)
+		defer cancel()
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- coll.ListenAndServe(*listen) }()
+	log.Printf("collecting on %s — ctrl-c to stop and dump", *listen)
+
+	if *statsEach > 0 {
+		go func() {
+			t := time.NewTicker(*statsEach)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					log.Printf("%s", coll.Stats())
+					log.Printf("%s", stats.Counts())
+				}
+			}
+		}()
+	}
+
+	<-ctx.Done()
+	log.Print("shutting down")
+	if err := coll.Close(); err != nil {
+		log.Printf("collector: %v", err)
+	}
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("final %s", coll.Stats())
+
+	dump(os.Stdout, coll.Stats(), store, *topCreds)
+}
+
+// dump renders the end-of-session snapshot in the dbreport artefact
+// format: "=== title — subtitle ===" headers over aligned tables.
+func dump(w *os.File, cst relay.CollectorStats, store *evstore.Store, topCreds int) {
+	farms := &report.Table{
+		Title:  "Farms",
+		Header: []string{"farm", "last seq", "frames", "events", "dup frames", "dup events"},
+	}
+	for _, f := range cst.Farms {
+		farms.AddRow(f.Name, f.LastSeq, f.Frames, f.Events, f.DupFrames, f.DupEvents)
+	}
+	farms.Note = fmt.Sprintf("transport: %d conns, %d auth failures, %.2fx compression",
+		cst.Conns, cst.AuthFailures, cst.CompressionRatio())
+
+	totals := &report.Table{
+		Title:  "Capture",
+		Header: []string{"metric", "value"},
+	}
+	totals.AddRow("events ingested", store.Events())
+	totals.AddRow("unique sources", store.UniqueIPs(evstore.Query{}))
+	totals.AddRow("total logins", store.Logins(evstore.Query{}))
+
+	creds := &report.Table{
+		Title:  "Top credentials",
+		Header: []string{"dbms", "user", "pass", "count"},
+	}
+	for i, c := range store.Creds(evstore.Query{}) {
+		if i >= topCreds {
+			break
+		}
+		creds.AddRow(c.DBMS, c.User, c.Pass, c.Count)
+	}
+
+	for _, t := range []*report.Table{farms, totals, creds} {
+		fmt.Fprintf(w, "=== Collector — %s ===\n%s\n", t.Title, t)
+	}
+}

@@ -6,12 +6,17 @@
 //
 // Usage:
 //
-//	dbsim [-seed N] [-scale N] [-logs DIR] [-bus-policy block|drop|adaptive]
+//	dbsim [-seed N] [-scale N] [-logs DIR] [-bus-policy block|drop|adaptive] [-forward ADDR,TOKEN]
 //
 // The default block policy is lossless and keeps the dataset a pure
 // function of the seed; -bus-policy adaptive (with -bus-highwater,
 // -bus-lowwater, -bus-source-budget, -bus-source-window) exercises the
 // per-source shedding a live farm would use under a hostile flood.
+//
+// With -forward host:port,token[,farm] the captured events also stream
+// to a dbcollect collector over the relay protocol. The forwarder runs
+// in blocking (lossless) mode here: a finite capture should arrive
+// complete, so dbsim waits for spool space rather than shedding.
 package main
 
 import (
@@ -23,10 +28,12 @@ import (
 	"os/signal"
 
 	"decoydb/internal/bus"
+	"decoydb/internal/cliflags"
 	"decoydb/internal/core"
 	"decoydb/internal/evstore"
 	"decoydb/internal/geoip"
 	"decoydb/internal/pipeline"
+	"decoydb/internal/relay"
 	"decoydb/internal/simnet"
 )
 
@@ -34,23 +41,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dbsim: ")
 	var (
-		seed      = flag.Int64("seed", 1, "simulation seed")
-		scale     = flag.Int("scale", simnet.DefaultScale, "brute-force volume divisor (1 = paper volume, slow)")
-		dir       = flag.String("logs", "honeypot-logs", "directory for honeypot log files")
-		policy    = flag.String("bus-policy", "block", "event bus backpressure policy: block (lossless, reproducible), drop or adaptive")
-		highWater = flag.Int("bus-highwater", 0, "adaptive: queue depth that starts per-source shedding (0 = 3/4 of queue)")
-		lowWater  = flag.Int("bus-lowwater", 0, "adaptive: queue depth that stops shedding (0 = 1/4 of queue)")
-		srcBudget = flag.Int("bus-source-budget", 0, "adaptive: events each source keeps per window while shedding (0 = default)")
-		srcWindow = flag.Duration("bus-source-window", 0, "adaptive: per-source budget window (0 = default)")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+		scale = flag.Int("scale", simnet.DefaultScale, "brute-force volume divisor (1 = paper volume, slow)")
+		dir   = flag.String("logs", "honeypot-logs", "directory for honeypot log files")
 	)
+	busFlags := cliflags.RegisterBus(flag.CommandLine, "block")
+	fwdFlag := cliflags.RegisterForward(flag.CommandLine)
 	flag.Parse()
 
-	busPolicy, err := bus.ParsePolicy(*policy)
+	busOpts, err := busFlags.Options()
 	if err != nil {
-		log.Fatalf("-bus-policy: %v", err)
+		log.Fatal(err)
 	}
-	if busPolicy != bus.Block {
-		log.Printf("warning: -bus-policy %s can shed events; the dataset is no longer a pure function of the seed", busPolicy)
+	if busOpts.Policy != bus.Block {
+		log.Printf("warning: -bus-policy %s can shed events; the dataset is no longer a pure function of the seed", busOpts.Policy)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -60,21 +64,32 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	sinks := []core.Sink{lw}
+	fwd, err := fwdFlag.Sink(relay.ForwardOptions{Farm: "dbsim", Block: true, Logf: log.Printf})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if fwd != nil {
+		sinks = append(sinks, fwd)
+	}
 	fmt.Printf("running 20-day deployment simulation (seed=%d scale=1/%d)...\n", *seed, *scale)
 	res, err := simnet.Run(ctx, simnet.Config{
-		Seed: *seed, Scale: *scale,
-		Bus: bus.Options{
-			Policy:    busPolicy,
-			HighWater: *highWater, LowWater: *lowWater,
-			SourceBudget: *srcBudget, SourceWindow: *srcWindow,
-		},
-	}, lw)
+		Seed: *seed, Scale: *scale, Bus: busOpts,
+	}, sinks...)
 	if err != nil {
 		lw.Close()
 		log.Fatal(err)
 	}
 	if err := lw.Close(); err != nil {
 		log.Fatal(err)
+	}
+	if fwd != nil {
+		// simnet.Run already flushed the forwarder; Close just reports
+		// whether anything non-recoverable happened.
+		if err := fwd.Close(); err != nil {
+			log.Printf("relay: %v", err)
+		}
+		fmt.Printf("forwarded: %s\n", fwd.Stats())
 	}
 	fmt.Printf("simulation done in %v: %d sessions (%d torn connections)\n",
 		res.Elapsed.Round(1e6), res.Sessions, res.Errors)

@@ -6,12 +6,18 @@
 // Events flow from sessions through the sharded async event bus
 // (internal/bus) into the log writer and a stats sink, so a flood on one
 // listener cannot stall the others: backpressure policy is configurable
-// (-buspolicy block|drop) and transport counters are logged periodically
-// (-statsevery).
+// (-bus-policy block|drop|adaptive) and transport counters are logged
+// periodically (-statsevery).
+//
+// With -forward host:port,token[,farm] the farm also streams every event
+// to a central dbcollect collector over the relay protocol: batched,
+// compressed, acknowledged, spooled across collector outages, and shed
+// with per-source accounting when the spool fills — a collector outage
+// costs bounded memory, never a stalled honeypot session.
 //
 // Usage:
 //
-//	decoydb [-listen 0.0.0.0] [-services mysql,redis,...] [-logs DIR] [-offset N]
+//	decoydb [-listen 0.0.0.0] [-services mysql,redis,...] [-logs DIR] [-offset N] [-forward ADDR,TOKEN]
 //
 // With -offset (e.g. 10000), services bind to port+offset so the farm can
 // run unprivileged: MySQL on 13306, Redis on 16379, and so on.
@@ -29,8 +35,10 @@ import (
 	"time"
 
 	"decoydb/internal/bus"
+	"decoydb/internal/cliflags"
 	"decoydb/internal/core"
 	"decoydb/internal/pipeline"
+	"decoydb/internal/relay"
 	"decoydb/internal/simnet"
 )
 
@@ -44,22 +52,18 @@ func main() {
 		offset    = flag.Int("offset", 10000, "port offset added to each service's default port (0 = real ports, needs privileges)")
 		fake      = flag.Bool("fakedata", true, "seed medium/high honeypots with bait data")
 		seed      = flag.Int64("seed", 42, "seed for bait data generation")
-		shards    = flag.Int("bus-shards", 0, "event bus shard count (0 = GOMAXPROCS)")
-		policy    = flag.String("bus-policy", "adaptive", "event bus backpressure policy under load: block, drop or adaptive")
-		highWater = flag.Int("bus-highwater", 0, "adaptive: queue depth that starts per-source shedding (0 = 3/4 of queue)")
-		lowWater  = flag.Int("bus-lowwater", 0, "adaptive: queue depth that stops shedding (0 = 1/4 of queue)")
-		srcBudget = flag.Int("bus-source-budget", 0, "adaptive: events each source keeps per window while shedding (0 = default)")
-		srcWindow = flag.Duration("bus-source-window", 0, "adaptive: per-source budget window (0 = default)")
 		statsEach = flag.Duration("statsevery", time.Minute, "interval between transport stats log lines (0 = off)")
 	)
-	flag.Parse()
-
 	// A live farm sheds load rather than letting a hostile flood stall
 	// every honeypot behind a slow disk; adaptive shedding caps the
 	// flooding source while keeping everyone else lossless.
-	busPolicy, err := bus.ParsePolicy(*policy)
+	busFlags := cliflags.RegisterBus(flag.CommandLine, "adaptive")
+	fwdFlag := cliflags.RegisterForward(flag.CommandLine)
+	flag.Parse()
+
+	busOpts, err := busFlags.Options()
 	if err != nil {
-		log.Fatalf("-bus-policy: %v", err)
+		log.Fatal(err)
 	}
 
 	enabled := map[string]bool{}
@@ -73,11 +77,18 @@ func main() {
 	}
 
 	stats := &bus.StatsSink{}
-	evbus := bus.New(bus.Options{
-		Shards: *shards, Policy: busPolicy,
-		HighWater: *highWater, LowWater: *lowWater,
-		SourceBudget: *srcBudget, SourceWindow: *srcWindow,
-	}, lw, stats)
+	sinks := []core.Sink{lw, stats}
+	// Live forwarding must never stall sessions: leave Block unset so a
+	// collector outage degrades to bounded spooling, then accounted
+	// shedding.
+	fwd, err := fwdFlag.Sink(relay.ForwardOptions{Farm: "live", Logf: log.Printf})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if fwd != nil {
+		sinks = append(sinks, fwd)
+	}
+	evbus := bus.New(busOpts, sinks...)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -118,7 +129,10 @@ func main() {
 		}
 		log.Printf("%s honeypot (%s interaction) listening on %s", info.DBMS, info.Level, addr)
 	}
-	log.Printf("logging to %s via %d-shard bus (%s policy) — ctrl-c to stop", *dir, evbus.Stats().Shards, busPolicy)
+	log.Printf("logging to %s via %d-shard bus (%s policy) — ctrl-c to stop", *dir, evbus.Stats().Shards, busOpts.Policy)
+	if fwd != nil {
+		log.Printf("forwarding events to collector (farm %q)", fwd.Stats().Farm)
+	}
 
 	if *statsEach > 0 {
 		go func() {
@@ -131,6 +145,9 @@ func main() {
 				case <-t.C:
 					log.Printf("%s", evbus.Stats())
 					log.Printf("%s", stats.Counts())
+					if fwd != nil {
+						log.Printf("%s", fwd.Stats())
+					}
 				}
 			}
 		}()
@@ -144,6 +161,15 @@ func main() {
 	}
 	log.Printf("final %s", evbus.Stats())
 	log.Printf("final %s", stats.Counts())
+	if fwd != nil {
+		// Give spooled frames one last chance to reach the collector,
+		// then report exactly what made it and what did not.
+		fwd.Flush()
+		if err := fwd.Close(); err != nil {
+			log.Printf("relay: %v", err)
+		}
+		log.Printf("final %s", fwd.Stats())
+	}
 	if err := lw.Close(); err != nil {
 		log.Printf("log writer: %v (%d write failures)", err, lw.ErrCount())
 	}

@@ -1,0 +1,261 @@
+package bus
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"decoydb/internal/core"
+)
+
+// SampleOptions configure a SampleSink.
+type SampleOptions struct {
+	// Threshold is how many events per source per Window pass through at
+	// full fidelity. 0 means DefaultSampleThreshold.
+	Threshold int
+	// N is the sampling divisor past the threshold: of each further N
+	// events from a hot source, one is kept. 0 means DefaultSampleN.
+	N int
+	// Window is the rate window, measured on event time (the one clock
+	// that is correct for both the compressed simulator and a live
+	// farm). 0 means DefaultSampleWindow.
+	Window time.Duration
+	// MaxSources bounds the per-source tracking table (LRU-evicted).
+	// 0 means DefaultMaxSources.
+	MaxSources int
+}
+
+// Defaults for SampleOptions.
+const (
+	DefaultSampleThreshold = 100
+	DefaultSampleN         = 10
+	DefaultSampleWindow    = time.Minute
+)
+
+func (o SampleOptions) withDefaults() SampleOptions {
+	if o.Threshold <= 0 {
+		o.Threshold = DefaultSampleThreshold
+	}
+	if o.N <= 0 {
+		o.N = DefaultSampleN
+	}
+	if o.Window <= 0 {
+		o.Window = DefaultSampleWindow
+	}
+	if o.MaxSources <= 0 {
+		o.MaxSources = DefaultMaxSources
+	}
+	return o
+}
+
+// sampleState tracks one source's rate window. Entries form an intrusive
+// LRU list exactly like the adaptive shedder's sourceTable.
+type sampleState struct {
+	addr        netip.Addr
+	windowStart time.Time
+	seen        int // events seen in the current window
+	dropped     uint64
+	prev, next  *sampleState
+}
+
+// SampleSink wraps another sink and thins hot sources: each source's
+// first Threshold events per Window pass through untouched, and past
+// that only one in N is forwarded. Quiet sources are never sampled, so
+// the long tail of distinct attackers — the part the analyses care
+// about — stays lossless while a single flooding IP cannot dominate a
+// downstream store or forwarder.
+//
+// Dropping here is a deliberate analysis choice, not backpressure, so
+// it is accounted separately from the bus's shed counters.
+type SampleSink struct {
+	inner core.Sink
+	batch core.BatchSink
+	opts  SampleOptions
+
+	mu         sync.Mutex
+	m          map[netip.Addr]*sampleState
+	head, tail *sampleState
+
+	offered    uint64
+	kept       uint64
+	dropped    uint64
+	droppedEvt uint64 // dropped counts lost to LRU eviction
+}
+
+// NewSampleSink wraps inner with per-source rate sampling.
+func NewSampleSink(inner core.Sink, opts SampleOptions) *SampleSink {
+	s := &SampleSink{
+		inner: inner,
+		opts:  opts.withDefaults(),
+		m:     make(map[netip.Addr]*sampleState),
+	}
+	if bs, ok := inner.(core.BatchSink); ok {
+		s.batch = bs
+	}
+	return s
+}
+
+// keepLocked decides whether one event passes the sampler.
+func (s *SampleSink) keepLocked(e core.Event) bool {
+	st := s.m[e.Src.Addr()]
+	if st == nil {
+		st = s.insertLocked(e.Src.Addr(), e.Time)
+	} else {
+		s.touchLocked(st)
+		if e.Time.Sub(st.windowStart) >= s.opts.Window {
+			st.windowStart = e.Time
+			st.seen = 0
+		}
+	}
+	st.seen++
+	if st.seen <= s.opts.Threshold {
+		return true
+	}
+	// Past the threshold keep the first of each N: deterministic, and
+	// the transition from full fidelity to sampling starts immediately.
+	if (st.seen-s.opts.Threshold-1)%s.opts.N == 0 {
+		return true
+	}
+	st.dropped++
+	return false
+}
+
+func (s *SampleSink) insertLocked(addr netip.Addr, t time.Time) *sampleState {
+	if len(s.m) >= s.opts.MaxSources {
+		ev := s.tail
+		s.unlinkLocked(ev)
+		delete(s.m, ev.addr)
+		s.droppedEvt += ev.dropped
+	}
+	st := &sampleState{addr: addr, windowStart: t}
+	s.m[addr] = st
+	s.pushFrontLocked(st)
+	return st
+}
+
+func (s *SampleSink) touchLocked(st *sampleState) {
+	if s.head == st {
+		return
+	}
+	s.unlinkLocked(st)
+	s.pushFrontLocked(st)
+}
+
+func (s *SampleSink) pushFrontLocked(st *sampleState) {
+	st.prev = nil
+	st.next = s.head
+	if s.head != nil {
+		s.head.prev = st
+	}
+	s.head = st
+	if s.tail == nil {
+		s.tail = st
+	}
+}
+
+func (s *SampleSink) unlinkLocked(st *sampleState) {
+	if st.prev != nil {
+		st.prev.next = st.next
+	} else {
+		s.head = st.next
+	}
+	if st.next != nil {
+		st.next.prev = st.prev
+	} else {
+		s.tail = st.prev
+	}
+	st.prev, st.next = nil, nil
+}
+
+// Record implements core.Sink.
+func (s *SampleSink) Record(e core.Event) {
+	s.mu.Lock()
+	s.offered++
+	keep := s.keepLocked(e)
+	if keep {
+		s.kept++
+	} else {
+		s.dropped++
+	}
+	s.mu.Unlock()
+	if keep {
+		s.inner.Record(e)
+	}
+}
+
+// RecordBatch implements core.BatchSink. Kept events are copied into a
+// fresh slice — the input batch is shared with the bus's other sinks and
+// must not be compacted in place.
+func (s *SampleSink) RecordBatch(events []core.Event) error {
+	s.mu.Lock()
+	s.offered += uint64(len(events))
+	keep := events
+	copied := false
+	for i, e := range events {
+		if s.keepLocked(e) {
+			if copied {
+				keep = append(keep, e)
+			}
+			continue
+		}
+		if !copied {
+			// First drop: switch to a filtered copy of the batch.
+			keep = make([]core.Event, i, len(events))
+			copy(keep, events[:i])
+			copied = true
+		}
+	}
+	s.kept += uint64(len(keep))
+	s.dropped += uint64(len(events) - len(keep))
+	s.mu.Unlock()
+
+	if len(keep) == 0 {
+		return nil
+	}
+	if s.batch != nil {
+		return s.batch.RecordBatch(keep)
+	}
+	for _, e := range keep {
+		s.inner.Record(e)
+	}
+	return nil
+}
+
+// Flush forwards to the wrapped sink when it is a core.Flusher.
+func (s *SampleSink) Flush() {
+	if fl, ok := s.inner.(core.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// SampleStats is a point-in-time snapshot of sampler counters.
+// Offered = Kept + Dropped always holds.
+type SampleStats struct {
+	Offered uint64
+	Kept    uint64
+	Dropped uint64
+	Sources int // sources currently tracked
+	// DroppedEvicted counts drops whose per-source attribution was lost
+	// to LRU eviction (already included in Dropped).
+	DroppedEvicted uint64
+}
+
+// String renders the snapshot for a log line.
+func (s SampleStats) String() string {
+	return fmt.Sprintf("sample: offered=%d kept=%d dropped=%d sources=%d",
+		s.Offered, s.Kept, s.Dropped, s.Sources)
+}
+
+// Stats snapshots the counters.
+func (s *SampleSink) Stats() SampleStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SampleStats{
+		Offered:        s.offered,
+		Kept:           s.kept,
+		Dropped:        s.dropped,
+		Sources:        len(s.m),
+		DroppedEvicted: s.droppedEvt,
+	}
+}

@@ -1,0 +1,133 @@
+package bus
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"decoydb/internal/core"
+)
+
+// batchRecorder captures forwarded batches and checks the sampler hands
+// it slices it may keep (i.e. never the caller's shared batch storage).
+type batchRecorder struct {
+	events  []core.Event
+	batches int
+}
+
+func (r *batchRecorder) Record(e core.Event) { r.events = append(r.events, e) }
+func (r *batchRecorder) RecordBatch(events []core.Event) error {
+	r.batches++
+	r.events = append(r.events, events...)
+	return nil
+}
+
+func sampleEvent(addr netip.Addr, t time.Time) core.Event {
+	return core.Event{Time: t, Src: netip.AddrPortFrom(addr, 12345), Kind: core.EventCommand}
+}
+
+func TestSampleSinkQuietSourcesUntouched(t *testing.T) {
+	rec := &batchRecorder{}
+	s := NewSampleSink(rec, SampleOptions{Threshold: 10, N: 5})
+	start := time.Unix(0, 0)
+	// 20 sources, each below the threshold: everything passes.
+	for i := 0; i < 20; i++ {
+		addr := netip.AddrFrom4([4]byte{10, 0, 0, byte(i)})
+		for j := 0; j < 10; j++ {
+			s.Record(sampleEvent(addr, start.Add(time.Duration(j)*time.Second)))
+		}
+	}
+	if len(rec.events) != 200 {
+		t.Fatalf("forwarded %d events, want all 200", len(rec.events))
+	}
+	st := s.Stats()
+	if st.Dropped != 0 || st.Kept != 200 || st.Sources != 20 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestSampleSinkThinsHotSource(t *testing.T) {
+	rec := &batchRecorder{}
+	s := NewSampleSink(rec, SampleOptions{Threshold: 100, N: 10, Window: time.Minute})
+	start := time.Unix(0, 0)
+	hot := netip.AddrFrom4([4]byte{203, 0, 113, 7})
+	// 1100 events inside one window: 100 at full fidelity, then 1-in-10
+	// of the remaining 1000.
+	for i := 0; i < 1100; i++ {
+		s.Record(sampleEvent(hot, start.Add(time.Duration(i)*time.Millisecond)))
+	}
+	want := 100 + 1000/10
+	if len(rec.events) != want {
+		t.Fatalf("forwarded %d events, want %d", len(rec.events), want)
+	}
+	st := s.Stats()
+	if st.Offered != 1100 || st.Kept != uint64(want) || st.Kept+st.Dropped != st.Offered {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// A new window resets the source to full fidelity.
+	s.Record(sampleEvent(hot, start.Add(2*time.Minute)))
+	if len(rec.events) != want+1 {
+		t.Fatalf("event in fresh window was sampled away")
+	}
+}
+
+func TestSampleSinkBatchDoesNotMutateInput(t *testing.T) {
+	rec := &batchRecorder{}
+	s := NewSampleSink(rec, SampleOptions{Threshold: 2, N: 100, Window: time.Hour})
+	start := time.Unix(0, 0)
+	hot := netip.AddrFrom4([4]byte{198, 51, 100, 1})
+	quiet := netip.AddrFrom4([4]byte{198, 51, 100, 2})
+	batch := []core.Event{
+		sampleEvent(hot, start),
+		sampleEvent(hot, start.Add(time.Second)),
+		sampleEvent(hot, start.Add(2*time.Second)), // over threshold: kept (first of N)
+		sampleEvent(hot, start.Add(3*time.Second)), // dropped
+		sampleEvent(quiet, start.Add(4*time.Second)),
+	}
+	orig := make([]core.Event, len(batch))
+	copy(orig, batch)
+
+	if err := s.RecordBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	// The shared input slice is handed to every bus sink in turn; the
+	// sampler must filter into its own copy, never compact in place.
+	for i := range batch {
+		if batch[i] != orig[i] {
+			t.Fatalf("input batch mutated at %d", i)
+		}
+	}
+	if len(rec.events) != 4 {
+		t.Fatalf("forwarded %d events, want 4", len(rec.events))
+	}
+	if rec.events[3].Src.Addr() != quiet {
+		t.Fatalf("quiet source's event lost: %+v", rec.events)
+	}
+	if rec.batches != 1 {
+		t.Fatalf("batch path not used: %d", rec.batches)
+	}
+}
+
+func TestSampleSinkEvictionKeepsTotals(t *testing.T) {
+	rec := &batchRecorder{}
+	s := NewSampleSink(rec, SampleOptions{Threshold: 1, N: 2, MaxSources: 4, Window: time.Hour})
+	start := time.Unix(0, 0)
+	// Push 16 sources through a 4-entry table, each over threshold.
+	for i := 0; i < 16; i++ {
+		addr := netip.AddrFrom4([4]byte{10, 1, 0, byte(i)})
+		for j := 0; j < 4; j++ {
+			s.Record(sampleEvent(addr, start.Add(time.Duration(j)*time.Second)))
+		}
+	}
+	st := s.Stats()
+	if st.Sources != 4 {
+		t.Fatalf("table grew past MaxSources: %d", st.Sources)
+	}
+	if st.Offered != 64 || st.Kept+st.Dropped != st.Offered {
+		t.Fatalf("totals broken after eviction: %+v", st)
+	}
+	if st.DroppedEvicted == 0 {
+		t.Fatalf("expected evicted drop attribution: %+v", st)
+	}
+}

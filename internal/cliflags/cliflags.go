@@ -1,0 +1,95 @@
+// Package cliflags holds flag groups shared by the command-line
+// binaries, so dbsim and decoydb register the event-bus and relay
+// forwarding knobs once, with one set of names and help strings,
+// instead of drifting apart flag by flag.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"decoydb/internal/bus"
+	"decoydb/internal/relay"
+)
+
+// Bus carries the shared event-bus flag values after flag parsing.
+type Bus struct {
+	Shards       *int
+	Policy       *string
+	HighWater    *int
+	LowWater     *int
+	SourceBudget *int
+	SourceWindow *time.Duration
+}
+
+// RegisterBus registers the event-bus backpressure flags on fs.
+// defaultPolicy differs by binary: dbsim defaults to the lossless
+// "block" (the dataset must be a pure function of the seed), decoydb to
+// "adaptive" (a live farm sheds a hostile flood instead of stalling).
+func RegisterBus(fs *flag.FlagSet, defaultPolicy string) *Bus {
+	return &Bus{
+		Shards:       fs.Int("bus-shards", 0, "event bus shard count (0 = GOMAXPROCS)"),
+		Policy:       fs.String("bus-policy", defaultPolicy, "event bus backpressure policy under load: block, drop or adaptive"),
+		HighWater:    fs.Int("bus-highwater", 0, "adaptive: queue depth that starts per-source shedding (0 = 3/4 of queue)"),
+		LowWater:     fs.Int("bus-lowwater", 0, "adaptive: queue depth that stops shedding (0 = 1/4 of queue)"),
+		SourceBudget: fs.Int("bus-source-budget", 0, "adaptive: events each source keeps per window while shedding (0 = default)"),
+		SourceWindow: fs.Duration("bus-source-window", 0, "adaptive: per-source budget window (0 = default)"),
+	}
+}
+
+// Options resolves the parsed flags into bus.Options.
+func (b *Bus) Options() (bus.Options, error) {
+	policy, err := bus.ParsePolicy(*b.Policy)
+	if err != nil {
+		return bus.Options{}, fmt.Errorf("-bus-policy: %w", err)
+	}
+	return bus.Options{
+		Shards: *b.Shards, Policy: policy,
+		HighWater: *b.HighWater, LowWater: *b.LowWater,
+		SourceBudget: *b.SourceBudget, SourceWindow: *b.SourceWindow,
+	}, nil
+}
+
+// Forward carries the -forward flag value after flag parsing.
+type Forward struct {
+	Spec *string
+}
+
+// RegisterForward registers the -forward flag on fs: "addr,token" with
+// an optional ",farm" naming this sender in the collector's books.
+func RegisterForward(fs *flag.FlagSet) *Forward {
+	return &Forward{
+		Spec: fs.String("forward", "", "forward events to a dbcollect collector: host:port,token[,farm]"),
+	}
+}
+
+// Enabled reports whether the flag was set.
+func (f *Forward) Enabled() bool { return *f.Spec != "" }
+
+// Sink builds a relay.ForwardSink from the parsed flag, using base for
+// everything the flag does not carry (Block, spool sizes, Logf, ...).
+// It returns (nil, nil) when the flag was not set.
+func (f *Forward) Sink(base relay.ForwardOptions) (*relay.ForwardSink, error) {
+	if !f.Enabled() {
+		return nil, nil
+	}
+	addr, rest, ok := strings.Cut(*f.Spec, ",")
+	if !ok {
+		return nil, fmt.Errorf("-forward: want host:port,token[,farm], got %q", *f.Spec)
+	}
+	token, farm, _ := strings.Cut(rest, ",")
+	if addr == "" || token == "" {
+		return nil, fmt.Errorf("-forward: want host:port,token[,farm], got %q", *f.Spec)
+	}
+	base.Addr, base.Token = addr, token
+	if farm != "" {
+		base.Farm = farm
+	}
+	sink, err := relay.NewForwardSink(base)
+	if err != nil {
+		return nil, fmt.Errorf("-forward: %w", err)
+	}
+	return sink, nil
+}

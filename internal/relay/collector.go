@@ -1,0 +1,406 @@
+package relay
+
+import (
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"decoydb/internal/core"
+	"decoydb/internal/wire"
+)
+
+// CollectorOptions configure a Collector. Token is required.
+type CollectorOptions struct {
+	// Token is the shared secret every forwarder must present. Compared
+	// in constant time; a mismatch closes the connection without a
+	// response (the port is Internet-facing — it should look like
+	// nothing to a scanner).
+	Token string
+	// MaxFrame caps one frame on the wire. 0 means DefaultMaxFrame.
+	MaxFrame int
+	// Limits bound per-frame decode allocations.
+	Limits Limits
+	// HelloTimeout is how long a fresh connection gets to present a
+	// valid HELLO. 0 means DefaultHelloTimeout.
+	HelloTimeout time.Duration
+	// WriteTimeout bounds each ACK write. 0 means DefaultWriteTimeout.
+	WriteTimeout time.Duration
+	// Logf, when non-nil, receives operational diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// DefaultHelloTimeout is how long an unauthenticated connection may sit
+// before being cut.
+const DefaultHelloTimeout = 10 * time.Second
+
+func (o CollectorOptions) withDefaults() CollectorOptions {
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = DefaultMaxFrame
+	}
+	o.Limits = o.Limits.withDefaults()
+	if o.HelloTimeout <= 0 {
+		o.HelloTimeout = DefaultHelloTimeout
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = DefaultWriteTimeout
+	}
+	return o
+}
+
+// farmState is the per-farm dedup and accounting record. Ingest and ack
+// for one farm serialise on its mutex, so a farm that reconnects while
+// its old connection drains cannot interleave batches.
+type farmState struct {
+	mu        sync.Mutex
+	last      uint64 // highest ingested sequence
+	frames    uint64
+	events    uint64
+	dupFrames uint64
+	dupEvents uint64
+}
+
+// collSink pairs one local sink with its batch capability.
+type collSink struct {
+	sink  core.Sink
+	batch core.BatchSink
+}
+
+// Collector terminates relay connections on the analysis host:
+// authenticate (shared token), decode frames, dedup on (farm,
+// sequence), fan each decoded batch into the local sinks (evstore,
+// StatsSink, ...), and acknowledge. It is the receiving half of the
+// at-least-once contract: the forwarder retransmits until acked, the
+// collector ingests each (farm, sequence) exactly once.
+//
+// Serve may be called repeatedly (and concurrently, for multiple
+// listeners); Close stops all current listeners and connections but
+// keeps the dedup state, so a collector can be bounced — or re-armed on
+// a fresh listener after a crash drill — without double counting.
+type Collector struct {
+	opts  CollectorOptions
+	sinks []collSink
+
+	mu     sync.Mutex
+	lns    map[net.Listener]struct{}
+	conns  map[net.Conn]struct{}
+	farms  map[string]*farmState
+	closed bool // true while Close is tearing down; reset by Serve
+
+	wg sync.WaitGroup
+
+	conns_    atomic.Uint64
+	auths     atomic.Uint64 // authenticated connections
+	authFails atomic.Uint64
+	badFrames atomic.Uint64
+	frames    atomic.Uint64
+	events    atomic.Uint64
+	dupFrames atomic.Uint64
+	dupEvents atomic.Uint64
+	wireBytes atomic.Uint64
+	rawBytes  atomic.Uint64
+	sinkErrs  atomic.Uint64
+
+	errMu    sync.Mutex
+	firstErr error
+}
+
+// NewCollector creates a collector fanning decoded batches into sinks.
+// At least one sink is required.
+func NewCollector(opts CollectorOptions, sinks ...core.Sink) (*Collector, error) {
+	if opts.Token == "" {
+		return nil, fmt.Errorf("relay: collector: empty token")
+	}
+	if len(sinks) == 0 {
+		return nil, fmt.Errorf("relay: collector: no sinks registered")
+	}
+	c := &Collector{
+		opts:  opts.withDefaults(),
+		lns:   make(map[net.Listener]struct{}),
+		conns: make(map[net.Conn]struct{}),
+		farms: make(map[string]*farmState),
+	}
+	for _, s := range sinks {
+		cs := collSink{sink: s}
+		if bs, ok := s.(core.BatchSink); ok {
+			cs.batch = bs
+		}
+		c.sinks = append(c.sinks, cs)
+	}
+	return c, nil
+}
+
+// Serve accepts relay connections on ln until the listener is closed
+// (by the caller or by Close). It returns nil on a clean close.
+func (c *Collector) Serve(ln net.Listener) error {
+	c.mu.Lock()
+	c.closed = false
+	c.lns[ln] = struct{}{}
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.lns, ln)
+		c.mu.Unlock()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("relay: accept: %w", err)
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		c.conns[conn] = struct{}{}
+		c.mu.Unlock()
+		c.conns_.Add(1)
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.handle(conn)
+			c.mu.Lock()
+			delete(c.conns, conn)
+			c.mu.Unlock()
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves until the collector is
+// closed. It returns the bound address on a channel-free path by
+// binding synchronously before serving.
+func (c *Collector) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("relay: listen %s: %w", addr, err)
+	}
+	return c.Serve(ln)
+}
+
+// Close stops serving: every registered listener and live connection is
+// closed and in-flight handlers are awaited. Dedup and stats state is
+// retained — Serve may be called again and reconnecting farms resume
+// where their acks left off. Close only affects listeners Serve has
+// already registered: when re-arming, wait for Stats().Listeners to
+// reflect the new Serve before a subsequent Close (a Close racing a
+// just-started Serve leaves that listener running).
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	for ln := range c.lns {
+		ln.Close()
+	}
+	for conn := range c.conns {
+		conn.Close()
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+	return c.Err()
+}
+
+// Err returns the first sink delivery error observed so far.
+func (c *Collector) Err() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.firstErr
+}
+
+func (c *Collector) noteErr(err error) {
+	c.errMu.Lock()
+	if c.firstErr == nil {
+		c.firstErr = err
+	}
+	c.errMu.Unlock()
+}
+
+func (c *Collector) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+func (c *Collector) farm(name string) *farmState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fs, ok := c.farms[name]
+	if !ok {
+		fs = &farmState{}
+		c.farms[name] = fs
+	}
+	return fs
+}
+
+// handle runs one authenticated connection to completion.
+func (c *Collector) handle(conn net.Conn) {
+	defer conn.Close()
+
+	// Authentication: one frame, bounded wait, constant-time compare,
+	// silent close on failure.
+	_ = conn.SetReadDeadline(time.Now().Add(c.opts.HelloTimeout))
+	body, err := wire.ReadFrame(conn, c.opts.MaxFrame)
+	if err != nil {
+		c.authFails.Add(1)
+		return
+	}
+	token, farm, err := decodeHello(body)
+	if err != nil || subtle.ConstantTimeCompare([]byte(token), []byte(c.opts.Token)) != 1 {
+		c.authFails.Add(1)
+		c.logf("relay: %s: rejected hello", conn.RemoteAddr())
+		return
+	}
+	c.auths.Add(1)
+	_ = conn.SetReadDeadline(time.Time{})
+	fs := c.farm(farm)
+
+	for {
+		body, err := wire.ReadFrame(conn, c.opts.MaxFrame)
+		if err != nil {
+			return // EOF / reset: the forwarder reconnects and retransmits
+		}
+		c.wireBytes.Add(uint64(4 + len(body)))
+		seq, events, rawLen, err := DecodeBatch(body, c.opts.Limits)
+		if err != nil {
+			// Frame-level corruption past auth is either a version skew
+			// or an attack; drop the connection rather than resyncing.
+			c.badFrames.Add(1)
+			c.logf("relay: %s (%s): bad frame: %v", conn.RemoteAddr(), farm, err)
+			return
+		}
+		c.rawBytes.Add(uint64(rawLen))
+
+		fs.mu.Lock()
+		if seq <= fs.last {
+			fs.dupFrames++
+			fs.dupEvents += uint64(len(events))
+			c.dupFrames.Add(1)
+			c.dupEvents.Add(uint64(len(events)))
+		} else {
+			c.ingest(events)
+			fs.last = seq
+			fs.frames++
+			fs.events += uint64(len(events))
+			c.frames.Add(1)
+			c.events.Add(uint64(len(events)))
+		}
+		fs.mu.Unlock()
+
+		// Ack after ingest: an unacked frame is by definition not yet in
+		// the sinks, so the forwarder's retransmit can never lose data —
+		// only produce a dup the sequence check absorbs.
+		_ = conn.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout))
+		if err := wire.WriteFrame(conn, encodeAck(seq)); err != nil {
+			return
+		}
+	}
+}
+
+// ingest fans one decoded batch into every local sink.
+func (c *Collector) ingest(events []core.Event) {
+	for _, s := range c.sinks {
+		if s.batch != nil {
+			if err := s.batch.RecordBatch(events); err != nil {
+				c.sinkErrs.Add(1)
+				c.noteErr(fmt.Errorf("relay: sink %T: %w", s.sink, err))
+			}
+			continue
+		}
+		for _, e := range events {
+			s.sink.Record(e)
+		}
+	}
+}
+
+// FarmStats is the per-farm slice of CollectorStats.
+type FarmStats struct {
+	Name      string
+	LastSeq   uint64
+	Frames    uint64
+	Events    uint64
+	DupFrames uint64
+	DupEvents uint64
+}
+
+// CollectorStats is a point-in-time snapshot of collector counters.
+// Events counts each (farm, sequence) exactly once; retransmitted
+// duplicates are visible separately.
+type CollectorStats struct {
+	Conns        uint64 // accepted connections
+	Active       int    // currently open
+	Listeners    int    // listeners currently registered by Serve
+	Auths        uint64 // connections that passed the token check
+	AuthFailures uint64
+	BadFrames    uint64
+
+	Frames    uint64
+	Events    uint64 // deduplicated ingested events
+	DupFrames uint64
+	DupEvents uint64
+	WireBytes uint64
+	RawBytes  uint64
+
+	SinkErrors uint64
+	Farms      []FarmStats // sorted by name
+}
+
+// CompressionRatio is uncompressed/compressed bytes received.
+func (s CollectorStats) CompressionRatio() float64 {
+	if s.WireBytes == 0 {
+		return 0
+	}
+	return float64(s.RawBytes) / float64(s.WireBytes)
+}
+
+// String renders the snapshot as one operational log line.
+func (s CollectorStats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "collector: conns=%d/%d ingested=%dev/%dfr dup=%dev ratio=%.2f",
+		s.Active, s.Conns, s.Events, s.Frames, s.DupEvents, s.CompressionRatio())
+	if s.AuthFailures > 0 || s.BadFrames > 0 {
+		fmt.Fprintf(&sb, " rejected[auth=%d frames=%d]", s.AuthFailures, s.BadFrames)
+	}
+	for _, f := range s.Farms {
+		fmt.Fprintf(&sb, " | %s: seq=%d %dev", f.Name, f.LastSeq, f.Events)
+	}
+	return sb.String()
+}
+
+// Stats snapshots the counters. Safe to call concurrently with serving.
+func (c *Collector) Stats() CollectorStats {
+	st := CollectorStats{
+		Conns:        c.conns_.Load(),
+		Auths:        c.auths.Load(),
+		AuthFailures: c.authFails.Load(),
+		BadFrames:    c.badFrames.Load(),
+		Frames:       c.frames.Load(),
+		Events:       c.events.Load(),
+		DupFrames:    c.dupFrames.Load(),
+		DupEvents:    c.dupEvents.Load(),
+		WireBytes:    c.wireBytes.Load(),
+		RawBytes:     c.rawBytes.Load(),
+		SinkErrors:   c.sinkErrs.Load(),
+	}
+	c.mu.Lock()
+	st.Active = len(c.conns)
+	st.Listeners = len(c.lns)
+	for name, fs := range c.farms {
+		fs.mu.Lock()
+		st.Farms = append(st.Farms, FarmStats{
+			Name: name, LastSeq: fs.last,
+			Frames: fs.frames, Events: fs.events,
+			DupFrames: fs.dupFrames, DupEvents: fs.dupEvents,
+		})
+		fs.mu.Unlock()
+	}
+	c.mu.Unlock()
+	sort.Slice(st.Farms, func(i, j int) bool { return st.Farms[i].Name < st.Farms[j].Name })
+	return st
+}

@@ -1,0 +1,643 @@
+package relay
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"decoydb/internal/core"
+	"decoydb/internal/wire"
+)
+
+// ForwardOptions configure a ForwardSink. Addr and Token are required.
+type ForwardOptions struct {
+	// Addr is the collector's host:port.
+	Addr string
+	// Token is the shared secret presented in the HELLO frame.
+	Token string
+	// Farm names this forwarder in the collector's dedup and stats
+	// tables. Defaults to "farm". Two live farms must use distinct names
+	// or their sequence spaces collide.
+	Farm string
+
+	// Block, when set, makes RecordBatch wait for spool space instead of
+	// shedding — the lossless choice for forwarding a finite capture
+	// (cmd/dbsim). A live farm leaves it unset: a collector outage must
+	// cost bounded memory, not stalled honeypot sessions.
+	Block bool
+
+	// FrameEvents is the target events per frame; pending events are cut
+	// into a frame when they reach it (or earlier, whenever the writer is
+	// idle). 0 means DefaultFrameEvents.
+	FrameEvents int
+	// SpoolFrames caps encoded frames buffered while unacked. 0 means
+	// DefaultSpoolFrames.
+	SpoolFrames int
+	// SpoolBytes caps the wire bytes those frames occupy. 0 means
+	// DefaultSpoolBytes.
+	SpoolBytes int64
+
+	// CompressionLevel is the compress/flate level for batch payloads.
+	// 0 means flate.BestSpeed.
+	CompressionLevel int
+
+	// DialTimeout, WriteTimeout and FlushTimeout bound connection
+	// attempts, single frame writes, and Flush respectively. Zero values
+	// take the package defaults.
+	DialTimeout  time.Duration
+	WriteTimeout time.Duration
+	FlushTimeout time.Duration
+	// MinBackoff/MaxBackoff bound the jittered exponential reconnect
+	// backoff. Zero values take the package defaults.
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+
+	// MaxShedSources bounds the per-source shed-accounting table; sheds
+	// beyond it count as unattributed (totals stay exact). 0 means
+	// DefaultMaxShedSources.
+	MaxShedSources int
+	// TopShedders is the length of Stats.Shedders. 0 means
+	// DefaultTopShedders.
+	TopShedders int
+
+	// Logf, when non-nil, receives operational diagnostics (reconnects,
+	// write failures).
+	Logf func(format string, args ...any)
+}
+
+// Defaults for ForwardOptions.
+const (
+	DefaultFrameEvents    = 512
+	DefaultSpoolFrames    = 1024
+	DefaultSpoolBytes     = 64 << 20
+	DefaultDialTimeout    = 5 * time.Second
+	DefaultWriteTimeout   = 10 * time.Second
+	DefaultFlushTimeout   = 5 * time.Second
+	DefaultMinBackoff     = 100 * time.Millisecond
+	DefaultMaxBackoff     = 5 * time.Second
+	DefaultMaxShedSources = 4096
+	DefaultTopShedders    = 8
+)
+
+func (o ForwardOptions) withDefaults() ForwardOptions {
+	if o.Farm == "" {
+		o.Farm = "farm"
+	}
+	if o.FrameEvents <= 0 {
+		o.FrameEvents = DefaultFrameEvents
+	}
+	if o.SpoolFrames <= 0 {
+		o.SpoolFrames = DefaultSpoolFrames
+	}
+	if o.SpoolBytes <= 0 {
+		o.SpoolBytes = DefaultSpoolBytes
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = DefaultDialTimeout
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = DefaultWriteTimeout
+	}
+	if o.FlushTimeout <= 0 {
+		o.FlushTimeout = DefaultFlushTimeout
+	}
+	if o.MinBackoff <= 0 {
+		o.MinBackoff = DefaultMinBackoff
+	}
+	if o.MaxBackoff < o.MinBackoff {
+		o.MaxBackoff = DefaultMaxBackoff
+	}
+	if o.MaxBackoff < o.MinBackoff {
+		o.MaxBackoff = o.MinBackoff
+	}
+	if o.MaxShedSources <= 0 {
+		o.MaxShedSources = DefaultMaxShedSources
+	}
+	if o.TopShedders <= 0 {
+		o.TopShedders = DefaultTopShedders
+	}
+	return o
+}
+
+// spoolFrame is one encoded, unacked batch.
+type spoolFrame struct {
+	seq    uint64
+	events int
+	body   []byte
+}
+
+// ForwardSink streams events to a relay collector. It implements
+// core.Sink, core.BatchSink and core.Flusher, so it registers on the
+// event bus like any local sink; batches arrive on bus worker
+// goroutines, are encoded into frames and spooled, and a background pump
+// goroutine owns the TCP connection: dial, HELLO, write frames with a
+// deadline, read cumulative ACKs, reconnect with jittered exponential
+// backoff, retransmitting everything unacked after each reconnect.
+//
+// When the spool hits its frame/byte bound (collector down, or slower
+// than the farm), new events are shed with per-source accounting — the
+// same degrade-don't-stall contract as the bus's Adaptive policy — so
+// Stats always satisfies: events enqueued = acked + in flight (spool +
+// pending) and events offered = enqueued + shed.
+type ForwardSink struct {
+	opts ForwardOptions
+
+	mu   sync.Mutex
+	cond sync.Cond // new data, acks, disconnects, stop
+
+	pending []core.Event  // not yet framed
+	spool   []*spoolFrame // framed, FIFO; [0:sentIdx) written on current conn
+	sentIdx int
+	spoolEv int
+	spoolB  int64
+	nextSeq uint64
+
+	conn      net.Conn
+	connected bool
+	stopped   bool
+	stopCh    chan struct{}
+	wg        sync.WaitGroup
+
+	firstErr error
+
+	// Counters (guarded by mu).
+	enqueued    uint64
+	frames      uint64
+	framesSent  uint64
+	framesAcked uint64
+	eventsAcked uint64
+	wireBytes   uint64
+	rawBytes    uint64
+	dials       uint64
+	dialErrors  uint64
+	reconnects  uint64
+	writeErrors uint64
+	shed        uint64
+	shedUnattr  uint64
+	shedSrc     map[netip.Addr]uint64
+}
+
+// NewForwardSink validates opts and starts the connection pump. The
+// sink dials lazily: no connection is attempted until there is an event
+// to ship.
+func NewForwardSink(opts ForwardOptions) (*ForwardSink, error) {
+	if opts.Addr == "" {
+		return nil, fmt.Errorf("relay: forward: empty collector address")
+	}
+	if opts.Token == "" {
+		return nil, fmt.Errorf("relay: forward: empty token")
+	}
+	f := &ForwardSink{
+		opts:    opts.withDefaults(),
+		stopCh:  make(chan struct{}),
+		shedSrc: make(map[netip.Addr]uint64),
+	}
+	f.cond.L = &f.mu
+	f.wg.Add(1)
+	go f.pump()
+	return f, nil
+}
+
+// Record implements core.Sink.
+func (f *ForwardSink) Record(e core.Event) {
+	_ = f.RecordBatch([]core.Event{e})
+}
+
+// RecordBatch implements core.BatchSink. It never returns an error:
+// overload is expressed as accounted shedding (or, with Options.Block,
+// as backpressure), not as a failed delivery the bus would re-count.
+func (f *ForwardSink) RecordBatch(events []core.Event) error {
+	f.mu.Lock()
+	for _, e := range events {
+		if f.opts.Block {
+			for f.overLimitLocked() && !f.stopped {
+				f.cond.Wait()
+			}
+		}
+		if f.stopped || f.overLimitLocked() {
+			f.shedLocked(e)
+			continue
+		}
+		f.pending = append(f.pending, e)
+		f.enqueued++
+		if len(f.pending) >= f.opts.FrameEvents {
+			f.cutFrameLocked()
+		}
+	}
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *ForwardSink) overLimitLocked() bool {
+	return len(f.spool) >= f.opts.SpoolFrames || f.spoolB >= f.opts.SpoolBytes
+}
+
+// shedLocked counts one shed event against its source; once the
+// attribution table is full, against the unattributed overflow bucket,
+// so shed totals stay exact.
+func (f *ForwardSink) shedLocked(e core.Event) {
+	f.shed++
+	a := e.Src.Addr()
+	if _, ok := f.shedSrc[a]; ok || len(f.shedSrc) < f.opts.MaxShedSources {
+		f.shedSrc[a]++
+	} else {
+		f.shedUnattr++
+	}
+}
+
+// cutFrameLocked encodes pending events into one spool frame.
+func (f *ForwardSink) cutFrameLocked() {
+	if len(f.pending) == 0 {
+		return
+	}
+	seq := f.nextSeq + 1
+	body, rawLen, err := EncodeBatch(seq, f.pending, f.opts.CompressionLevel)
+	if err != nil {
+		// Encoding into memory cannot fail outside of a programming
+		// error; record it and drop the frame rather than wedging.
+		f.noteErrLocked(err)
+		for _, e := range f.pending {
+			f.enqueued--
+			f.shedLocked(e)
+		}
+		f.pending = f.pending[:0]
+		return
+	}
+	f.nextSeq = seq
+	fr := &spoolFrame{seq: seq, events: len(f.pending), body: body}
+	f.spool = append(f.spool, fr)
+	f.spoolEv += fr.events
+	f.spoolB += int64(len(body)) + 4
+	f.frames++
+	f.wireBytes += uint64(len(body)) + 4
+	f.rawBytes += uint64(rawLen)
+	f.pending = f.pending[:0]
+}
+
+func (f *ForwardSink) noteErrLocked(err error) {
+	if f.firstErr == nil {
+		f.firstErr = err
+	}
+}
+
+func (f *ForwardSink) logf(format string, args ...any) {
+	if f.opts.Logf != nil {
+		f.opts.Logf(format, args...)
+	}
+}
+
+// pump owns the connection lifecycle: wait for work, dial (with
+// backoff), serve the connection until it breaks, repeat.
+func (f *ForwardSink) pump() {
+	defer f.wg.Done()
+	backoff := f.opts.MinBackoff
+	for {
+		f.mu.Lock()
+		for !f.stopped && len(f.spool) == 0 && len(f.pending) == 0 {
+			f.cond.Wait()
+		}
+		if f.stopped {
+			f.mu.Unlock()
+			return
+		}
+		f.mu.Unlock()
+
+		conn, err := f.dial()
+		if err != nil {
+			// Transient by design: the spool holds the events and the
+			// next attempt retransmits, so a failed dial is a counter
+			// and a log line, not a sink error.
+			f.mu.Lock()
+			f.dialErrors++
+			f.mu.Unlock()
+			f.logf("relay: dial %s: %v (backing off)", f.opts.Addr, err)
+			if !f.sleepBackoff(&backoff) {
+				return
+			}
+			continue
+		}
+		backoff = f.opts.MinBackoff
+		f.serveConn(conn)
+	}
+}
+
+// dial connects and completes the HELLO exchange.
+func (f *ForwardSink) dial() (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", f.opts.Addr, f.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("relay: dial %s: %w", f.opts.Addr, err)
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(f.opts.WriteTimeout))
+	if err := wire.WriteFrame(conn, encodeHello(f.opts.Token, f.opts.Farm)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("relay: hello to %s: %w", f.opts.Addr, err)
+	}
+	_ = conn.SetWriteDeadline(time.Time{})
+	f.mu.Lock()
+	f.dials++
+	if f.dials > 1 {
+		f.reconnects++
+	}
+	f.mu.Unlock()
+	return conn, nil
+}
+
+// sleepBackoff sleeps the jittered backoff (half fixed, half uniform
+// random) and doubles it up to MaxBackoff. It returns false when the
+// sink was closed during the sleep.
+func (f *ForwardSink) sleepBackoff(d *time.Duration) bool {
+	wait := *d/2 + time.Duration(rand.Int63n(int64(*d/2)+1))
+	*d *= 2
+	if *d > f.opts.MaxBackoff {
+		*d = f.opts.MaxBackoff
+	}
+	select {
+	case <-time.After(wait):
+		return true
+	case <-f.stopCh:
+		return false
+	}
+}
+
+// serveConn runs one connection: an ack-reader goroutine prunes the
+// spool while the write loop streams frames. Either side failing closes
+// the connection and returns control to the pump, which retransmits
+// every still-spooled frame on the next connection.
+func (f *ForwardSink) serveConn(conn net.Conn) {
+	f.mu.Lock()
+	f.conn = conn
+	f.connected = true
+	f.sentIdx = 0 // retransmit everything unacked
+	f.mu.Unlock()
+
+	ackDone := make(chan struct{})
+	go f.ackLoop(conn, ackDone)
+	f.writeLoop(conn)
+	conn.Close()
+	<-ackDone
+
+	f.mu.Lock()
+	f.conn = nil
+	f.connected = false
+	f.sentIdx = 0
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// writeLoop streams spooled frames in sequence order, cutting pending
+// events into a fresh frame whenever it catches up — so under light
+// load every batch ships as soon as the previous write returns, without
+// a flush timer.
+func (f *ForwardSink) writeLoop(conn net.Conn) {
+	for {
+		f.mu.Lock()
+		for !f.stopped && f.connected && f.sentIdx >= len(f.spool) && len(f.pending) == 0 {
+			f.cond.Wait()
+		}
+		if f.stopped || !f.connected {
+			f.mu.Unlock()
+			return
+		}
+		if f.sentIdx >= len(f.spool) {
+			f.cutFrameLocked()
+			if f.sentIdx >= len(f.spool) { // encode failure shed the batch
+				f.mu.Unlock()
+				continue
+			}
+		}
+		fr := f.spool[f.sentIdx]
+		f.sentIdx++
+		f.mu.Unlock()
+
+		_ = conn.SetWriteDeadline(time.Now().Add(f.opts.WriteTimeout))
+		if err := wire.WriteFrame(conn, fr.body); err != nil {
+			// Also transient: the frame stays spooled and ships again
+			// after the reconnect.
+			f.mu.Lock()
+			f.writeErrors++
+			f.mu.Unlock()
+			f.logf("relay: write to %s: %v (will reconnect)", f.opts.Addr, err)
+			return
+		}
+		f.mu.Lock()
+		f.framesSent++
+		f.mu.Unlock()
+	}
+}
+
+// ackLoop reads cumulative ACKs and prunes the spool. A read error
+// closes the connection so the write loop notices.
+func (f *ForwardSink) ackLoop(conn net.Conn, done chan<- struct{}) {
+	defer close(done)
+	for {
+		body, err := wire.ReadFrame(conn, DefaultMaxFrame)
+		if err != nil {
+			conn.Close()
+			f.mu.Lock()
+			f.connected = false
+			f.cond.Broadcast()
+			f.mu.Unlock()
+			return
+		}
+		seq, err := decodeAck(body)
+		if err != nil {
+			f.mu.Lock()
+			f.noteErrLocked(err)
+			f.mu.Unlock()
+			conn.Close()
+			continue // next read fails and exits the loop
+		}
+		f.mu.Lock()
+		for len(f.spool) > 0 && f.spool[0].seq <= seq {
+			fr := f.spool[0]
+			f.spool = f.spool[1:]
+			if f.sentIdx > 0 {
+				f.sentIdx--
+			}
+			f.spoolEv -= fr.events
+			f.spoolB -= int64(len(fr.body)) + 4
+			f.framesAcked++
+			f.eventsAcked += uint64(fr.events)
+		}
+		f.cond.Broadcast()
+		f.mu.Unlock()
+	}
+}
+
+// Flush implements core.Flusher: it waits — up to Options.FlushTimeout —
+// for every enqueued event to be acked by the collector. With the
+// collector unreachable the timeout expires and the remaining events
+// stay spooled (visible in Stats), which is exactly what the shutdown
+// accounting wants: nothing silently discarded.
+func (f *ForwardSink) Flush() {
+	deadline := time.Now().Add(f.opts.FlushTimeout)
+	for {
+		f.mu.Lock()
+		drained := len(f.spool) == 0 && len(f.pending) == 0
+		stopped := f.stopped
+		f.cond.Broadcast() // nudge the pump in case it waits on work
+		f.mu.Unlock()
+		if drained || stopped || !time.Now().Before(deadline) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Close stops the pump and closes the connection. Unacked frames remain
+// in the spool for Stats accounting; call Flush first to drain them.
+// Close returns the first non-recoverable error observed (nil if none);
+// transient dial and write failures are healed by retransmission and
+// surface only as Stats counters.
+func (f *ForwardSink) Close() error {
+	f.mu.Lock()
+	if f.stopped {
+		err := f.firstErr
+		f.mu.Unlock()
+		return err
+	}
+	f.stopped = true
+	conn := f.conn
+	close(f.stopCh)
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	f.wg.Wait()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.firstErr
+}
+
+// Err returns the first non-recoverable error observed so far.
+func (f *ForwardSink) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.firstErr
+}
+
+// SourceShed is one entry of the heaviest-shedders list, mirroring the
+// bus's per-source shed surface.
+type SourceShed struct {
+	Addr netip.Addr
+	Shed uint64
+}
+
+// Stats is a point-in-time snapshot of forwarder counters. The books
+// always balance: Enqueued = EventsAcked + SpoolEvents + Pending, and
+// offered events split into Enqueued + Shed.
+type Stats struct {
+	Farm      string
+	Connected bool
+
+	Enqueued    uint64 // events accepted into pending/spool
+	Frames      uint64 // frames encoded
+	FramesSent  uint64 // frame writes completed (retransmits included)
+	FramesAcked uint64
+	EventsAcked uint64 // events the collector has acknowledged
+	WireBytes   uint64 // compressed frame bytes produced (incl. prefix)
+	RawBytes    uint64 // uncompressed payload bytes
+
+	Dials      uint64
+	DialErrors uint64
+	Reconnects uint64 // successful dials after the first
+
+	SpoolFrames int   // frames currently spooled (unacked)
+	SpoolEvents int   // events in those frames
+	SpoolBytes  int64 // wire bytes those frames occupy
+	Pending     int   // events not yet framed
+
+	Shed uint64 // events dropped because the spool was full
+	// Shedders are the heaviest shed sources, descending; at most
+	// Options.TopShedders entries.
+	Shedders []SourceShed
+	// ShedUnattributed counts sheds beyond the bounded attribution table.
+	ShedUnattributed uint64
+}
+
+// CompressionRatio is uncompressed/compressed payload bytes (0 when
+// nothing has been framed).
+func (s Stats) CompressionRatio() float64 {
+	if s.WireBytes == 0 {
+		return 0
+	}
+	return float64(s.RawBytes) / float64(s.WireBytes)
+}
+
+// String renders the snapshot as one operational log line.
+func (s Stats) String() string {
+	var sb strings.Builder
+	state := "down"
+	if s.Connected {
+		state = "up"
+	}
+	fmt.Fprintf(&sb, "relay[%s→%s]: enq=%d acked=%d spool=%d/%dev pend=%d frames=%d ratio=%.2f reconn=%d",
+		s.Farm, state, s.Enqueued, s.EventsAcked, s.SpoolFrames, s.SpoolEvents, s.Pending,
+		s.Frames, s.CompressionRatio(), s.Reconnects)
+	if s.Shed > 0 {
+		sb.WriteString(" shed[")
+		for i, sd := range s.Shedders {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%s=%d", sd.Addr, sd.Shed)
+		}
+		if s.ShedUnattributed > 0 {
+			if len(s.Shedders) > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "evicted=%d", s.ShedUnattributed)
+		}
+		sb.WriteByte(']')
+	}
+	return sb.String()
+}
+
+// Stats snapshots the counters. Safe to call concurrently with
+// recording and delivery.
+func (f *ForwardSink) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := Stats{
+		Farm:             f.opts.Farm,
+		Connected:        f.connected,
+		Enqueued:         f.enqueued,
+		Frames:           f.frames,
+		FramesSent:       f.framesSent,
+		FramesAcked:      f.framesAcked,
+		EventsAcked:      f.eventsAcked,
+		WireBytes:        f.wireBytes,
+		RawBytes:         f.rawBytes,
+		Dials:            f.dials,
+		DialErrors:       f.dialErrors,
+		Reconnects:       f.reconnects,
+		SpoolFrames:      len(f.spool),
+		SpoolEvents:      f.spoolEv,
+		SpoolBytes:       f.spoolB,
+		Pending:          len(f.pending),
+		Shed:             f.shed,
+		ShedUnattributed: f.shedUnattr,
+	}
+	for a, n := range f.shedSrc {
+		if n > 0 {
+			st.Shedders = append(st.Shedders, SourceShed{Addr: a, Shed: n})
+		}
+	}
+	sort.Slice(st.Shedders, func(i, j int) bool {
+		if st.Shedders[i].Shed != st.Shedders[j].Shed {
+			return st.Shedders[i].Shed > st.Shedders[j].Shed
+		}
+		return st.Shedders[i].Addr.Less(st.Shedders[j].Addr)
+	})
+	if len(st.Shedders) > f.opts.TopShedders {
+		st.Shedders = st.Shedders[:f.opts.TopShedders]
+	}
+	return st
+}

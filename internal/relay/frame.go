@@ -1,0 +1,441 @@
+// Package relay is the farm→collector event transport: it ships event
+// batches from a live honeypot deployment (cmd/decoydb) to a central
+// analysis host (cmd/dbcollect) over TCP, the role the paper's log
+// shipping plays for its 278 distributed sensors.
+//
+// The wire protocol is deliberately small: length-prefixed frames (via
+// internal/wire, with hard size limits — the collector port is itself
+// Internet-facing), a magic/version header, flate-compressed event
+// payloads, a per-frame sequence number and a CRC over the compressed
+// bytes. A connection opens with a HELLO frame carrying a shared token
+// and the farm's name; the collector answers each BATCH frame with a
+// cumulative ACK once the batch has been handed to its local sinks.
+//
+//	farm ──HELLO──▶ collector
+//	farm ──BATCH seq=1..n──▶ collector
+//	farm ◀──ACK seq───────── collector
+//
+// Delivery is at-least-once: the forwarder retransmits every unacked
+// frame after a reconnect, and the collector dedups on (farm, sequence),
+// so a collector outage costs buffering (and, once the spool is full,
+// per-source-accounted shedding) but never double counting.
+package relay
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/netip"
+	"time"
+
+	"decoydb/internal/core"
+	"decoydb/internal/wire"
+)
+
+// Magic opens every relay frame ("DRLY").
+const Magic uint32 = 0x44524c59
+
+// Version is the wire-format version. A collector refuses frames from a
+// different version instead of guessing.
+const Version = 1
+
+// Frame types.
+const (
+	frameHello = 1
+	frameBatch = 2
+	frameAck   = 3
+)
+
+// Hard limits. They bound what a single frame can make either endpoint
+// allocate; both sides of the protocol face untrusted peers (the
+// collector listens on a routable port, the forwarder dials an address
+// from its configuration).
+const (
+	// DefaultMaxFrame caps one compressed frame on the wire.
+	DefaultMaxFrame = 4 << 20
+	// DefaultMaxRaw caps the decompressed payload of one batch frame.
+	DefaultMaxRaw = 32 << 20
+	// DefaultMaxBatchEvents caps the events declared by one batch frame.
+	DefaultMaxBatchEvents = 65536
+	// maxString caps any single string field inside an encoded event.
+	maxString = 1 << 20
+	// maxName caps the token and farm-name fields of a HELLO frame.
+	maxName = 256
+)
+
+// Protocol errors.
+var (
+	ErrBadFrame   = errors.New("relay: malformed frame")
+	ErrBadVersion = errors.New("relay: unsupported protocol version")
+	ErrChecksum   = errors.New("relay: payload checksum mismatch")
+)
+
+// header writes the shared magic/version/type prologue.
+func header(w *wire.Writer, typ byte) *wire.Writer {
+	return w.Uint32BE(Magic).Uint8(Version).Uint8(typ)
+}
+
+// readHeader validates the prologue and returns the frame type.
+func readHeader(r *wire.Reader) (byte, error) {
+	magic, err := r.Uint32BE()
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	if magic != Magic {
+		return 0, fmt.Errorf("%w: bad magic %#x", ErrBadFrame, magic)
+	}
+	ver, err := r.Uint8()
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	if ver != Version {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, ver, Version)
+	}
+	typ, err := r.Uint8()
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	return typ, nil
+}
+
+// encodeHello builds the connection-opening frame body.
+func encodeHello(token, farm string) []byte {
+	w := wire.NewWriter(16 + len(token) + len(farm))
+	header(w, frameHello)
+	putString16(w, token)
+	putString16(w, farm)
+	return w.Bytes()
+}
+
+// decodeHello parses a HELLO body into (token, farm).
+func decodeHello(body []byte) (token, farm string, err error) {
+	r := wire.NewReader(body)
+	typ, err := readHeader(r)
+	if err != nil {
+		return "", "", err
+	}
+	if typ != frameHello {
+		return "", "", fmt.Errorf("%w: expected hello, got type %d", ErrBadFrame, typ)
+	}
+	if token, err = getString16(r); err != nil {
+		return "", "", err
+	}
+	if farm, err = getString16(r); err != nil {
+		return "", "", err
+	}
+	if farm == "" {
+		return "", "", fmt.Errorf("%w: empty farm name", ErrBadFrame)
+	}
+	if r.Len() != 0 {
+		return "", "", fmt.Errorf("%w: %d trailing bytes after hello", ErrBadFrame, r.Len())
+	}
+	return token, farm, nil
+}
+
+// encodeAck builds a cumulative acknowledgement: every batch with
+// sequence <= seq has been handed to the collector's sinks.
+func encodeAck(seq uint64) []byte {
+	w := wire.NewWriter(16)
+	header(w, frameAck)
+	w.Uint64LE(seq)
+	return w.Bytes()
+}
+
+// decodeAck parses an ACK body.
+func decodeAck(body []byte) (uint64, error) {
+	r := wire.NewReader(body)
+	typ, err := readHeader(r)
+	if err != nil {
+		return 0, err
+	}
+	if typ != frameAck {
+		return 0, fmt.Errorf("%w: expected ack, got type %d", ErrBadFrame, typ)
+	}
+	seq, err := r.Uint64LE()
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	if r.Len() != 0 {
+		return 0, fmt.Errorf("%w: %d trailing bytes after ack", ErrBadFrame, r.Len())
+	}
+	return seq, nil
+}
+
+// EncodeBatch encodes events as one BATCH frame body: header, sequence
+// number, event count, uncompressed size, CRC-32 (IEEE) of the
+// compressed payload, then the flate-compressed event encoding. It
+// returns the frame body and the uncompressed payload size (the
+// numerator of the compression ratio). level is a compress/flate level;
+// 0 selects flate.BestSpeed — the forwarder runs on the farm's hot path
+// and trades ratio for throughput by default.
+func EncodeBatch(seq uint64, events []core.Event, level int) (body []byte, rawLen int, err error) {
+	if level == 0 {
+		level = flate.BestSpeed
+	}
+	raw := wire.NewWriter(64 * len(events))
+	for _, e := range events {
+		encodeEvent(raw, e)
+	}
+	var comp bytes.Buffer
+	fw, err := flate.NewWriter(&comp, level)
+	if err != nil {
+		return nil, 0, fmt.Errorf("relay: flate level %d: %w", level, err)
+	}
+	if _, err := fw.Write(raw.Bytes()); err != nil {
+		return nil, 0, fmt.Errorf("relay: compress batch: %w", err)
+	}
+	if err := fw.Close(); err != nil {
+		return nil, 0, fmt.Errorf("relay: compress batch: %w", err)
+	}
+	w := wire.NewWriter(32 + comp.Len())
+	header(w, frameBatch)
+	w.Uint64LE(seq)
+	w.Uint32LE(uint32(len(events)))
+	w.Uint32LE(uint32(raw.Len()))
+	w.Uint32LE(crc32.ChecksumIEEE(comp.Bytes()))
+	w.Raw(comp.Bytes())
+	return w.Bytes(), raw.Len(), nil
+}
+
+// Limits bound what DecodeBatch will allocate for one frame. The zero
+// value means the package defaults.
+type Limits struct {
+	MaxRaw    int // decompressed payload bytes (0 = DefaultMaxRaw)
+	MaxEvents int // events per frame (0 = DefaultMaxBatchEvents)
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxRaw <= 0 {
+		l.MaxRaw = DefaultMaxRaw
+	}
+	if l.MaxEvents <= 0 {
+		l.MaxEvents = DefaultMaxBatchEvents
+	}
+	return l
+}
+
+// DecodeBatch is the symmetric inverse of EncodeBatch. Every declared
+// size is validated against lim before allocation, the CRC is verified
+// before decompression, and the decompressed payload must parse into
+// exactly the declared event count with no bytes left over.
+func DecodeBatch(body []byte, lim Limits) (seq uint64, events []core.Event, rawLen int, err error) {
+	lim = lim.withDefaults()
+	r := wire.NewReader(body)
+	typ, err := readHeader(r)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	if typ != frameBatch {
+		return 0, nil, 0, fmt.Errorf("%w: expected batch, got type %d", ErrBadFrame, typ)
+	}
+	if seq, err = r.Uint64LE(); err != nil {
+		return 0, nil, 0, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	count, err := r.Uint32LE()
+	if err != nil {
+		return 0, nil, 0, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	if count == 0 || int64(count) > int64(lim.MaxEvents) {
+		return 0, nil, 0, fmt.Errorf("%w: %d events declared (limit %d)", ErrBadFrame, count, lim.MaxEvents)
+	}
+	declaredRaw, err := r.Uint32LE()
+	if err != nil {
+		return 0, nil, 0, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	if int64(declaredRaw) > int64(lim.MaxRaw) {
+		return 0, nil, 0, fmt.Errorf("%w: %d-byte payload declared (limit %d)", wire.ErrFrameTooLarge, declaredRaw, lim.MaxRaw)
+	}
+	sum, err := r.Uint32LE()
+	if err != nil {
+		return 0, nil, 0, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	comp := r.Rest()
+	if crc32.ChecksumIEEE(comp) != sum {
+		return 0, nil, 0, ErrChecksum
+	}
+	// LimitReader caps the decompressor at declaredRaw+1: a payload that
+	// inflates past its declaration is rejected without allocating more
+	// than one extra byte past the bound.
+	fr := flate.NewReader(bytes.NewReader(comp))
+	raw := make([]byte, 0, declaredRaw)
+	buf := bytes.NewBuffer(raw)
+	n, err := io.Copy(buf, io.LimitReader(fr, int64(declaredRaw)+1))
+	if err != nil {
+		return 0, nil, 0, fmt.Errorf("%w: decompress: %v", ErrBadFrame, err)
+	}
+	if n != int64(declaredRaw) {
+		return 0, nil, 0, fmt.Errorf("%w: payload inflates to %d bytes, declared %d", ErrBadFrame, n, declaredRaw)
+	}
+	er := wire.NewReader(buf.Bytes())
+	events = make([]core.Event, 0, count)
+	for i := uint32(0); i < count; i++ {
+		e, err := decodeEvent(er)
+		if err != nil {
+			return 0, nil, 0, fmt.Errorf("%w: event %d: %v", ErrBadFrame, i, err)
+		}
+		events = append(events, e)
+	}
+	if er.Len() != 0 {
+		return 0, nil, 0, fmt.Errorf("%w: %d trailing payload bytes", ErrBadFrame, er.Len())
+	}
+	return seq, events, int(declaredRaw), nil
+}
+
+// encodeEvent appends one event in the fixed field order decodeEvent
+// expects. String fields longer than maxString are truncated — events
+// are bounded upstream (core honeypots excerpt Raw), so truncation here
+// is a belt-and-braces cap, not a normal path.
+func encodeEvent(w *wire.Writer, e core.Event) {
+	w.Uint64LE(uint64(e.Time.UnixNano()))
+	a16 := e.Src.Addr().As16()
+	w.Raw(a16[:])
+	w.Uint16LE(e.Src.Port())
+	putString(w, e.Honeypot.DBMS)
+	w.Uint8(byte(e.Honeypot.Level))
+	w.Uint32LE(uint32(e.Honeypot.Port))
+	w.Uint32LE(uint32(e.Honeypot.Instance))
+	putString(w, e.Honeypot.Config)
+	putString(w, e.Honeypot.Group)
+	putString(w, e.Honeypot.VM)
+	putString(w, e.Honeypot.Region)
+	w.Uint8(byte(e.Kind))
+	putString(w, e.User)
+	putString(w, e.Pass)
+	if e.OK {
+		w.Uint8(1)
+	} else {
+		w.Uint8(0)
+	}
+	putString(w, e.Command)
+	putString(w, e.Raw)
+}
+
+// decodeEvent parses one event; every string read is bounded.
+func decodeEvent(r *wire.Reader) (core.Event, error) {
+	var e core.Event
+	nanos, err := r.Uint64LE()
+	if err != nil {
+		return e, err
+	}
+	e.Time = time.Unix(0, int64(nanos)).UTC()
+	ab, err := r.Bytes(16)
+	if err != nil {
+		return e, err
+	}
+	var a16 [16]byte
+	copy(a16[:], ab)
+	port, err := r.Uint16LE()
+	if err != nil {
+		return e, err
+	}
+	e.Src = netip.AddrPortFrom(netip.AddrFrom16(a16).Unmap(), port)
+	if e.Honeypot.DBMS, err = getString(r); err != nil {
+		return e, err
+	}
+	lvl, err := r.Uint8()
+	if err != nil {
+		return e, err
+	}
+	e.Honeypot.Level = core.Level(lvl)
+	hpPort, err := r.Uint32LE()
+	if err != nil {
+		return e, err
+	}
+	e.Honeypot.Port = int(hpPort)
+	inst, err := r.Uint32LE()
+	if err != nil {
+		return e, err
+	}
+	e.Honeypot.Instance = int(inst)
+	if e.Honeypot.Config, err = getString(r); err != nil {
+		return e, err
+	}
+	if e.Honeypot.Group, err = getString(r); err != nil {
+		return e, err
+	}
+	if e.Honeypot.VM, err = getString(r); err != nil {
+		return e, err
+	}
+	if e.Honeypot.Region, err = getString(r); err != nil {
+		return e, err
+	}
+	kind, err := r.Uint8()
+	if err != nil {
+		return e, err
+	}
+	e.Kind = core.EventKind(kind)
+	if e.User, err = getString(r); err != nil {
+		return e, err
+	}
+	if e.Pass, err = getString(r); err != nil {
+		return e, err
+	}
+	ok, err := r.Uint8()
+	if err != nil {
+		return e, err
+	}
+	e.OK = ok != 0
+	if e.Command, err = getString(r); err != nil {
+		return e, err
+	}
+	if e.Raw, err = getString(r); err != nil {
+		return e, err
+	}
+	return e, nil
+}
+
+// putString appends a uint32-length-prefixed string, truncated to
+// maxString.
+func putString(w *wire.Writer, s string) {
+	if len(s) > maxString {
+		s = s[:maxString]
+	}
+	w.Uint32LE(uint32(len(s)))
+	w.String(s)
+}
+
+// getString reads a uint32-length-prefixed string, bounded by maxString.
+func getString(r *wire.Reader) (string, error) {
+	n, err := r.Uint32LE()
+	if err != nil {
+		return "", err
+	}
+	if int64(n) > maxString {
+		return "", fmt.Errorf("%w: %d-byte string (limit %d)", wire.ErrFrameTooLarge, n, maxString)
+	}
+	b, err := r.Bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// putString16 appends a uint16-length-prefixed short string (hello
+// fields), truncated to maxName.
+func putString16(w *wire.Writer, s string) {
+	if len(s) > maxName {
+		s = s[:maxName]
+	}
+	w.Uint16LE(uint16(len(s)))
+	w.String(s)
+}
+
+// getString16 reads a uint16-length-prefixed short string, bounded by
+// maxName.
+func getString16(r *wire.Reader) (string, error) {
+	n, err := r.Uint16LE()
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	if int(n) > maxName {
+		return "", fmt.Errorf("%w: %d-byte name (limit %d)", wire.ErrFrameTooLarge, n, maxName)
+	}
+	b, err := r.Bytes(int(n))
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	return string(b), nil
+}

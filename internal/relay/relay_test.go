@@ -1,0 +1,464 @@
+package relay
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"decoydb/internal/core"
+	"decoydb/internal/wire"
+)
+
+// testEvent builds a representative event with every field populated so
+// codec tests exercise the full schema.
+func testEvent(i int) core.Event {
+	return core.Event{
+		Time: time.Unix(1700000000+int64(i), int64(i)*1001).UTC(),
+		Src:  netip.AddrPortFrom(netip.AddrFrom4([4]byte{203, 0, byte(i >> 8), byte(i)}), uint16(40000+i%1000)),
+		Honeypot: core.Info{
+			DBMS: core.MySQL, Level: core.Low, Port: 3306,
+			Instance: i % 7, Config: core.ConfigDefault, Group: core.GroupMulti,
+			VM: "vm-1", Region: "eu",
+		},
+		Kind:    core.EventLogin,
+		User:    fmt.Sprintf("user%d", i),
+		Pass:    fmt.Sprintf("pass%d", i),
+		OK:      i%3 == 0,
+		Command: "SHOW DATABASES",
+		Raw:     "\x16\x03\x01 raw bytes",
+	}
+}
+
+func testEvents(n int) []core.Event {
+	evs := make([]core.Event, n)
+	for i := range evs {
+		evs[i] = testEvent(i)
+	}
+	return evs
+}
+
+// memSink is a thread-safe in-memory BatchSink for collector tests.
+type memSink struct {
+	mu     sync.Mutex
+	events []core.Event
+}
+
+func (m *memSink) Record(e core.Event) {
+	m.mu.Lock()
+	m.events = append(m.events, e)
+	m.mu.Unlock()
+}
+
+func (m *memSink) RecordBatch(events []core.Event) error {
+	m.mu.Lock()
+	m.events = append(m.events, events...)
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *memSink) len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.events)
+}
+
+func (m *memSink) snapshot() []core.Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]core.Event, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	in := testEvents(100)
+	body, rawLen, err := EncodeBatch(42, in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rawLen <= 0 {
+		t.Fatalf("rawLen = %d, want > 0", rawLen)
+	}
+	seq, out, gotRaw, err := DecodeBatch(body, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 42 {
+		t.Fatalf("seq = %d, want 42", seq)
+	}
+	if gotRaw != rawLen {
+		t.Fatalf("rawLen = %d, want %d", gotRaw, rawLen)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if !in[i].Time.Equal(out[i].Time) {
+			t.Fatalf("event %d time: %v != %v", i, out[i].Time, in[i].Time)
+		}
+		a, b := in[i], out[i]
+		a.Time, b.Time = time.Time{}, time.Time{}
+		if a != b {
+			t.Fatalf("event %d round trip mismatch:\n in: %+v\nout: %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestBatchRejectsCorruption(t *testing.T) {
+	body, _, err := EncodeBatch(1, testEvents(10), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte in the compressed payload: the CRC must catch it
+	// before inflation.
+	bad := append([]byte(nil), body...)
+	bad[len(bad)-1] ^= 0xff
+	if _, _, _, err := DecodeBatch(bad, Limits{}); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted payload: err = %v, want ErrChecksum", err)
+	}
+
+	// Wrong magic and wrong version are refused outright.
+	bad = append([]byte(nil), body...)
+	bad[0] ^= 0xff
+	if _, _, _, err := DecodeBatch(bad, Limits{}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad magic: err = %v, want ErrBadFrame", err)
+	}
+	bad = append([]byte(nil), body...)
+	bad[4] = Version + 1
+	if _, _, _, err := DecodeBatch(bad, Limits{}); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: err = %v, want ErrBadVersion", err)
+	}
+
+	// Truncation anywhere must error, never panic.
+	for n := 0; n < len(body); n++ {
+		if _, _, _, err := DecodeBatch(body[:n], Limits{}); err == nil {
+			t.Fatalf("truncated to %d bytes: decoded successfully", n)
+		}
+	}
+}
+
+func TestBatchHonoursLimits(t *testing.T) {
+	body, _, err := EncodeBatch(1, testEvents(100), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := DecodeBatch(body, Limits{MaxEvents: 10}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("over MaxEvents: err = %v, want ErrBadFrame", err)
+	}
+	if _, _, _, err := DecodeBatch(body, Limits{MaxRaw: 64}); !errors.Is(err, wire.ErrFrameTooLarge) {
+		t.Fatalf("over MaxRaw: err = %v, want wire.ErrFrameTooLarge", err)
+	}
+	if _, _, _, err := DecodeBatch(body, Limits{}); err != nil {
+		t.Fatalf("default limits: %v", err)
+	}
+}
+
+// startCollector binds a loopback listener and serves coll on it.
+func startCollector(t *testing.T, coll *Collector) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- coll.Serve(ln) }()
+	return ln.Addr().String(), func() {
+		coll.Close()
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestForwardDelivery(t *testing.T) {
+	sink := &memSink{}
+	coll, err := NewCollector(CollectorOptions{Token: "s3cret"}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, stop := startCollector(t, coll)
+	defer stop()
+
+	fwd, err := NewForwardSink(ForwardOptions{Addr: addr, Token: "s3cret", Farm: "farm-a", FrameEvents: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := testEvents(500)
+	for i := 0; i < len(in); i += 50 {
+		if err := fwd.RecordBatch(in[i : i+50]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fwd.Flush()
+	if err := fwd.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := sink.len(); got != len(in) {
+		t.Fatalf("collector ingested %d events, want %d", got, len(in))
+	}
+	out := sink.snapshot()
+	for i := range in {
+		if out[i].User != in[i].User || out[i].Src != in[i].Src {
+			t.Fatalf("event %d out of order or corrupted: %+v", i, out[i])
+		}
+	}
+
+	fst := fwd.Stats()
+	if fst.EventsAcked != uint64(len(in)) || fst.Shed != 0 {
+		t.Fatalf("forwarder stats: acked=%d shed=%d, want %d/0", fst.EventsAcked, fst.Shed, len(in))
+	}
+	if fst.Enqueued != fst.EventsAcked+uint64(fst.SpoolEvents)+uint64(fst.Pending) {
+		t.Fatalf("accounting broken: %+v", fst)
+	}
+	cst := coll.Stats()
+	if cst.Events != uint64(len(in)) || cst.AuthFailures != 0 {
+		t.Fatalf("collector stats: %+v", cst)
+	}
+	if cst.CompressionRatio() <= 1 {
+		t.Fatalf("compression ratio %.2f, want > 1 for repetitive events", cst.CompressionRatio())
+	}
+	if len(cst.Farms) != 1 || cst.Farms[0].Name != "farm-a" {
+		t.Fatalf("farms: %+v", cst.Farms)
+	}
+}
+
+func TestCollectorRejectsBadToken(t *testing.T) {
+	sink := &memSink{}
+	coll, err := NewCollector(CollectorOptions{Token: "right"}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, stop := startCollector(t, coll)
+	defer stop()
+
+	fwd, err := NewForwardSink(ForwardOptions{
+		Addr: addr, Token: "wrong", Farm: "rogue",
+		MinBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fwd.Close()
+	if err := fwd.RecordBatch(testEvents(4)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return coll.Stats().AuthFailures >= 1 }, "auth failure")
+	if got := sink.len(); got != 0 {
+		t.Fatalf("unauthenticated forwarder delivered %d events", got)
+	}
+
+	// Raw garbage on the port must also be counted and cut, not crash.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte{0x00, 0x00, 0x00, 0x04, 0xde, 0xad, 0xbe, 0xef})
+	conn.Close()
+	waitFor(t, 2*time.Second, func() bool { return coll.Stats().AuthFailures >= 2 }, "garbage rejection")
+}
+
+func TestForwardShedsWhenDown(t *testing.T) {
+	// No collector at all: a tiny spool must fill, then shed with
+	// per-source attribution, without ever blocking RecordBatch.
+	fwd, err := NewForwardSink(ForwardOptions{
+		Addr: "127.0.0.1:1", Token: "t", Farm: "dark",
+		FrameEvents: 8, SpoolFrames: 2,
+		MinBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fwd.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 40; i++ {
+			fwd.RecordBatch(testEvents(8))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("RecordBatch blocked with a full spool and Block unset")
+	}
+
+	st := fwd.Stats()
+	if st.Shed == 0 {
+		t.Fatalf("no shedding with spool of 2 frames: %+v", st)
+	}
+	offered := uint64(40 * 8)
+	if st.Enqueued+st.Shed != offered {
+		t.Fatalf("offered accounting: enqueued %d + shed %d != %d", st.Enqueued, st.Shed, offered)
+	}
+	if st.Enqueued != st.EventsAcked+uint64(st.SpoolEvents)+uint64(st.Pending) {
+		t.Fatalf("enqueued accounting broken: %+v", st)
+	}
+	var attributed uint64
+	for _, s := range st.Shedders {
+		attributed += s.Shed
+	}
+	if attributed+st.ShedUnattributed != st.Shed && len(st.Shedders) == DefaultTopShedders {
+		// Top-K may truncate; only the untruncated case must balance.
+		t.Logf("shedders truncated to top %d", len(st.Shedders))
+	} else if len(st.Shedders) < DefaultTopShedders && attributed+st.ShedUnattributed != st.Shed {
+		t.Fatalf("shed attribution: %d attributed + %d unattributed != %d shed",
+			attributed, st.ShedUnattributed, st.Shed)
+	}
+}
+
+func TestCollectorRestartDedups(t *testing.T) {
+	// Kill the collector mid-stream, restart it on the same address, and
+	// verify the retransmit protocol delivers every event exactly once.
+	sink := &memSink{}
+	coll, err := NewCollector(CollectorOptions{Token: "tok"}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	done := make(chan error, 1)
+	go func() { done <- coll.Serve(ln) }()
+
+	fwd, err := NewForwardSink(ForwardOptions{
+		Addr: addr, Token: "tok", Farm: "farm-r", FrameEvents: 8,
+		MinBackoff: time.Millisecond, MaxBackoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const total = 600
+	in := testEvents(total)
+	half := total / 2
+	if err := fwd.RecordBatch(in[:half]); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return sink.len() >= half/2 }, "first half partially delivered")
+
+	// Kill: connections drop; the forwarder keeps unacked frames spooled.
+	coll.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := fwd.RecordBatch(in[half:]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the same address with the same dedup state.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { done <- coll.Serve(ln2) }()
+	// The final Close only stops listeners Serve has registered; wait
+	// for the re-arm to be visible before draining and shutting down.
+	waitFor(t, 5*time.Second, func() bool { return coll.Stats().Listeners > 0 }, "listener re-registered")
+
+	fwd.Flush()
+	if err := fwd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	coll.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// Exact accounting: recorded = ingested + spooled + shed.
+	fst := fwd.Stats()
+	cst := coll.Stats()
+	if fst.Shed != 0 {
+		t.Fatalf("unexpected shedding: %+v", fst)
+	}
+	got := cst.Events + uint64(fst.SpoolEvents) + uint64(fst.Pending)
+	if got != total {
+		t.Fatalf("accounting: ingested %d + spooled %d + pending %d = %d, want %d",
+			cst.Events, fst.SpoolEvents, fst.Pending, got, total)
+	}
+	if sink.len() != int(cst.Events) {
+		t.Fatalf("sink has %d events, collector counted %d", sink.len(), cst.Events)
+	}
+	// No duplicates in the sink despite retransmits.
+	seen := make(map[string]bool, total)
+	for _, e := range sink.snapshot() {
+		if seen[e.User] {
+			t.Fatalf("event %q delivered twice", e.User)
+		}
+		seen[e.User] = true
+	}
+	if fst.Reconnects == 0 {
+		t.Fatalf("expected at least one reconnect: %+v", fst)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	var fs Stats
+	fs.Farm = "f"
+	if fs.String() == "" {
+		t.Fatal("empty forwarder stats line")
+	}
+	var cs CollectorStats
+	if cs.String() == "" {
+		t.Fatal("empty collector stats line")
+	}
+}
+
+// BenchmarkRelayThroughput measures end-to-end acked events/s over real
+// loopback TCP: encode, frame, write, decode, dedup, ingest, ack.
+func BenchmarkRelayThroughput(b *testing.B) {
+	sink := &memSink{}
+	coll, err := NewCollector(CollectorOptions{Token: "bench"}, sink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go coll.Serve(ln)
+	defer coll.Close()
+
+	fwd, err := NewForwardSink(ForwardOptions{
+		Addr: ln.Addr().String(), Token: "bench", Farm: "bench",
+		Block: true, // measure delivered throughput, not shed throughput
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fwd.Close()
+
+	const batch = 256
+	events := testEvents(batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fwd.RecordBatch(events); err != nil {
+			b.Fatal(err)
+		}
+	}
+	fwd.Flush()
+	b.StopTimer()
+	total := float64(b.N) * batch
+	b.ReportMetric(total/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(fwd.Stats().CompressionRatio(), "ratio")
+}

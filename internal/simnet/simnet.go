@@ -89,14 +89,15 @@ type job struct {
 	script Script
 }
 
-// Run executes the simulation, streaming events into sink.
+// Run executes the simulation, streaming events into the sinks.
 //
-// Events do not hit sink synchronously from session goroutines: they
-// travel through a sharded bus.Bus in blocking (lossless) mode, so
+// Events do not hit the sinks synchronously from session goroutines:
+// they travel through a sharded bus.Bus in blocking (lossless) mode, so
 // sinks receive batched deliveries off the session hot path — the same
 // transport a live Farm deployment uses. The bus is drained and closed
-// before Run returns, so the sink is complete and quiescent afterwards.
-func Run(ctx context.Context, cfg Config, sink core.Sink) (*Result, error) {
+// before Run returns, so the sinks are complete and quiescent
+// afterwards. At least one sink is required.
+func Run(ctx context.Context, cfg Config, sinks ...core.Sink) (*Result, error) {
 	cfg = cfg.withDefaults()
 	began := time.Now()
 
@@ -114,7 +115,7 @@ func Run(ctx context.Context, cfg Config, sink core.Sink) (*Result, error) {
 	if busOpts.Shards <= 0 {
 		busOpts.Shards = cfg.BusShards
 	}
-	evbus := bus.New(busOpts, sink)
+	evbus := bus.New(busOpts, sinks...)
 
 	// One serial queue per honeypot instance: sessions against the same
 	// stateful honeypot (Redis keyspace, MongoDB store) execute in the
@@ -149,6 +150,13 @@ func Run(ctx context.Context, cfg Config, sink core.Sink) (*Result, error) {
 	}
 	wg.Wait()
 	busErr := evbus.Close() // drain even on the error paths below
+	for _, s := range sinks {
+		// Mirror Farm.Shutdown: flushable sinks (log writers, relay
+		// forwarders) quiesce before Run returns.
+		if fl, ok := s.(core.Flusher); ok {
+			fl.Flush()
+		}
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReadFrame throws truncated, oversized and garbage inputs at the
+// length-prefixed frame reader. ReadFrame is the first parser on the
+// collector's Internet-facing port, so the bar is absolute: it must
+// error — never panic and never allocate past the caller's limit — for
+// every input, and for well-formed input it must round-trip exactly
+// what WriteFrame produced.
+func FuzzReadFrame(f *testing.F) {
+	// Well-formed frames.
+	var ok bytes.Buffer
+	if err := WriteFrame(&ok, []byte("hello")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ok.Bytes(), 64)
+	var empty bytes.Buffer
+	if err := WriteFrame(&empty, nil); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes(), 64)
+	// Truncated prefix, truncated payload, oversized declaration, garbage.
+	f.Add([]byte{0x00, 0x00}, 64)
+	f.Add([]byte{0x00, 0x00, 0x00, 0x09, 'x'}, 64)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}, 64)
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}, 8)
+
+	f.Fuzz(func(t *testing.T, data []byte, limit int) {
+		if limit < 0 {
+			limit = 0
+		}
+		if limit > 1<<20 {
+			limit = 1 << 20
+		}
+		payload, err := ReadFrame(bytes.NewReader(data), limit)
+		if err != nil {
+			// Declared-too-large must be rejected by the limit check, not
+			// by running out of input after a huge allocation.
+			if len(data) >= 4 {
+				declared := uint32(data[0])<<24 | uint32(data[1])<<16 | uint32(data[2])<<8 | uint32(data[3])
+				if int64(declared) > int64(limit) && !errors.Is(err, ErrFrameTooLarge) {
+					t.Fatalf("declared %d > limit %d: err = %v, want ErrFrameTooLarge", declared, limit, err)
+				}
+			}
+			return
+		}
+		if len(payload) > limit {
+			t.Fatalf("payload %d bytes exceeds limit %d", len(payload), limit)
+		}
+		// A successful read must have consumed exactly prefix+payload and
+		// round-trip through WriteFrame.
+		var re bytes.Buffer
+		if err := WriteFrame(&re, payload); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re.Bytes(), data[:4+len(payload)]) {
+			t.Fatalf("round trip mismatch: %x vs %x", re.Bytes(), data[:4+len(payload)])
+		}
+	})
+}
+
+// TestReadFrameEOF pins the plain-Go error shapes: clean EOF on an empty
+// stream (a peer hanging up between frames is normal), unexpected EOF
+// mid-frame.
+func TestReadFrameEOF(t *testing.T) {
+	if _, err := ReadFrame(bytes.NewReader(nil), 16); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty stream: %v, want EOF", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 4, 1}), 16); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated payload: %v, want ErrUnexpectedEOF", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 1, 0}), 16); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized declaration: %v, want ErrFrameTooLarge", err)
+	}
+}

@@ -81,6 +81,36 @@ func ReadN(r io.Reader, n, limit int) ([]byte, error) {
 	return buf, nil
 }
 
+// ReadFrame reads one uint32-big-endian length-prefixed frame and returns
+// its payload. The declared length is validated against limit before any
+// payload allocation, so a hostile peer cannot make the reader allocate
+// more than limit bytes no matter what length it declares. A zero-length
+// frame returns an empty (non-nil) payload.
+func ReadFrame(r io.Reader, limit int) ([]byte, error) {
+	n, err := ReadUint32BE(r)
+	if err != nil {
+		return nil, err
+	}
+	if int64(n) > int64(limit) {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, limit)
+	}
+	return ReadN(r, int(n), limit)
+}
+
+// WriteFrame writes payload as one uint32-big-endian length-prefixed
+// frame — the symmetric counterpart of ReadFrame. The length prefix and
+// payload are written in a single Write call so a frame is never split
+// by a concurrent writer on the same connection.
+func WriteFrame(w io.Writer, payload []byte) error {
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("wire: write %d-byte frame: %w", len(payload), err)
+	}
+	return nil
+}
+
 // Reader is a bounds-checked cursor over a byte slice. All methods return
 // ErrShortBuffer instead of panicking when the input is truncated, which is
 // the normal case when parsing attacker-supplied frames.
