@@ -29,6 +29,12 @@ type CollectorOptions struct {
 	// HelloTimeout is how long a fresh connection gets to present a
 	// valid HELLO. 0 means DefaultHelloTimeout.
 	HelloTimeout time.Duration
+	// IdleTimeout drops an authenticated connection that sends no frame
+	// for this long — a half-open or dead farm link must not pin its
+	// handler goroutine and conns entry forever. The forwarder dials
+	// lazily, so an idle farm simply reconnects when it next has events.
+	// 0 means DefaultIdleTimeout.
+	IdleTimeout time.Duration
 	// WriteTimeout bounds each ACK write. 0 means DefaultWriteTimeout.
 	WriteTimeout time.Duration
 	// Logf, when non-nil, receives operational diagnostics.
@@ -39,6 +45,10 @@ type CollectorOptions struct {
 // before being cut.
 const DefaultHelloTimeout = 10 * time.Second
 
+// DefaultIdleTimeout is how long an authenticated connection may stay
+// silent before being cut.
+const DefaultIdleTimeout = 5 * time.Minute
+
 func (o CollectorOptions) withDefaults() CollectorOptions {
 	if o.MaxFrame <= 0 {
 		o.MaxFrame = DefaultMaxFrame
@@ -46,6 +56,9 @@ func (o CollectorOptions) withDefaults() CollectorOptions {
 	o.Limits = o.Limits.withDefaults()
 	if o.HelloTimeout <= 0 {
 		o.HelloTimeout = DefaultHelloTimeout
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = DefaultIdleTimeout
 	}
 	if o.WriteTimeout <= 0 {
 		o.WriteTimeout = DefaultWriteTimeout
@@ -55,10 +68,15 @@ func (o CollectorOptions) withDefaults() CollectorOptions {
 
 // farmState is the per-farm dedup and accounting record. Ingest and ack
 // for one farm serialise on its mutex, so a farm that reconnects while
-// its old connection drains cannot interleave batches.
+// its old connection drains cannot interleave batches. The dedup key is
+// (epoch, sequence): a forwarder process restart announces a fresh
+// epoch in HELLO, which resets the high-water mark — without it the new
+// process's sequences (restarting at 1) would all be classified as
+// duplicates of the old session's and silently dropped.
 type farmState struct {
 	mu        sync.Mutex
-	last      uint64 // highest ingested sequence
+	epoch     uint64 // session epoch the dedup state belongs to
+	last      uint64 // highest ingested sequence within epoch
 	frames    uint64
 	events    uint64
 	dupFrames uint64
@@ -115,6 +133,9 @@ type Collector struct {
 func NewCollector(opts CollectorOptions, sinks ...core.Sink) (*Collector, error) {
 	if opts.Token == "" {
 		return nil, fmt.Errorf("relay: collector: empty token")
+	}
+	if len(opts.Token) > MaxName {
+		return nil, fmt.Errorf("relay: collector: token is %d bytes, limit %d", len(opts.Token), MaxName)
 	}
 	if len(sinks) == 0 {
 		return nil, fmt.Errorf("relay: collector: no sinks registered")
@@ -251,20 +272,32 @@ func (c *Collector) handle(conn net.Conn) {
 		c.authFails.Add(1)
 		return
 	}
-	token, farm, err := decodeHello(body)
+	token, farm, epoch, err := decodeHello(body)
 	if err != nil || subtle.ConstantTimeCompare([]byte(token), []byte(c.opts.Token)) != 1 {
 		c.authFails.Add(1)
 		c.logf("relay: %s: rejected hello", conn.RemoteAddr())
 		return
 	}
 	c.auths.Add(1)
-	_ = conn.SetReadDeadline(time.Time{})
 	fs := c.farm(farm)
+	fs.mu.Lock()
+	if fs.epoch != epoch {
+		// A fresh forwarder session: its sequence numbering restarts, so
+		// the dedup high-water mark must too. Reconnects of the same
+		// process carry the same epoch and keep the mark.
+		fs.epoch = epoch
+		fs.last = 0
+	}
+	fs.mu.Unlock()
 
 	for {
+		// An authenticated peer must keep talking: a half-open or dead
+		// link would otherwise pin this handler (and its conns entry)
+		// until Close.
+		_ = conn.SetReadDeadline(time.Now().Add(c.opts.IdleTimeout))
 		body, err := wire.ReadFrame(conn, c.opts.MaxFrame)
 		if err != nil {
-			return // EOF / reset: the forwarder reconnects and retransmits
+			return // EOF / reset / idle: the forwarder reconnects and retransmits
 		}
 		c.wireBytes.Add(uint64(4 + len(body)))
 		seq, events, rawLen, err := DecodeBatch(body, c.opts.Limits)
@@ -278,13 +311,32 @@ func (c *Collector) handle(conn net.Conn) {
 		c.rawBytes.Add(uint64(rawLen))
 
 		fs.mu.Lock()
+		if fs.epoch != epoch {
+			// A newer session of this farm has announced itself while
+			// this connection was still draining; its sequence space
+			// superseded ours, so nothing here can be deduped safely.
+			fs.mu.Unlock()
+			c.logf("relay: %s (%s): superseded by a newer session, dropping", conn.RemoteAddr(), farm)
+			return
+		}
 		if seq <= fs.last {
 			fs.dupFrames++
 			fs.dupEvents += uint64(len(events))
 			c.dupFrames.Add(1)
 			c.dupEvents.Add(uint64(len(events)))
 		} else {
-			c.ingest(events)
+			if !c.ingest(events) {
+				// Every sink refused the batch: acking now would tell the
+				// forwarder the events are safe when they are gone. Leave
+				// the high-water mark alone and drop the connection so
+				// the forwarder's retransmit retries once the sinks
+				// recover. (A partial failure is acked — the healthy
+				// sinks have the events and a retry would double-ingest
+				// them — and surfaces via SinkErrors/Err.)
+				fs.mu.Unlock()
+				c.logf("relay: %s (%s): all sinks failed for seq %d, dropping connection for retry", conn.RemoteAddr(), farm, seq)
+				return
+			}
 			fs.last = seq
 			fs.frames++
 			fs.events += uint64(len(events))
@@ -295,7 +347,8 @@ func (c *Collector) handle(conn net.Conn) {
 
 		// Ack after ingest: an unacked frame is by definition not yet in
 		// the sinks, so the forwarder's retransmit can never lose data —
-		// only produce a dup the sequence check absorbs.
+		// only produce a dup the sequence check absorbs. An ack means
+		// "handed to at least one sink", not "durably stored".
 		_ = conn.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout))
 		if err := wire.WriteFrame(conn, encodeAck(seq)); err != nil {
 			return
@@ -303,26 +356,35 @@ func (c *Collector) handle(conn net.Conn) {
 	}
 }
 
-// ingest fans one decoded batch into every local sink.
-func (c *Collector) ingest(events []core.Event) {
+// ingest fans one decoded batch into every local sink. It reports
+// whether at least one sink accepted the batch; callers must not ack a
+// batch no sink accepted. (Record-only sinks cannot fail, so they
+// always count as accepting.)
+func (c *Collector) ingest(events []core.Event) bool {
+	delivered := false
 	for _, s := range c.sinks {
 		if s.batch != nil {
 			if err := s.batch.RecordBatch(events); err != nil {
 				c.sinkErrs.Add(1)
 				c.noteErr(fmt.Errorf("relay: sink %T: %w", s.sink, err))
+			} else {
+				delivered = true
 			}
 			continue
 		}
 		for _, e := range events {
 			s.sink.Record(e)
 		}
+		delivered = true
 	}
+	return delivered
 }
 
 // FarmStats is the per-farm slice of CollectorStats.
 type FarmStats struct {
 	Name      string
-	LastSeq   uint64
+	Epoch     uint64 // session epoch the dedup state belongs to
+	LastSeq   uint64 // highest ingested sequence within Epoch
 	Frames    uint64
 	Events    uint64
 	DupFrames uint64
@@ -394,7 +456,7 @@ func (c *Collector) Stats() CollectorStats {
 	for name, fs := range c.farms {
 		fs.mu.Lock()
 		st.Farms = append(st.Farms, FarmStats{
-			Name: name, LastSeq: fs.last,
+			Name: name, Epoch: fs.epoch, LastSeq: fs.last,
 			Frames: fs.frames, Events: fs.events,
 			DupFrames: fs.dupFrames, DupEvents: fs.dupEvents,
 		})

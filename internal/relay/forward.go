@@ -1,6 +1,8 @@
 package relay
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"net"
@@ -33,8 +35,24 @@ type ForwardOptions struct {
 
 	// FrameEvents is the target events per frame; pending events are cut
 	// into a frame when they reach it (or earlier, whenever the writer is
-	// idle). 0 means DefaultFrameEvents.
+	// idle). 0 means DefaultFrameEvents; values above DefaultMaxBatchEvents
+	// are clamped — a default-configured collector rejects larger frames.
 	FrameEvents int
+	// MaxFrame and MaxRaw are the wire limits frames are validated
+	// against at encode time; they must be no larger than the
+	// collector's MaxFrame / Limits.MaxRaw or the collector will reject
+	// the frames. A batch that encodes past either bound is split in
+	// half until it fits; a single event that cannot fit alone is shed
+	// with attribution. Zero values mean the package defaults.
+	MaxFrame int
+	MaxRaw   int
+	// MaxFrameRetries drops a spooled frame after it has been written on
+	// this many connections without ever being acked — the signature of
+	// a frame the collector rejects at decode (limits skew between the
+	// two ends). The drop is counted in Stats (DroppedFrames, and the
+	// events as Shed) and surfaces via Err. 0 means
+	// DefaultMaxFrameRetries.
+	MaxFrameRetries int
 	// SpoolFrames caps encoded frames buffered while unacked. 0 means
 	// DefaultSpoolFrames.
 	SpoolFrames int
@@ -72,16 +90,17 @@ type ForwardOptions struct {
 
 // Defaults for ForwardOptions.
 const (
-	DefaultFrameEvents    = 512
-	DefaultSpoolFrames    = 1024
-	DefaultSpoolBytes     = 64 << 20
-	DefaultDialTimeout    = 5 * time.Second
-	DefaultWriteTimeout   = 10 * time.Second
-	DefaultFlushTimeout   = 5 * time.Second
-	DefaultMinBackoff     = 100 * time.Millisecond
-	DefaultMaxBackoff     = 5 * time.Second
-	DefaultMaxShedSources = 4096
-	DefaultTopShedders    = 8
+	DefaultFrameEvents     = 512
+	DefaultSpoolFrames     = 1024
+	DefaultSpoolBytes      = 64 << 20
+	DefaultDialTimeout     = 5 * time.Second
+	DefaultWriteTimeout    = 10 * time.Second
+	DefaultFlushTimeout    = 5 * time.Second
+	DefaultMinBackoff      = 100 * time.Millisecond
+	DefaultMaxBackoff      = 5 * time.Second
+	DefaultMaxShedSources  = 4096
+	DefaultTopShedders     = 8
+	DefaultMaxFrameRetries = 8
 )
 
 func (o ForwardOptions) withDefaults() ForwardOptions {
@@ -90,6 +109,18 @@ func (o ForwardOptions) withDefaults() ForwardOptions {
 	}
 	if o.FrameEvents <= 0 {
 		o.FrameEvents = DefaultFrameEvents
+	}
+	if o.FrameEvents > DefaultMaxBatchEvents {
+		o.FrameEvents = DefaultMaxBatchEvents
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = DefaultMaxFrame
+	}
+	if o.MaxRaw <= 0 {
+		o.MaxRaw = DefaultMaxRaw
+	}
+	if o.MaxFrameRetries <= 0 {
+		o.MaxFrameRetries = DefaultMaxFrameRetries
 	}
 	if o.SpoolFrames <= 0 {
 		o.SpoolFrames = DefaultSpoolFrames
@@ -124,11 +155,17 @@ func (o ForwardOptions) withDefaults() ForwardOptions {
 	return o
 }
 
-// spoolFrame is one encoded, unacked batch.
+// spoolFrame is one encoded, unacked batch. attempts counts the
+// connections the frame has been written on as the spool head without
+// being acked — a frame the collector rejects at decode always dies at
+// the head, whereas frames merely queued behind it must not accrue
+// blame. Past Options.MaxFrameRetries the head frame is presumed
+// collector-rejected and dropped.
 type spoolFrame struct {
-	seq    uint64
-	events int
-	body   []byte
+	seq      uint64
+	events   int
+	body     []byte
+	attempts int
 }
 
 // ForwardSink streams events to a relay collector. It implements
@@ -156,6 +193,7 @@ type ForwardSink struct {
 	spoolEv int
 	spoolB  int64
 	nextSeq uint64
+	epoch   uint64 // per-process session nonce, sent in HELLO
 
 	conn      net.Conn
 	connected bool
@@ -180,6 +218,7 @@ type ForwardSink struct {
 	shed        uint64
 	shedUnattr  uint64
 	shedSrc     map[netip.Addr]uint64
+	droppedFr   uint64 // frames dropped at the retry cap
 }
 
 // NewForwardSink validates opts and starts the connection pump. The
@@ -192,15 +231,39 @@ func NewForwardSink(opts ForwardOptions) (*ForwardSink, error) {
 	if opts.Token == "" {
 		return nil, fmt.Errorf("relay: forward: empty token")
 	}
+	if len(opts.Token) > MaxName {
+		return nil, fmt.Errorf("relay: forward: token is %d bytes, limit %d", len(opts.Token), MaxName)
+	}
+	if len(opts.Farm) > MaxName {
+		return nil, fmt.Errorf("relay: forward: farm name is %d bytes, limit %d", len(opts.Farm), MaxName)
+	}
 	f := &ForwardSink{
 		opts:    opts.withDefaults(),
 		stopCh:  make(chan struct{}),
 		shedSrc: make(map[netip.Addr]uint64),
+		epoch:   newEpoch(),
 	}
 	f.cond.L = &f.mu
 	f.wg.Add(1)
 	go f.pump()
 	return f, nil
+}
+
+// newEpoch draws the per-process session nonce the collector uses to
+// tell a reconnect from a restart. Never zero, so it is distinguishable
+// from a collector farmState that has seen no HELLO at all.
+func newEpoch() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back
+		// to the math/rand source rather than refusing to forward.
+		return uint64(rand.Int63()) | 1
+	}
+	e := binary.LittleEndian.Uint64(b[:])
+	if e == 0 {
+		e = 1
+	}
+	return e
 }
 
 // Record implements core.Sink.
@@ -251,33 +314,66 @@ func (f *ForwardSink) shedLocked(e core.Event) {
 	}
 }
 
-// cutFrameLocked encodes pending events into one spool frame.
+// cutFrameLocked encodes pending events into spool frames, validating
+// every cut frame against the wire limits the collector will enforce at
+// decode (Options.MaxFrame/MaxRaw). A batch that encodes past either
+// bound is split in half until it fits — spooling it would poison the
+// spool head: the collector rejects the frame and drops the connection,
+// and the retransmit loop would replay it forever. A single event that
+// cannot fit alone is shed with attribution instead.
 func (f *ForwardSink) cutFrameLocked() {
-	if len(f.pending) == 0 {
-		return
-	}
-	seq := f.nextSeq + 1
-	body, rawLen, err := EncodeBatch(seq, f.pending, f.opts.CompressionLevel)
-	if err != nil {
-		// Encoding into memory cannot fail outside of a programming
-		// error; record it and drop the frame rather than wedging.
-		f.noteErrLocked(err)
-		for _, e := range f.pending {
-			f.enqueued--
-			f.shedLocked(e)
+	for len(f.pending) > 0 {
+		n := len(f.pending)
+		var body []byte
+		var rawLen int
+		for body == nil {
+			b, rl, err := EncodeBatch(f.nextSeq+1, f.pending[:n], f.opts.CompressionLevel)
+			switch {
+			case err != nil:
+				// Encoding into memory cannot fail outside of a
+				// programming error; record it and shed the batch
+				// rather than wedging.
+				f.noteErrLocked(err)
+				f.shedPendingLocked(n)
+			case len(b)+4 <= f.opts.MaxFrame && rl <= f.opts.MaxRaw:
+				body, rawLen = b, rl
+			case n > 1:
+				n /= 2
+				continue
+			default:
+				f.noteErrLocked(fmt.Errorf("relay: event exceeds frame limits (%d raw bytes, limit %d)", rl, f.opts.MaxRaw))
+				f.shedPendingLocked(1)
+			}
+			break
 		}
-		f.pending = f.pending[:0]
-		return
+		if body == nil {
+			continue
+		}
+		f.nextSeq++
+		fr := &spoolFrame{seq: f.nextSeq, events: n, body: body}
+		f.spool = append(f.spool, fr)
+		f.spoolEv += fr.events
+		f.spoolB += int64(len(body)) + 4
+		f.frames++
+		f.wireBytes += uint64(len(body)) + 4
+		f.rawBytes += uint64(rawLen)
+		f.consumePendingLocked(n)
 	}
-	f.nextSeq = seq
-	fr := &spoolFrame{seq: seq, events: len(f.pending), body: body}
-	f.spool = append(f.spool, fr)
-	f.spoolEv += fr.events
-	f.spoolB += int64(len(body)) + 4
-	f.frames++
-	f.wireBytes += uint64(len(body)) + 4
-	f.rawBytes += uint64(rawLen)
-	f.pending = f.pending[:0]
+}
+
+// shedPendingLocked sheds the first n pending events with attribution,
+// unwinding their enqueued count.
+func (f *ForwardSink) shedPendingLocked(n int) {
+	for _, e := range f.pending[:n] {
+		f.enqueued--
+		f.shedLocked(e)
+	}
+	f.consumePendingLocked(n)
+}
+
+// consumePendingLocked removes the first n pending events.
+func (f *ForwardSink) consumePendingLocked(n int) {
+	f.pending = f.pending[:copy(f.pending, f.pending[n:])]
 }
 
 func (f *ForwardSink) noteErrLocked(err error) {
@@ -334,7 +430,7 @@ func (f *ForwardSink) dial() (net.Conn, error) {
 		return nil, fmt.Errorf("relay: dial %s: %w", f.opts.Addr, err)
 	}
 	_ = conn.SetWriteDeadline(time.Now().Add(f.opts.WriteTimeout))
-	if err := wire.WriteFrame(conn, encodeHello(f.opts.Token, f.opts.Farm)); err != nil {
+	if err := wire.WriteFrame(conn, encodeHello(f.opts.Token, f.opts.Farm, f.epoch)); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("relay: hello to %s: %w", f.opts.Addr, err)
 	}
@@ -412,6 +508,29 @@ func (f *ForwardSink) writeLoop(conn net.Conn) {
 			}
 		}
 		fr := f.spool[f.sentIdx]
+		if fr.attempts >= f.opts.MaxFrameRetries {
+			// Written at the spool head on MaxFrameRetries connections
+			// without ever being acked: the collector is rejecting this
+			// frame at decode (limits skew or corruption in transit that
+			// survives TCP). Drop it so the spool drains instead of
+			// replaying the same frame forever; the loss is counted,
+			// never silent.
+			f.spool = append(f.spool[:f.sentIdx], f.spool[f.sentIdx+1:]...)
+			f.spoolEv -= fr.events
+			f.spoolB -= int64(len(fr.body)) + 4
+			f.enqueued -= uint64(fr.events)
+			f.shed += uint64(fr.events)
+			f.shedUnattr += uint64(fr.events)
+			f.droppedFr++
+			f.noteErrLocked(fmt.Errorf("relay: frame seq %d (%d events) dropped after %d unacked transmissions", fr.seq, fr.events, fr.attempts))
+			f.cond.Broadcast()
+			f.mu.Unlock()
+			f.logf("relay: dropping frame seq=%d (%d events) after %d unacked transmissions", fr.seq, fr.events, fr.attempts)
+			continue
+		}
+		if f.sentIdx == 0 {
+			fr.attempts++
+		}
 		f.sentIdx++
 		f.mu.Unlock()
 
@@ -554,12 +673,17 @@ type Stats struct {
 	SpoolBytes  int64 // wire bytes those frames occupy
 	Pending     int   // events not yet framed
 
-	Shed uint64 // events dropped because the spool was full
+	Shed uint64 // events dropped: spool full, oversized, or retry cap
 	// Shedders are the heaviest shed sources, descending; at most
 	// Options.TopShedders entries.
 	Shedders []SourceShed
-	// ShedUnattributed counts sheds beyond the bounded attribution table.
+	// ShedUnattributed counts sheds beyond the bounded attribution table
+	// (including events inside frames dropped at the retry cap, whose
+	// source addresses are no longer available).
 	ShedUnattributed uint64
+	// DroppedFrames counts spooled frames dropped at
+	// Options.MaxFrameRetries (their events are included in Shed).
+	DroppedFrames uint64
 }
 
 // CompressionRatio is uncompressed/compressed payload bytes (0 when
@@ -581,6 +705,9 @@ func (s Stats) String() string {
 	fmt.Fprintf(&sb, "relay[%s→%s]: enq=%d acked=%d spool=%d/%dev pend=%d frames=%d ratio=%.2f reconn=%d",
 		s.Farm, state, s.Enqueued, s.EventsAcked, s.SpoolFrames, s.SpoolEvents, s.Pending,
 		s.Frames, s.CompressionRatio(), s.Reconnects)
+	if s.DroppedFrames > 0 {
+		fmt.Fprintf(&sb, " dropped=%dfr", s.DroppedFrames)
+	}
 	if s.Shed > 0 {
 		sb.WriteString(" shed[")
 		for i, sd := range s.Shedders {
@@ -624,6 +751,7 @@ func (f *ForwardSink) Stats() Stats {
 		Pending:          len(f.pending),
 		Shed:             f.shed,
 		ShedUnattributed: f.shedUnattr,
+		DroppedFrames:    f.droppedFr,
 	}
 	for a, n := range f.shedSrc {
 		if n > 0 {

@@ -7,18 +7,22 @@
 // internal/wire, with hard size limits — the collector port is itself
 // Internet-facing), a magic/version header, flate-compressed event
 // payloads, a per-frame sequence number and a CRC over the compressed
-// bytes. A connection opens with a HELLO frame carrying a shared token
-// and the farm's name; the collector answers each BATCH frame with a
-// cumulative ACK once the batch has been handed to its local sinks.
+// bytes. A connection opens with a HELLO frame carrying a shared token,
+// the farm's name and a random per-process session epoch; the collector
+// answers each BATCH frame with a cumulative ACK once the batch has been
+// handed to its local sinks.
 //
 //	farm ──HELLO──▶ collector
 //	farm ──BATCH seq=1..n──▶ collector
 //	farm ◀──ACK seq───────── collector
 //
 // Delivery is at-least-once: the forwarder retransmits every unacked
-// frame after a reconnect, and the collector dedups on (farm, sequence),
-// so a collector outage costs buffering (and, once the spool is full,
-// per-source-accounted shedding) but never double counting.
+// frame after a reconnect, and the collector dedups on (farm, epoch,
+// sequence) — the epoch distinguishes a reconnecting process (same
+// epoch, dedup state kept) from a restarted one (new epoch, sequence
+// space restarts) — so a collector outage costs buffering (and, once
+// the spool is full, per-source-accounted shedding) but never double
+// counting and never a silently discarded session.
 package relay
 
 import (
@@ -39,8 +43,9 @@ import (
 const Magic uint32 = 0x44524c59
 
 // Version is the wire-format version. A collector refuses frames from a
-// different version instead of guessing.
-const Version = 1
+// different version instead of guessing. Version 2 added the session
+// epoch to the HELLO frame.
+const Version = 2
 
 // Frame types.
 const (
@@ -62,8 +67,10 @@ const (
 	DefaultMaxBatchEvents = 65536
 	// maxString caps any single string field inside an encoded event.
 	maxString = 1 << 20
-	// maxName caps the token and farm-name fields of a HELLO frame.
-	maxName = 256
+	// MaxName caps the token and farm-name fields of a HELLO frame.
+	// NewForwardSink and NewCollector reject longer values outright —
+	// truncating at encode time would silently break authentication.
+	MaxName = 256
 )
 
 // Protocol errors.
@@ -101,38 +108,45 @@ func readHeader(r *wire.Reader) (byte, error) {
 	return typ, nil
 }
 
-// encodeHello builds the connection-opening frame body.
-func encodeHello(token, farm string) []byte {
-	w := wire.NewWriter(16 + len(token) + len(farm))
+// encodeHello builds the connection-opening frame body. epoch is the
+// forwarder's per-process session nonce: it lets the collector tell a
+// reconnect (same epoch, sequence numbering continues) from a process
+// restart (new epoch, sequence numbering restarts at 1).
+func encodeHello(token, farm string, epoch uint64) []byte {
+	w := wire.NewWriter(24 + len(token) + len(farm))
 	header(w, frameHello)
 	putString16(w, token)
 	putString16(w, farm)
+	w.Uint64LE(epoch)
 	return w.Bytes()
 }
 
-// decodeHello parses a HELLO body into (token, farm).
-func decodeHello(body []byte) (token, farm string, err error) {
+// decodeHello parses a HELLO body into (token, farm, epoch).
+func decodeHello(body []byte) (token, farm string, epoch uint64, err error) {
 	r := wire.NewReader(body)
 	typ, err := readHeader(r)
 	if err != nil {
-		return "", "", err
+		return "", "", 0, err
 	}
 	if typ != frameHello {
-		return "", "", fmt.Errorf("%w: expected hello, got type %d", ErrBadFrame, typ)
+		return "", "", 0, fmt.Errorf("%w: expected hello, got type %d", ErrBadFrame, typ)
 	}
 	if token, err = getString16(r); err != nil {
-		return "", "", err
+		return "", "", 0, err
 	}
 	if farm, err = getString16(r); err != nil {
-		return "", "", err
+		return "", "", 0, err
 	}
 	if farm == "" {
-		return "", "", fmt.Errorf("%w: empty farm name", ErrBadFrame)
+		return "", "", 0, fmt.Errorf("%w: empty farm name", ErrBadFrame)
+	}
+	if epoch, err = r.Uint64LE(); err != nil {
+		return "", "", 0, fmt.Errorf("%w: %v", ErrBadFrame, err)
 	}
 	if r.Len() != 0 {
-		return "", "", fmt.Errorf("%w: %d trailing bytes after hello", ErrBadFrame, r.Len())
+		return "", "", 0, fmt.Errorf("%w: %d trailing bytes after hello", ErrBadFrame, r.Len())
 	}
-	return token, farm, nil
+	return token, farm, epoch, nil
 }
 
 // encodeAck builds a cumulative acknowledgement: every batch with
@@ -414,24 +428,25 @@ func getString(r *wire.Reader) (string, error) {
 }
 
 // putString16 appends a uint16-length-prefixed short string (hello
-// fields), truncated to maxName.
+// fields). Values longer than MaxName are rejected by the constructors,
+// so the defensive truncation here is unreachable on any supported path.
 func putString16(w *wire.Writer, s string) {
-	if len(s) > maxName {
-		s = s[:maxName]
+	if len(s) > MaxName {
+		s = s[:MaxName]
 	}
 	w.Uint16LE(uint16(len(s)))
 	w.String(s)
 }
 
 // getString16 reads a uint16-length-prefixed short string, bounded by
-// maxName.
+// MaxName.
 func getString16(r *wire.Reader) (string, error) {
 	n, err := r.Uint16LE()
 	if err != nil {
 		return "", fmt.Errorf("%w: %v", ErrBadFrame, err)
 	}
-	if int(n) > maxName {
-		return "", fmt.Errorf("%w: %d-byte name (limit %d)", wire.ErrFrameTooLarge, n, maxName)
+	if int(n) > MaxName {
+		return "", fmt.Errorf("%w: %d-byte name (limit %d)", wire.ErrFrameTooLarge, n, MaxName)
 	}
 	b, err := r.Bytes(int(n))
 	if err != nil {

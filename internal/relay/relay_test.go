@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -409,6 +410,267 @@ func TestCollectorRestartDedups(t *testing.T) {
 	}
 	if fst.Reconnects == 0 {
 		t.Fatalf("expected at least one reconnect: %+v", fst)
+	}
+}
+
+func TestFarmRestartResumesIngest(t *testing.T) {
+	// A restarted farm process restarts its sequence numbering at 1. The
+	// collector keys dedup on the session epoch announced in HELLO, so
+	// the new session's batches must be ingested — not classified as
+	// duplicates of the old session's high-water mark and silently
+	// dropped.
+	sink := &memSink{}
+	coll, err := NewCollector(CollectorOptions{Token: "tok"}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, stop := startCollector(t, coll)
+	defer stop()
+
+	run := func(n, off int) {
+		t.Helper()
+		fwd, err := NewForwardSink(ForwardOptions{Addr: addr, Token: "tok", Farm: "farm-x", FrameEvents: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs := make([]core.Event, n)
+		for i := range evs {
+			evs[i] = testEvent(off + i)
+		}
+		if err := fwd.RecordBatch(evs); err != nil {
+			t.Fatal(err)
+		}
+		fwd.Flush()
+		if err := fwd.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if st := fwd.Stats(); st.EventsAcked != uint64(n) {
+			t.Fatalf("acked %d of %d events: %+v", st.EventsAcked, n, st)
+		}
+	}
+	run(100, 0)   // first process, sequences 1..13
+	run(60, 1000) // restarted process, sequences restart at 1
+	if got := sink.len(); got != 160 {
+		t.Fatalf("collector ingested %d events across restart, want 160", got)
+	}
+	cst := coll.Stats()
+	if cst.DupEvents != 0 {
+		t.Fatalf("restart misread as duplicates: %+v", cst)
+	}
+	if len(cst.Farms) != 1 || cst.Farms[0].Epoch == 0 {
+		t.Fatalf("farm epoch not tracked: %+v", cst.Farms)
+	}
+}
+
+func TestRejectsOverlongNames(t *testing.T) {
+	long := strings.Repeat("a", MaxName+1)
+	if _, err := NewForwardSink(ForwardOptions{Addr: "x:1", Token: long}); err == nil {
+		t.Fatal("overlong token accepted by NewForwardSink; it would be truncated on the wire and never authenticate")
+	}
+	if _, err := NewForwardSink(ForwardOptions{Addr: "x:1", Token: "t", Farm: long}); err == nil {
+		t.Fatal("overlong farm name accepted by NewForwardSink")
+	}
+	if _, err := NewCollector(CollectorOptions{Token: long}, &memSink{}); err == nil {
+		t.Fatal("overlong token accepted by NewCollector")
+	}
+}
+
+func TestOversizedBatchSplitAndShed(t *testing.T) {
+	sink := &memSink{}
+	coll, err := NewCollector(CollectorOptions{Token: "tok", Limits: Limits{MaxRaw: 4096}}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, stop := startCollector(t, coll)
+	defer stop()
+
+	fwd, err := NewForwardSink(ForwardOptions{
+		Addr: addr, Token: "tok", Farm: "big",
+		FrameEvents: 16, MaxRaw: 4096,
+		MinBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 16 events of ~600 raw bytes encode past MaxRaw in one cut: the
+	// forwarder must split the batch rather than spool a frame the
+	// collector would reject.
+	big := make([]core.Event, 16)
+	for i := range big {
+		big[i] = testEvent(i)
+		big[i].Raw = strings.Repeat("x", 512)
+	}
+	if err := fwd.RecordBatch(big); err != nil {
+		t.Fatal(err)
+	}
+	// One event that cannot fit alone is shed with attribution instead
+	// of poisoning the spool head.
+	huge := testEvent(99)
+	huge.Raw = strings.Repeat("y", 8192)
+	if err := fwd.RecordBatch([]core.Event{huge}); err != nil {
+		t.Fatal(err)
+	}
+	fwd.Flush()
+
+	if got := sink.len(); got != len(big) {
+		t.Fatalf("collector ingested %d events, want %d (split frames delivered, oversized event shed)", got, len(big))
+	}
+	st := fwd.Stats()
+	if st.Shed != 1 || st.DroppedFrames != 0 {
+		t.Fatalf("stats: shed=%d dropped=%d, want 1/0: %+v", st.Shed, st.DroppedFrames, st)
+	}
+	if st.Frames < 2 {
+		t.Fatalf("oversized batch not split: %d frames", st.Frames)
+	}
+	if st.Enqueued != st.EventsAcked+uint64(st.SpoolEvents)+uint64(st.Pending) {
+		t.Fatalf("accounting broken: %+v", st)
+	}
+	if err := fwd.Close(); err == nil {
+		t.Fatal("shedding an un-shippable event must surface via Err/Close")
+	}
+}
+
+func TestPoisonFrameDroppedAfterRetries(t *testing.T) {
+	// The collector enforces stricter decode limits than the forwarder
+	// validates against (limits skew between the two ends). Its decode
+	// rejection drops the connection; the forwarder must give up on the
+	// rejected frame at the retry cap — with the loss accounted — rather
+	// than retransmit it forever while the spool backs up behind it.
+	sink := &memSink{}
+	coll, err := NewCollector(CollectorOptions{Token: "tok", Limits: Limits{MaxRaw: 2048}}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, stop := startCollector(t, coll)
+	defer stop()
+
+	fwd, err := NewForwardSink(ForwardOptions{
+		Addr: addr, Token: "tok", Farm: "skew",
+		FrameEvents: 4, MaxFrameRetries: 3,
+		MinBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poison := make([]core.Event, 4)
+	for i := range poison {
+		poison[i] = testEvent(i)
+		poison[i].Raw = strings.Repeat("p", 700) // ~2900 raw bytes > the collector's 2048
+	}
+	if err := fwd.RecordBatch(poison); err != nil {
+		t.Fatal(err)
+	}
+	good := testEvents(4)
+	if err := fwd.RecordBatch(good); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, 10*time.Second, func() bool { return sink.len() == len(good) }, "good frame delivered once the poison frame is dropped")
+	st := fwd.Stats()
+	if st.DroppedFrames != 1 || st.Shed != uint64(len(poison)) {
+		t.Fatalf("stats: dropped=%d shed=%d, want 1/%d: %+v", st.DroppedFrames, st.Shed, len(poison), st)
+	}
+	if st.Enqueued != st.EventsAcked+uint64(st.SpoolEvents)+uint64(st.Pending) {
+		t.Fatalf("accounting broken: %+v", st)
+	}
+	if coll.Stats().BadFrames == 0 {
+		t.Fatal("collector never rejected the oversized frame")
+	}
+	if err := fwd.Close(); err == nil {
+		t.Fatal("dropping a frame must surface via Err/Close")
+	}
+}
+
+func TestIdleConnectionDropped(t *testing.T) {
+	sink := &memSink{}
+	coll, err := NewCollector(CollectorOptions{Token: "tok", IdleTimeout: 50 * time.Millisecond}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, stop := startCollector(t, coll)
+	defer stop()
+
+	fwd, err := NewForwardSink(ForwardOptions{Addr: addr, Token: "tok", Farm: "quiet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fwd.Close()
+	if err := fwd.RecordBatch(testEvents(3)); err != nil {
+		t.Fatal(err)
+	}
+	fwd.Flush()
+	waitFor(t, 2*time.Second, func() bool { return sink.len() == 3 }, "delivery")
+
+	// The farm now goes silent: the collector must reap the connection
+	// instead of pinning its handler goroutine and Active slot forever.
+	waitFor(t, 2*time.Second, func() bool { return coll.Stats().Active == 0 }, "idle connection reaped")
+	waitFor(t, 2*time.Second, func() bool { return !fwd.Stats().Connected }, "forwarder observed the cut")
+}
+
+// flakySink fails its first `failures` batches, then ingests normally.
+type flakySink struct {
+	mu       sync.Mutex
+	failures int
+	events   []core.Event
+}
+
+func (s *flakySink) Record(e core.Event) { _ = s.RecordBatch([]core.Event{e}) }
+
+func (s *flakySink) RecordBatch(events []core.Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failures > 0 {
+		s.failures--
+		return errors.New("sink down")
+	}
+	s.events = append(s.events, events...)
+	return nil
+}
+
+func (s *flakySink) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+func TestAllSinksFailingDefersAck(t *testing.T) {
+	// When every sink refuses a batch the collector must not ack it (an
+	// ack means the events are safe); dropping the connection makes the
+	// forwarder retransmit, so the batch lands exactly once after the
+	// sinks recover.
+	sink := &flakySink{failures: 2}
+	coll, err := NewCollector(CollectorOptions{Token: "tok"}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, stop := startCollector(t, coll)
+	defer stop()
+
+	fwd, err := NewForwardSink(ForwardOptions{
+		Addr: addr, Token: "tok", Farm: "flaky",
+		MinBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fwd.RecordBatch(testEvents(10)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return sink.len() == 10 }, "delivery after sink recovery")
+	fwd.Flush()
+	if err := fwd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.len(); got != 10 {
+		t.Fatalf("sink has %d events after retries, want exactly 10", got)
+	}
+	cst := coll.Stats()
+	if cst.Events != 10 || cst.SinkErrors != 2 {
+		t.Fatalf("collector stats: events=%d sinkErrors=%d, want 10/2: %+v", cst.Events, cst.SinkErrors, cst)
+	}
+	if coll.Err() == nil {
+		t.Fatal("sink failures must surface via Err")
 	}
 }
 
