@@ -30,6 +30,7 @@ import (
 	"decoydb/internal/pipeline"
 	"decoydb/internal/report"
 	"decoydb/internal/simnet"
+	"decoydb/internal/wal"
 )
 
 // benchScale compresses brute-force volume for the benchmark dataset.
@@ -477,6 +478,65 @@ func BenchmarkStoreIngest(b *testing.B) {
 			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 		})
 	}
+}
+
+// BenchmarkStoreIngestWAL is BenchmarkStoreIngest's shards=N case with
+// the write-ahead journal attached (interval fsync, the decoydb -store
+// default): the price of crash-durable ingest over pure in-memory
+// aggregation. The journal serialises appends on one lock, so this also
+// bounds how much of the sharded store's parallelism durability costs.
+func BenchmarkStoreIngestWAL(b *testing.B) {
+	const batchSize = 256
+	batches := make([][]core.Event, storeIngestWorkers)
+	hp := core.Info{DBMS: core.MSSQL, Level: core.Low, Config: core.ConfigDefault, Group: core.GroupMulti}
+	for i, filled := 0, 0; filled < storeIngestWorkers; i++ {
+		addr := netip.AddrFrom4([4]byte{198, 51, byte(i >> 8), byte(i)})
+		w := core.ShardOf(addr, storeIngestWorkers)
+		if len(batches[w]) == batchSize {
+			continue
+		}
+		batches[w] = append(batches[w], core.Event{
+			Time: core.ExperimentStart, Src: netip.AddrPortFrom(addr, 1024),
+			Honeypot: hp, Kind: core.EventLogin,
+			User: "sa", Pass: fmt.Sprintf("pw%d", i%16),
+		})
+		if len(batches[w]) == batchSize {
+			filled++
+		}
+	}
+	b.Run(fmt.Sprintf("shards=%d", storeIngestWorkers), func(b *testing.B) {
+		l, err := wal.Open(wal.Options{Dir: b.TempDir()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		store := evstore.NewSharded(core.ExperimentStart, core.ExperimentDays, nil, storeIngestWorkers)
+		if _, err := store.AttachWAL(l, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for w := 0; w < storeIngestWorkers; w++ {
+			wg.Add(1)
+			go func(batch []core.Event) {
+				defer wg.Done()
+				for i := 0; i < b.N; i++ {
+					if err := store.RecordBatch(batch); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(batches[w])
+		}
+		wg.Wait()
+		b.StopTimer()
+		events := int64(b.N) * storeIngestWorkers * batchSize
+		if store.Events() != events {
+			b.Fatalf("store has %d events, want %d", store.Events(), events)
+		}
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	})
 }
 
 // --- Protocol microbenchmark: the hottest parse in the system ---

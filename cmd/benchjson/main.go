@@ -1,0 +1,198 @@
+// Command benchjson runs go benchmarks and emits the results as
+// machine-readable JSON, with optional floor and ratio assertions — the
+// CI gate that keeps the transport and durability numbers honest
+// (events/s floors, WAL-on vs in-memory ingest within a bounded
+// ratio) while archiving every metric for cross-run comparison.
+//
+// Usage:
+//
+//	benchjson [-o BENCH.json] [-benchtime 20x] \
+//	    [-min 'NAME:METRIC:FLOOR']... \
+//	    [-maxratio 'NUMER:DENOM:METRIC:RATIO']... \
+//	    PKG:BENCHREGEX ...
+//
+// Each positional argument names a package and the benchmark regexp to
+// run in it (the package comes first — import paths never contain a
+// colon). Benchmark names are recorded with the GOMAXPROCS suffix
+// stripped, so assertions are stable across machines.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+// result is one benchmark's metrics: "n" (iterations) plus every
+// VALUE UNIT pair go test printed (ns/op, B/op, events/s, ...).
+type result map[string]float64
+
+type output struct {
+	Goos   string            `json:"goos,omitempty"`
+	Goarch string            `json:"goarch,omitempty"`
+	CPU    string            `json:"cpu,omitempty"`
+	Bench  map[string]result `json:"benchmarks"`
+}
+
+// benchLine matches "BenchmarkName-8   	  100	  33210 ns/op	 7708487 events/s".
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+	metricRE  = regexp.MustCompile(`([0-9.eE+-]+)\s+(\S+)`)
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	var (
+		out       = flag.String("o", "", "write the JSON report here (default stdout)")
+		benchtime = flag.String("benchtime", "", "go test -benchtime value (e.g. 20x, 1s)")
+		mins      multiFlag
+		ratios    multiFlag
+	)
+	flag.Var(&mins, "min", "assert a floor: NAME:METRIC:VALUE (repeatable)")
+	flag.Var(&ratios, "maxratio", "assert a ratio ceiling: NUMER:DENOM:METRIC:RATIO (repeatable)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("no benchmarks requested: want PKG:BENCHREGEX arguments")
+	}
+
+	rep := output{Bench: map[string]result{}}
+	for _, spec := range flag.Args() {
+		pkg, pattern, ok := strings.Cut(spec, ":")
+		if !ok || pkg == "" || pattern == "" {
+			log.Fatalf("want PKG:BENCHREGEX, got %q", spec)
+		}
+		args := []string{"test", "-run=NONE", "-bench=" + pattern}
+		if *benchtime != "" {
+			args = append(args, "-benchtime="+*benchtime)
+		}
+		args = append(args, pkg)
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		raw, err := cmd.Output()
+		if err != nil {
+			log.Fatalf("go %s: %v", strings.Join(args, " "), err)
+		}
+		parse(string(raw), &rep)
+	}
+	if len(rep.Bench) == 0 {
+		log.Fatal("no benchmark results parsed")
+	}
+
+	failed := false
+	for _, m := range mins {
+		name, metric, floor, err := splitAssert(m, 3)
+		if err != nil {
+			log.Fatalf("-min %q: %v", m, err)
+		}
+		got, ok := lookup(rep.Bench, name, metric)
+		if !ok {
+			log.Fatalf("-min %q: no metric %q for %q in results", m, metric, name)
+		}
+		if got < floor {
+			log.Printf("FAIL: %s %s = %.0f, floor %.0f", name, metric, got, floor)
+			failed = true
+		} else {
+			log.Printf("ok: %s %s = %.0f >= %.0f", name, metric, got, floor)
+		}
+	}
+	for _, r := range ratios {
+		parts := strings.Split(r, ":")
+		if len(parts) != 4 {
+			log.Fatalf("-maxratio %q: want NUMER:DENOM:METRIC:RATIO", r)
+		}
+		limit, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil {
+			log.Fatalf("-maxratio %q: %v", r, err)
+		}
+		numer, ok1 := lookup(rep.Bench, parts[0], parts[2])
+		denom, ok2 := lookup(rep.Bench, parts[1], parts[2])
+		if !ok1 || !ok2 || denom == 0 {
+			log.Fatalf("-maxratio %q: missing metric %q for %q or %q", r, parts[2], parts[0], parts[1])
+		}
+		if got := numer / denom; got > limit {
+			log.Printf("FAIL: %s/%s %s ratio = %.2f, limit %.2f", parts[0], parts[1], parts[2], got, limit)
+			failed = true
+		} else {
+			log.Printf("ok: %s/%s %s ratio = %.2f <= %.2f", parts[0], parts[1], parts[2], got, limit)
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// parse accumulates benchmark lines (and the goos/goarch/cpu header)
+// from one go test -bench run.
+func parse(raw string, rep *output) {
+	for _, line := range strings.Split(raw, "\n") {
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		res := result{}
+		n, _ := strconv.ParseFloat(m[2], 64)
+		res["n"] = n
+		for _, pair := range metricRE.FindAllStringSubmatch(m[3], -1) {
+			if v, err := strconv.ParseFloat(pair[1], 64); err == nil {
+				res[pair[2]] = v
+			}
+		}
+		rep.Bench[m[1]] = res
+	}
+}
+
+// splitAssert parses NAME:METRIC:VALUE (the value is always last, the
+// name may not contain colons — benchmark names here never do).
+func splitAssert(s string, parts int) (name, metric string, value float64, err error) {
+	ps := strings.Split(s, ":")
+	if len(ps) != parts {
+		return "", "", 0, fmt.Errorf("want %d colon-separated fields", parts)
+	}
+	value, err = strconv.ParseFloat(ps[parts-1], 64)
+	if err != nil {
+		return "", "", 0, err
+	}
+	return ps[0], ps[1], value, nil
+}
+
+// lookup fetches a metric for a benchmark by its procs-stripped name.
+func lookup(bench map[string]result, name, metric string) (float64, bool) {
+	res, ok := bench[name]
+	if !ok {
+		return 0, false
+	}
+	v, ok := res[metric]
+	return v, ok
+}

@@ -1,18 +1,27 @@
 // Command dbcollect is the central collector for a fleet of honeypot
 // farms: it listens for relay connections from decoydb/dbsim -forward,
 // authenticates them with a shared token, and ingests every forwarded
-// event into a sharded in-memory event store — the aggregation half of
-// the paper's pipeline, run on the analysis host instead of on each
+// event into a sharded event store — the aggregation half of the
+// paper's pipeline, run on the analysis host instead of on each
 // exposed VM.
 //
-// On SIGINT/SIGTERM (or after -runfor) it stops serving and dumps a
+// With -store DIR the store is journaled to a write-ahead log under
+// DIR/collector: every ingested batch hits disk before it is
+// acknowledged into the aggregates, and restarting dbcollect over the
+// same -store recovers the full capture — including the per-farm dedup
+// marks, so farms retransmitting across the restart are never double
+// counted.
+//
+// On SIGINT/SIGTERM (or after -runfor, or if the listener dies) it
+// stops serving, flushes every buffering sink, and dumps a
 // dbreport-style snapshot — event totals, unique sources and top
-// credentials per farm-facing window — so a collection session ends
-// with the same artefact format the offline report tool produces.
+// credentials — so a collection session always ends with the same
+// artefact format the offline report tool produces, even on an error
+// path.
 //
 // Usage:
 //
-//	dbcollect -token SECRET [-listen :7100] [-days 20] [-runfor 0] [-statsevery 1m]
+//	dbcollect -token SECRET [-listen :7100] [-store DIR] [-days 20] [-runfor 0] [-statsevery 1m]
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"time"
 
 	"decoydb/internal/bus"
+	"decoydb/internal/cliflags"
 	"decoydb/internal/core"
 	"decoydb/internal/evstore"
 	"decoydb/internal/geoip"
@@ -44,6 +54,7 @@ func main() {
 		statsEach = flag.Duration("statsevery", time.Minute, "interval between stats log lines (0 = off)")
 		topCreds  = flag.Int("topcreds", 10, "credential rows in the final snapshot dump")
 	)
+	storeFlag := cliflags.RegisterStore(flag.CommandLine)
 	flag.Parse()
 	if *token == "" {
 		log.Fatal("-token is required: forwarders authenticate with it")
@@ -54,8 +65,33 @@ func main() {
 	// periodic log line.
 	store := evstore.NewSharded(core.ExperimentStart, *days, geoip.Default(), 0)
 	stats := &bus.StatsSink{}
+
+	// With -store, attach the journal before serving: replay rebuilds
+	// both the aggregates of the previous process and — from the source
+	// tags journaled with each relayed batch — the per-farm dedup marks,
+	// so retransmits that cross the restart are recognised as duplicates.
+	journal, err := storeFlag.Open("collector", log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	farms := map[string]relay.FarmMark{}
+	if journal != nil {
+		replayed, err := store.AttachWAL(journal, func(tag []byte) {
+			if farm, epoch, seq, ok := relay.DecodeSourceTag(tag); ok {
+				farms[farm] = relay.FarmMark{Epoch: epoch, LastSeq: seq}
+			}
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if replayed > 0 {
+			log.Printf("recovered %d events from %s (%d farm marks)", replayed, storeFlag.Dir(), len(farms))
+		}
+		log.Printf("%s", journal.Stats())
+	}
+
 	coll, err := relay.NewCollector(relay.CollectorOptions{
-		Token: *token, Logf: log.Printf,
+		Token: *token, Farms: farms, Logf: log.Printf,
 	}, store, stats)
 	if err != nil {
 		log.Fatal(err)
@@ -71,7 +107,7 @@ func main() {
 
 	done := make(chan error, 1)
 	go func() { done <- coll.ListenAndServe(*listen) }()
-	log.Printf("collecting on %s — ctrl-c to stop and dump", *listen)
+	log.Printf("collecting on %s — SIGINT/SIGTERM to stop and dump", *listen)
 
 	if *statsEach > 0 {
 		go func() {
@@ -84,22 +120,55 @@ func main() {
 				case <-t.C:
 					log.Printf("%s", coll.Stats())
 					log.Printf("%s", stats.Counts())
+					if journal != nil {
+						log.Printf("%s", journal.Stats())
+					}
 				}
 			}
 		}()
 	}
 
-	<-ctx.Done()
-	log.Print("shutting down")
+	// Wait for a stop signal or a listener failure. Either way the
+	// session ends the same: flush every buffering sink, dump the
+	// snapshot, close the journal — a capture must never evaporate just
+	// because the exit path was the unhappy one.
+	var serveErr error
+	select {
+	case serveErr = <-done:
+		if serveErr != nil {
+			log.Printf("serve: %v — dumping what was captured", serveErr)
+		}
+	case <-ctx.Done():
+		log.Print("shutting down")
+	}
 	if err := coll.Close(); err != nil {
 		log.Printf("collector: %v", err)
 	}
-	if err := <-done; err != nil {
-		log.Fatal(err)
+	if serveErr == nil {
+		if err := <-done; err != nil {
+			serveErr = err
+			log.Printf("serve: %v", err)
+		}
+	}
+
+	// Quiesce point: every sink that buffers (the journaled store syncs
+	// its WAL here) drains before the snapshot is rendered.
+	for _, s := range []core.Sink{store, stats} {
+		if f, ok := s.(core.Flusher); ok {
+			f.Flush()
+		}
 	}
 	log.Printf("final %s", coll.Stats())
-
 	dump(os.Stdout, coll.Stats(), store, *topCreds)
+	if journal != nil {
+		log.Printf("final %s", journal.Stats())
+		if err := journal.Close(); err != nil {
+			log.Printf("journal: %v", err)
+		}
+	}
+	if serveErr != nil {
+		os.Exit(1)
+	}
 }
 
 // dump renders the end-of-session snapshot in the dbreport artefact

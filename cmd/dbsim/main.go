@@ -16,7 +16,9 @@
 // With -forward host:port,token[,farm] the captured events also stream
 // to a dbcollect collector over the relay protocol. The forwarder runs
 // in blocking (lossless) mode here: a finite capture should arrive
-// complete, so dbsim waits for spool space rather than shedding.
+// complete, so dbsim waits for spool space rather than shedding. Adding
+// -store DIR backs that spool with a write-ahead log under DIR/spool,
+// so even a killed simulation finishes its delivery on the next run.
 package main
 
 import (
@@ -35,6 +37,7 @@ import (
 	"decoydb/internal/pipeline"
 	"decoydb/internal/relay"
 	"decoydb/internal/simnet"
+	"decoydb/internal/wal"
 )
 
 func main() {
@@ -47,6 +50,7 @@ func main() {
 	)
 	busFlags := cliflags.RegisterBus(flag.CommandLine, "block")
 	fwdFlag := cliflags.RegisterForward(flag.CommandLine)
+	storeFlag := cliflags.RegisterStore(flag.CommandLine)
 	flag.Parse()
 
 	busOpts, err := busFlags.Options()
@@ -65,7 +69,13 @@ func main() {
 		log.Fatal(err)
 	}
 	sinks := []core.Sink{lw}
-	fwd, err := fwdFlag.Sink(relay.ForwardOptions{Farm: "dbsim", Block: true, Logf: log.Printf})
+	var spool *wal.Log
+	if fwdFlag.Enabled() {
+		if spool, err = storeFlag.Open("spool", log.Printf); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fwd, err := fwdFlag.Sink(relay.ForwardOptions{Farm: "dbsim", Block: true, Logf: log.Printf, SpoolWAL: spool})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -90,6 +100,11 @@ func main() {
 			log.Printf("relay: %v", err)
 		}
 		fmt.Printf("forwarded: %s\n", fwd.Stats())
+	}
+	if spool != nil {
+		if err := spool.Close(); err != nil {
+			log.Printf("spool: %v", err)
+		}
 	}
 	fmt.Printf("simulation done in %v: %d sessions (%d torn connections)\n",
 		res.Elapsed.Round(1e6), res.Sessions, res.Errors)

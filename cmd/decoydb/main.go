@@ -15,9 +15,16 @@
 // with per-source accounting when the spool fills — a collector outage
 // costs bounded memory, never a stalled honeypot session.
 //
+// With -store DIR the farm becomes durable: every event is journaled to
+// a write-ahead log under DIR/journal before the process acknowledges
+// it, and the relay spool is backed by DIR/spool — killing the process
+// (even SIGKILL) and restarting it resumes retransmission from disk,
+// and the collector's cross-restart dedup keeps replays from ever being
+// double counted.
+//
 // Usage:
 //
-//	decoydb [-listen 0.0.0.0] [-services mysql,redis,...] [-logs DIR] [-offset N] [-forward ADDR,TOKEN]
+//	decoydb [-listen 0.0.0.0] [-services mysql,redis,...] [-logs DIR] [-offset N] [-forward ADDR,TOKEN] [-store DIR]
 //
 // With -offset (e.g. 10000), services bind to port+offset so the farm can
 // run unprivileged: MySQL on 13306, Redis on 16379, and so on.
@@ -40,6 +47,7 @@ import (
 	"decoydb/internal/pipeline"
 	"decoydb/internal/relay"
 	"decoydb/internal/simnet"
+	"decoydb/internal/wal"
 )
 
 func main() {
@@ -59,6 +67,7 @@ func main() {
 	// flooding source while keeping everyone else lossless.
 	busFlags := cliflags.RegisterBus(flag.CommandLine, "adaptive")
 	fwdFlag := cliflags.RegisterForward(flag.CommandLine)
+	storeFlag := cliflags.RegisterStore(flag.CommandLine)
 	flag.Parse()
 
 	busOpts, err := busFlags.Options()
@@ -78,10 +87,28 @@ func main() {
 
 	stats := &bus.StatsSink{}
 	sinks := []core.Sink{lw, stats}
+
+	// With -store, the capture journal rides the bus like any other sink
+	// and the relay spool journals frames before they enter its
+	// retransmission window — so a crashed farm resumes from disk.
+	journal, err := storeFlag.Open("journal", log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if journal != nil {
+		sinks = append(sinks, wal.NewSink(journal))
+	}
+	var spool *wal.Log
+	if fwdFlag.Enabled() {
+		if spool, err = storeFlag.Open("spool", log.Printf); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	// Live forwarding must never stall sessions: leave Block unset so a
 	// collector outage degrades to bounded spooling, then accounted
 	// shedding.
-	fwd, err := fwdFlag.Sink(relay.ForwardOptions{Farm: "live", Logf: log.Printf})
+	fwd, err := fwdFlag.Sink(relay.ForwardOptions{Farm: "live", Logf: log.Printf, SpoolWAL: spool})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -133,6 +160,9 @@ func main() {
 	if fwd != nil {
 		log.Printf("forwarding events to collector (farm %q)", fwd.Stats().Farm)
 	}
+	if journal != nil {
+		log.Printf("durable capture under %s — %s", storeFlag.Dir(), journal.Stats())
+	}
 
 	if *statsEach > 0 {
 		go func() {
@@ -169,6 +199,21 @@ func main() {
 			log.Printf("relay: %v", err)
 		}
 		log.Printf("final %s", fwd.Stats())
+	}
+	// The forwarder journals its unframed tail during Close, so the spool
+	// WAL must outlive it; same order on the capture journal, which the
+	// bus flushed above.
+	if spool != nil {
+		log.Printf("final spool %s", spool.Stats())
+		if err := spool.Close(); err != nil {
+			log.Printf("spool: %v", err)
+		}
+	}
+	if journal != nil {
+		log.Printf("final journal %s", journal.Stats())
+		if err := journal.Close(); err != nil {
+			log.Printf("journal: %v", err)
+		}
 	}
 	if err := lw.Close(); err != nil {
 		log.Printf("log writer: %v (%d write failures)", err, lw.ErrCount())

@@ -27,6 +27,17 @@ type BatchSink interface {
 	RecordBatch(events []Event) error
 }
 
+// TaggedBatchSink is a BatchSink that can journal an opaque provenance
+// annotation alongside each batch (e.g. the relay's (farm, epoch,
+// sequence) source tag into a WAL-backed store). Deliverers that know
+// where a batch came from prefer this path; the tag must be persisted
+// with the batch and surfaced again on replay, so crash recovery can
+// rebuild delivery state — not just data.
+type TaggedBatchSink interface {
+	BatchSink
+	RecordBatchTagged(events []Event, tag []byte) error
+}
+
 // Flusher is implemented by sinks that buffer events asynchronously
 // (e.g. the event bus). Holders of such a sink call Flush at quiesce
 // points — the Farm does so during Shutdown — to guarantee everything

@@ -32,6 +32,7 @@ import (
 	"decoydb/internal/asdb"
 	"decoydb/internal/core"
 	"decoydb/internal/geoip"
+	"decoydb/internal/wal"
 )
 
 // PerKey identifies a honeypot grouping an IP interacted with.
@@ -162,6 +163,7 @@ type Store struct {
 	days   int
 	geo    *geoip.DB
 	shards []*storeShard
+	wal    *wal.Log // optional journal; see wal.go
 }
 
 // MaxDays is the longest supported experiment window: the per-activity
@@ -222,18 +224,36 @@ func (s *Store) shardFor(addr netip.Addr) *storeShard {
 
 // Record implements core.Sink.
 func (s *Store) Record(e core.Event) {
+	if s.wal != nil {
+		// The journal works in batch records; route the single event
+		// through the batch path so it is persisted before it is applied.
+		_ = s.RecordBatch([]core.Event{e})
+		return
+	}
 	sh := s.shardFor(e.Src.Addr())
 	sh.mu.Lock()
 	s.record(sh, e)
 	sh.mu.Unlock()
 }
 
-// RecordBatch implements core.BatchSink. Events are committed in
-// shard-aligned runs: consecutive events hashing to the same shard share
-// one lock acquisition. When the batch comes from an event bus with a
-// matching shard count, the whole batch is a single run — one lock per
-// batch, and different bus workers never touch the same shard.
+// RecordBatch implements core.BatchSink. With a WAL attached the batch
+// is journaled first — a batch the journal did not accept is not
+// applied, and the error surfaces to the deliverer. Events are then
+// committed in shard-aligned runs: consecutive events hashing to the
+// same shard share one lock acquisition. When the batch comes from an
+// event bus with a matching shard count, the whole batch is a single
+// run — one lock per batch, and different bus workers never touch the
+// same shard.
 func (s *Store) RecordBatch(events []core.Event) error {
+	if err := s.journalBatch(events); err != nil {
+		return err
+	}
+	return s.applyBatch(events)
+}
+
+// applyBatch commits events to the shards without journaling — the
+// shared tail of RecordBatch, RecordBatchTagged and WAL replay.
+func (s *Store) applyBatch(events []core.Event) error {
 	n := len(s.shards)
 	for i := 0; i < len(events); {
 		si := core.ShardOf(events[i].Src.Addr(), n)

@@ -37,8 +37,21 @@ type CollectorOptions struct {
 	IdleTimeout time.Duration
 	// WriteTimeout bounds each ACK write. 0 means DefaultWriteTimeout.
 	WriteTimeout time.Duration
+	// Farms seeds the per-farm dedup state, restoring the high-water
+	// marks a previous collector process journalled before it died (see
+	// DecodeSourceTag). A restored farm's retransmitted batches dedup
+	// exactly as if the collector had never restarted.
+	Farms map[string]FarmMark
 	// Logf, when non-nil, receives operational diagnostics.
 	Logf func(format string, args ...any)
+}
+
+// FarmMark is a restorable dedup high-water mark for one farm: the
+// session epoch it belongs to and the highest sequence ingested within
+// it. dbcollect rebuilds these from the WAL batch tags on reopen.
+type FarmMark struct {
+	Epoch   uint64
+	LastSeq uint64
 }
 
 // DefaultHelloTimeout is how long an unauthenticated connection may sit
@@ -53,7 +66,7 @@ func (o CollectorOptions) withDefaults() CollectorOptions {
 	if o.MaxFrame <= 0 {
 		o.MaxFrame = DefaultMaxFrame
 	}
-	o.Limits = o.Limits.withDefaults()
+	o.Limits = o.Limits.WithDefaults()
 	if o.HelloTimeout <= 0 {
 		o.HelloTimeout = DefaultHelloTimeout
 	}
@@ -77,16 +90,19 @@ type farmState struct {
 	mu        sync.Mutex
 	epoch     uint64 // session epoch the dedup state belongs to
 	last      uint64 // highest ingested sequence within epoch
+	durable   bool   // farm announced a WAL-backed sequence space
 	frames    uint64
 	events    uint64
 	dupFrames uint64
 	dupEvents uint64
 }
 
-// collSink pairs one local sink with its batch capability.
+// collSink pairs one local sink with its batch and provenance
+// capabilities.
 type collSink struct {
-	sink  core.Sink
-	batch core.BatchSink
+	sink   core.Sink
+	batch  core.BatchSink
+	tagged core.TaggedBatchSink
 }
 
 // Collector terminates relay connections on the analysis host:
@@ -151,7 +167,13 @@ func NewCollector(opts CollectorOptions, sinks ...core.Sink) (*Collector, error)
 		if bs, ok := s.(core.BatchSink); ok {
 			cs.batch = bs
 		}
+		if ts, ok := s.(core.TaggedBatchSink); ok {
+			cs.tagged = ts
+		}
 		c.sinks = append(c.sinks, cs)
+	}
+	for name, m := range c.opts.Farms {
+		c.farms[name] = &farmState{epoch: m.Epoch, last: m.LastSeq, durable: true}
 	}
 	return c, nil
 }
@@ -272,7 +294,7 @@ func (c *Collector) handle(conn net.Conn) {
 		c.authFails.Add(1)
 		return
 	}
-	token, farm, epoch, err := decodeHello(body)
+	token, farm, epoch, durable, err := decodeHello(body)
 	if err != nil || subtle.ConstantTimeCompare([]byte(token), []byte(c.opts.Token)) != 1 {
 		c.authFails.Add(1)
 		c.logf("relay: %s: rejected hello", conn.RemoteAddr())
@@ -282,12 +304,18 @@ func (c *Collector) handle(conn net.Conn) {
 	fs := c.farm(farm)
 	fs.mu.Lock()
 	if fs.epoch != epoch {
-		// A fresh forwarder session: its sequence numbering restarts, so
-		// the dedup high-water mark must too. Reconnects of the same
-		// process carry the same epoch and keep the mark.
+		// A fresh forwarder session. For an in-memory spool its sequence
+		// numbering restarts, so the dedup high-water mark must too.
+		// A durable (WAL-backed) forwarder's sequence space survives the
+		// restart: keep the mark, so batches that were ingested but whose
+		// ack never reached the old process are recognised as duplicates
+		// when the new process replays them from disk.
 		fs.epoch = epoch
-		fs.last = 0
+		if !durable {
+			fs.last = 0
+		}
 	}
+	fs.durable = fs.durable || durable
 	fs.mu.Unlock()
 
 	for {
@@ -325,7 +353,7 @@ func (c *Collector) handle(conn net.Conn) {
 			c.dupFrames.Add(1)
 			c.dupEvents.Add(uint64(len(events)))
 		} else {
-			if !c.ingest(events) {
+			if !c.ingest(events, EncodeSourceTag(farm, epoch, seq)) {
 				// Every sink refused the batch: acking now would tell the
 				// forwarder the events are safe when they are gone. Leave
 				// the high-water mark alone and drop the connection so
@@ -359,10 +387,21 @@ func (c *Collector) handle(conn net.Conn) {
 // ingest fans one decoded batch into every local sink. It reports
 // whether at least one sink accepted the batch; callers must not ack a
 // batch no sink accepted. (Record-only sinks cannot fail, so they
-// always count as accepting.)
-func (c *Collector) ingest(events []core.Event) bool {
+// always count as accepting.) Sinks that record provenance (a
+// WAL-backed evstore) get the batch's source tag, so a collector
+// restart can rebuild its dedup marks from the journal.
+func (c *Collector) ingest(events []core.Event, tag []byte) bool {
 	delivered := false
 	for _, s := range c.sinks {
+		if s.tagged != nil {
+			if err := s.tagged.RecordBatchTagged(events, tag); err != nil {
+				c.sinkErrs.Add(1)
+				c.noteErr(fmt.Errorf("relay: sink %T: %w", s.sink, err))
+			} else {
+				delivered = true
+			}
+			continue
+		}
 		if s.batch != nil {
 			if err := s.batch.RecordBatch(events); err != nil {
 				c.sinkErrs.Add(1)
@@ -380,11 +419,46 @@ func (c *Collector) ingest(events []core.Event) bool {
 	return delivered
 }
 
+// EncodeSourceTag packs a batch's provenance — farm name, session
+// epoch, sequence — into the opaque annotation a durable sink journals
+// alongside the batch. A restarted collector replays its journal,
+// decodes the tags and passes the resulting high-water marks back via
+// CollectorOptions.Farms.
+func EncodeSourceTag(farm string, epoch, seq uint64) []byte {
+	w := wire.NewWriter(18 + len(farm))
+	putString16(w, farm)
+	w.Uint64LE(epoch)
+	w.Uint64LE(seq)
+	return w.Bytes()
+}
+
+// DecodeSourceTag unpacks a tag written by EncodeSourceTag. ok is false
+// for tags this package did not produce (including nil — batches can
+// enter a journalled store without passing through the relay).
+func DecodeSourceTag(tag []byte) (farm string, epoch, seq uint64, ok bool) {
+	r := wire.NewReader(tag)
+	farm, err := getString16(r)
+	if err != nil || farm == "" {
+		return "", 0, 0, false
+	}
+	if epoch, err = r.Uint64LE(); err != nil {
+		return "", 0, 0, false
+	}
+	if seq, err = r.Uint64LE(); err != nil {
+		return "", 0, 0, false
+	}
+	if r.Len() != 0 {
+		return "", 0, 0, false
+	}
+	return farm, epoch, seq, true
+}
+
 // FarmStats is the per-farm slice of CollectorStats.
 type FarmStats struct {
 	Name      string
 	Epoch     uint64 // session epoch the dedup state belongs to
 	LastSeq   uint64 // highest ingested sequence within Epoch
+	Durable   bool   // farm announced a WAL-backed sequence space
 	Frames    uint64
 	Events    uint64
 	DupFrames uint64
@@ -456,7 +530,7 @@ func (c *Collector) Stats() CollectorStats {
 	for name, fs := range c.farms {
 		fs.mu.Lock()
 		st.Farms = append(st.Farms, FarmStats{
-			Name: name, Epoch: fs.epoch, LastSeq: fs.last,
+			Name: name, Epoch: fs.epoch, LastSeq: fs.last, Durable: fs.durable,
 			Frames: fs.frames, Events: fs.events,
 			DupFrames: fs.dupFrames, DupEvents: fs.dupEvents,
 		})

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"decoydb/internal/core"
+	"decoydb/internal/wal"
 	"decoydb/internal/wire"
 )
 
@@ -59,6 +60,19 @@ type ForwardOptions struct {
 	// SpoolBytes caps the wire bytes those frames occupy. 0 means
 	// DefaultSpoolBytes.
 	SpoolBytes int64
+
+	// SpoolWAL, when non-nil, backs the retransmission spool with a
+	// durable log: every cut frame is journaled before it is spooled,
+	// collector acks are persisted as marks (and compact the log), and a
+	// restarted forwarder reloads every unacked frame from disk and
+	// resumes retransmission under a fresh epoch — so a farm crash costs
+	// nothing that was already framed. Frame sequence numbers are the
+	// WAL's sequence numbers, which survive restarts; the HELLO
+	// advertises this (durable flag) so the collector dedups on sequence
+	// across epochs. The log must be exclusively owned by this sink
+	// while it is open (its sequence space is the frame sequence space);
+	// the caller retains ownership for Close.
+	SpoolWAL *wal.Log
 
 	// CompressionLevel is the compress/flate level for batch payloads.
 	// 0 means flate.BestSpeed.
@@ -244,9 +258,48 @@ func NewForwardSink(opts ForwardOptions) (*ForwardSink, error) {
 		epoch:   newEpoch(),
 	}
 	f.cond.L = &f.mu
+	if err := f.loadSpoolWAL(); err != nil {
+		return nil, err
+	}
 	f.wg.Add(1)
 	go f.pump()
 	return f, nil
+}
+
+// loadSpoolWAL adopts the durable spool: the forwarder's sequence space
+// continues the log's, and every journaled-but-unacked frame (sequence
+// past the persisted ack mark) is re-encoded into the spool so the next
+// connection retransmits it. Runs before the pump starts, so no lock is
+// needed.
+func (f *ForwardSink) loadSpoolWAL() error {
+	w := f.opts.SpoolWAL
+	if w == nil {
+		return nil
+	}
+	f.nextSeq = w.LastSeq()
+	err := w.Replay(w.Mark()+1, func(seq uint64, _ []byte, events []core.Event) error {
+		body, rawLen, err := EncodeBatch(seq, events, f.opts.CompressionLevel)
+		if err != nil {
+			return fmt.Errorf("relay: re-encode spooled frame seq %d: %w", seq, err)
+		}
+		fr := &spoolFrame{seq: seq, events: len(events), body: body}
+		f.spool = append(f.spool, fr)
+		f.spoolEv += fr.events
+		f.spoolB += int64(len(body)) + 4
+		f.enqueued += uint64(fr.events)
+		f.frames++
+		f.wireBytes += uint64(len(body)) + 4
+		f.rawBytes += uint64(rawLen)
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("relay: reload spool: %w", err)
+	}
+	if n := len(f.spool); n > 0 {
+		f.logf("relay: reloaded %d unacked frames (%d events, seq %d..%d) from spool WAL",
+			n, f.spoolEv, f.spool[0].seq, f.spool[n-1].seq)
+	}
+	return nil
 }
 
 // newEpoch draws the per-process session nonce the collector uses to
@@ -265,6 +318,10 @@ func newEpoch() uint64 {
 	}
 	return e
 }
+
+// durable reports whether the spool is WAL-backed — advertised in the
+// HELLO so the collector dedups on sequence across session epochs.
+func (f *ForwardSink) durable() bool { return f.opts.SpoolWAL != nil }
 
 // Record implements core.Sink.
 func (f *ForwardSink) Record(e core.Event) {
@@ -349,6 +406,32 @@ func (f *ForwardSink) cutFrameLocked() {
 		if body == nil {
 			continue
 		}
+		if w := f.opts.SpoolWAL; w != nil {
+			// Journal before spooling: a frame the WAL did not accept must
+			// not enter the sequence space (its seq would be reused after a
+			// restart and the collector would dedup-drop a different
+			// batch). A failing disk degrades to accounted shedding, the
+			// same contract as a full spool.
+			seq, err := w.Append(f.pending[:n], nil)
+			if err != nil {
+				f.noteErrLocked(err)
+				f.logf("relay: spool WAL append: %v (shedding %d events)", err, n)
+				f.shedPendingLocked(n)
+				continue
+			}
+			if seq != f.nextSeq+1 {
+				// Foreign writer on the log (ownership contract broken).
+				// Resync to the WAL's sequence space — it is authoritative —
+				// and re-encode under the right sequence number.
+				f.noteErrLocked(fmt.Errorf("relay: spool WAL sequence skew: got %d, want %d", seq, f.nextSeq+1))
+				f.nextSeq = seq - 1
+				if body, rawLen, err = EncodeBatch(seq, f.pending[:n], f.opts.CompressionLevel); err != nil {
+					f.noteErrLocked(err)
+					f.shedPendingLocked(n)
+					continue
+				}
+			}
+		}
 		f.nextSeq++
 		fr := &spoolFrame{seq: f.nextSeq, events: n, body: body}
 		f.spool = append(f.spool, fr)
@@ -430,7 +513,7 @@ func (f *ForwardSink) dial() (net.Conn, error) {
 		return nil, fmt.Errorf("relay: dial %s: %w", f.opts.Addr, err)
 	}
 	_ = conn.SetWriteDeadline(time.Now().Add(f.opts.WriteTimeout))
-	if err := wire.WriteFrame(conn, encodeHello(f.opts.Token, f.opts.Farm, f.epoch)); err != nil {
+	if err := wire.WriteFrame(conn, encodeHello(f.opts.Token, f.opts.Farm, f.epoch, f.durable())); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("relay: hello to %s: %w", f.opts.Addr, err)
 	}
@@ -573,6 +656,7 @@ func (f *ForwardSink) ackLoop(conn net.Conn, done chan<- struct{}) {
 			continue // next read fails and exits the loop
 		}
 		f.mu.Lock()
+		acked := false
 		for len(f.spool) > 0 && f.spool[0].seq <= seq {
 			fr := f.spool[0]
 			f.spool = f.spool[1:]
@@ -583,6 +667,17 @@ func (f *ForwardSink) ackLoop(conn net.Conn, done chan<- struct{}) {
 			f.spoolB -= int64(len(fr.body)) + 4
 			f.framesAcked++
 			f.eventsAcked += uint64(fr.events)
+			acked = true
+		}
+		if acked && f.opts.SpoolWAL != nil {
+			// Persist the ack as a mark and reclaim fully-acked segments;
+			// after a restart, Replay(Mark()+1) reloads only what is still
+			// unacked. A mark that fails to persist is harmless to
+			// correctness — the frames replay and the collector's durable
+			// dedup drops them — so the error is only noted.
+			if _, err := f.opts.SpoolWAL.Compact(seq); err != nil {
+				f.noteErrLocked(err)
+			}
 		}
 		f.cond.Broadcast()
 		f.mu.Unlock()
@@ -620,6 +715,12 @@ func (f *ForwardSink) Close() error {
 		err := f.firstErr
 		f.mu.Unlock()
 		return err
+	}
+	if f.durable() {
+		// Journal the unframed tail: pending events below the frame
+		// cutoff would otherwise exist only in memory, and the restart
+		// that replays the spool WAL would silently lose them.
+		f.cutFrameLocked()
 	}
 	f.stopped = true
 	conn := f.conn

@@ -7,10 +7,12 @@
 // internal/wire, with hard size limits — the collector port is itself
 // Internet-facing), a magic/version header, flate-compressed event
 // payloads, a per-frame sequence number and a CRC over the compressed
-// bytes. A connection opens with a HELLO frame carrying a shared token,
-// the farm's name and a random per-process session epoch; the collector
-// answers each BATCH frame with a cumulative ACK once the batch has been
-// handed to its local sinks.
+// bytes (the batch body is the shared internal/evcodec encoding, the
+// same bytes the durable WAL writes to disk). A connection opens with a
+// HELLO frame carrying a shared token, the farm's name, a random
+// per-process session epoch and a flags byte; the collector answers
+// each BATCH frame with a cumulative ACK once the batch has been handed
+// to its local sinks.
 //
 //	farm ──HELLO──▶ collector
 //	farm ──BATCH seq=1..n──▶ collector
@@ -22,20 +24,19 @@
 // epoch, dedup state kept) from a restarted one (new epoch, sequence
 // space restarts) — so a collector outage costs buffering (and, once
 // the spool is full, per-source-accounted shedding) but never double
-// counting and never a silently discarded session.
+// counting and never a silently discarded session. A forwarder whose
+// spool is backed by a WAL sets the durable flag: its sequence space
+// survives process restarts, so the collector keeps the dedup
+// high-water mark across epochs and a crash-replayed frame can never
+// double-ingest.
 package relay
 
 import (
-	"bytes"
-	"compress/flate"
 	"errors"
 	"fmt"
-	"hash/crc32"
-	"io"
-	"net/netip"
-	"time"
 
 	"decoydb/internal/core"
+	"decoydb/internal/evcodec"
 	"decoydb/internal/wire"
 )
 
@@ -44,8 +45,9 @@ const Magic uint32 = 0x44524c59
 
 // Version is the wire-format version. A collector refuses frames from a
 // different version instead of guessing. Version 2 added the session
-// epoch to the HELLO frame.
-const Version = 2
+// epoch to the HELLO frame; version 3 added the HELLO flags byte
+// (durable sequence space).
+const Version = 3
 
 // Frame types.
 const (
@@ -54,19 +56,26 @@ const (
 	frameAck   = 3
 )
 
+// HELLO flag bits.
+const (
+	// helloDurable announces that the forwarder's sequence space is
+	// durable (WAL-backed): it survives process restarts, so the
+	// collector must dedup on sequence across session epochs instead of
+	// resetting its high-water mark when the epoch changes.
+	helloDurable = 1 << 0
+)
+
 // Hard limits. They bound what a single frame can make either endpoint
 // allocate; both sides of the protocol face untrusted peers (the
 // collector listens on a routable port, the forwarder dials an address
-// from its configuration).
+// from its configuration). The batch-body limits are the shared codec's.
 const (
 	// DefaultMaxFrame caps one compressed frame on the wire.
 	DefaultMaxFrame = 4 << 20
 	// DefaultMaxRaw caps the decompressed payload of one batch frame.
-	DefaultMaxRaw = 32 << 20
+	DefaultMaxRaw = evcodec.DefaultMaxRaw
 	// DefaultMaxBatchEvents caps the events declared by one batch frame.
-	DefaultMaxBatchEvents = 65536
-	// maxString caps any single string field inside an encoded event.
-	maxString = 1 << 20
+	DefaultMaxBatchEvents = evcodec.DefaultMaxEvents
 	// MaxName caps the token and farm-name fields of a HELLO frame.
 	// NewForwardSink and NewCollector reject longer values outright —
 	// truncating at encode time would silently break authentication.
@@ -77,8 +86,15 @@ const (
 var (
 	ErrBadFrame   = errors.New("relay: malformed frame")
 	ErrBadVersion = errors.New("relay: unsupported protocol version")
-	ErrChecksum   = errors.New("relay: payload checksum mismatch")
+	// ErrChecksum is the shared codec's checksum error: a batch whose
+	// payload CRC does not match, wherever it was read from.
+	ErrChecksum = evcodec.ErrChecksum
 )
+
+// Limits bound what DecodeBatch will allocate for one frame — the
+// shared codec's limits, re-exported so collector configuration does
+// not reach into evcodec.
+type Limits = evcodec.Limits
 
 // header writes the shared magic/version/type prologue.
 func header(w *wire.Writer, typ byte) *wire.Writer {
@@ -111,42 +127,52 @@ func readHeader(r *wire.Reader) (byte, error) {
 // encodeHello builds the connection-opening frame body. epoch is the
 // forwarder's per-process session nonce: it lets the collector tell a
 // reconnect (same epoch, sequence numbering continues) from a process
-// restart (new epoch, sequence numbering restarts at 1).
-func encodeHello(token, farm string, epoch uint64) []byte {
-	w := wire.NewWriter(24 + len(token) + len(farm))
+// restart (new epoch). durable announces a WAL-backed sequence space
+// that survives restarts.
+func encodeHello(token, farm string, epoch uint64, durable bool) []byte {
+	w := wire.NewWriter(25 + len(token) + len(farm))
 	header(w, frameHello)
 	putString16(w, token)
 	putString16(w, farm)
 	w.Uint64LE(epoch)
+	var flags byte
+	if durable {
+		flags |= helloDurable
+	}
+	w.Uint8(flags)
 	return w.Bytes()
 }
 
-// decodeHello parses a HELLO body into (token, farm, epoch).
-func decodeHello(body []byte) (token, farm string, epoch uint64, err error) {
+// decodeHello parses a HELLO body into (token, farm, epoch, durable).
+func decodeHello(body []byte) (token, farm string, epoch uint64, durable bool, err error) {
 	r := wire.NewReader(body)
 	typ, err := readHeader(r)
 	if err != nil {
-		return "", "", 0, err
+		return "", "", 0, false, err
 	}
 	if typ != frameHello {
-		return "", "", 0, fmt.Errorf("%w: expected hello, got type %d", ErrBadFrame, typ)
+		return "", "", 0, false, fmt.Errorf("%w: expected hello, got type %d", ErrBadFrame, typ)
 	}
 	if token, err = getString16(r); err != nil {
-		return "", "", 0, err
+		return "", "", 0, false, err
 	}
 	if farm, err = getString16(r); err != nil {
-		return "", "", 0, err
+		return "", "", 0, false, err
 	}
 	if farm == "" {
-		return "", "", 0, fmt.Errorf("%w: empty farm name", ErrBadFrame)
+		return "", "", 0, false, fmt.Errorf("%w: empty farm name", ErrBadFrame)
 	}
 	if epoch, err = r.Uint64LE(); err != nil {
-		return "", "", 0, fmt.Errorf("%w: %v", ErrBadFrame, err)
+		return "", "", 0, false, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	flags, err := r.Uint8()
+	if err != nil {
+		return "", "", 0, false, fmt.Errorf("%w: %v", ErrBadFrame, err)
 	}
 	if r.Len() != 0 {
-		return "", "", 0, fmt.Errorf("%w: %d trailing bytes after hello", ErrBadFrame, r.Len())
+		return "", "", 0, false, fmt.Errorf("%w: %d trailing bytes after hello", ErrBadFrame, r.Len())
 	}
-	return token, farm, epoch, nil
+	return token, farm, epoch, flags&helloDurable != 0, nil
 }
 
 // encodeAck builds a cumulative acknowledgement: every batch with
@@ -178,57 +204,18 @@ func decodeAck(body []byte) (uint64, error) {
 	return seq, nil
 }
 
-// EncodeBatch encodes events as one BATCH frame body: header, sequence
-// number, event count, uncompressed size, CRC-32 (IEEE) of the
-// compressed payload, then the flate-compressed event encoding. It
-// returns the frame body and the uncompressed payload size (the
-// numerator of the compression ratio). level is a compress/flate level;
-// 0 selects flate.BestSpeed — the forwarder runs on the farm's hot path
-// and trades ratio for throughput by default.
+// EncodeBatch encodes events as one BATCH frame body: the relay header
+// followed by the shared evcodec batch body. It returns the frame body
+// and the uncompressed payload size (the numerator of the compression
+// ratio). level is a compress/flate level; 0 selects flate.BestSpeed.
 func EncodeBatch(seq uint64, events []core.Event, level int) (body []byte, rawLen int, err error) {
-	if level == 0 {
-		level = flate.BestSpeed
-	}
-	raw := wire.NewWriter(64 * len(events))
-	for _, e := range events {
-		encodeEvent(raw, e)
-	}
-	var comp bytes.Buffer
-	fw, err := flate.NewWriter(&comp, level)
-	if err != nil {
-		return nil, 0, fmt.Errorf("relay: flate level %d: %w", level, err)
-	}
-	if _, err := fw.Write(raw.Bytes()); err != nil {
-		return nil, 0, fmt.Errorf("relay: compress batch: %w", err)
-	}
-	if err := fw.Close(); err != nil {
-		return nil, 0, fmt.Errorf("relay: compress batch: %w", err)
-	}
-	w := wire.NewWriter(32 + comp.Len())
+	w := wire.NewWriter(64*len(events)/4 + 32)
 	header(w, frameBatch)
-	w.Uint64LE(seq)
-	w.Uint32LE(uint32(len(events)))
-	w.Uint32LE(uint32(raw.Len()))
-	w.Uint32LE(crc32.ChecksumIEEE(comp.Bytes()))
-	w.Raw(comp.Bytes())
-	return w.Bytes(), raw.Len(), nil
-}
-
-// Limits bound what DecodeBatch will allocate for one frame. The zero
-// value means the package defaults.
-type Limits struct {
-	MaxRaw    int // decompressed payload bytes (0 = DefaultMaxRaw)
-	MaxEvents int // events per frame (0 = DefaultMaxBatchEvents)
-}
-
-func (l Limits) withDefaults() Limits {
-	if l.MaxRaw <= 0 {
-		l.MaxRaw = DefaultMaxRaw
+	rawLen, err = evcodec.AppendBatch(w, seq, events, level)
+	if err != nil {
+		return nil, 0, err
 	}
-	if l.MaxEvents <= 0 {
-		l.MaxEvents = DefaultMaxBatchEvents
-	}
-	return l
+	return w.Bytes(), rawLen, nil
 }
 
 // DecodeBatch is the symmetric inverse of EncodeBatch. Every declared
@@ -236,7 +223,6 @@ func (l Limits) withDefaults() Limits {
 // before decompression, and the decompressed payload must parse into
 // exactly the declared event count with no bytes left over.
 func DecodeBatch(body []byte, lim Limits) (seq uint64, events []core.Event, rawLen int, err error) {
-	lim = lim.withDefaults()
 	r := wire.NewReader(body)
 	typ, err := readHeader(r)
 	if err != nil {
@@ -245,186 +231,17 @@ func DecodeBatch(body []byte, lim Limits) (seq uint64, events []core.Event, rawL
 	if typ != frameBatch {
 		return 0, nil, 0, fmt.Errorf("%w: expected batch, got type %d", ErrBadFrame, typ)
 	}
-	if seq, err = r.Uint64LE(); err != nil {
-		return 0, nil, 0, fmt.Errorf("%w: %v", ErrBadFrame, err)
-	}
-	count, err := r.Uint32LE()
+	seq, events, rawLen, err = evcodec.ReadBatch(r, lim)
 	if err != nil {
-		return 0, nil, 0, fmt.Errorf("%w: %v", ErrBadFrame, err)
-	}
-	if count == 0 || int64(count) > int64(lim.MaxEvents) {
-		return 0, nil, 0, fmt.Errorf("%w: %d events declared (limit %d)", ErrBadFrame, count, lim.MaxEvents)
-	}
-	declaredRaw, err := r.Uint32LE()
-	if err != nil {
-		return 0, nil, 0, fmt.Errorf("%w: %v", ErrBadFrame, err)
-	}
-	if int64(declaredRaw) > int64(lim.MaxRaw) {
-		return 0, nil, 0, fmt.Errorf("%w: %d-byte payload declared (limit %d)", wire.ErrFrameTooLarge, declaredRaw, lim.MaxRaw)
-	}
-	sum, err := r.Uint32LE()
-	if err != nil {
-		return 0, nil, 0, fmt.Errorf("%w: %v", ErrBadFrame, err)
-	}
-	comp := r.Rest()
-	if crc32.ChecksumIEEE(comp) != sum {
-		return 0, nil, 0, ErrChecksum
-	}
-	// LimitReader caps the decompressor at declaredRaw+1: a payload that
-	// inflates past its declaration is rejected without allocating more
-	// than one extra byte past the bound.
-	fr := flate.NewReader(bytes.NewReader(comp))
-	raw := make([]byte, 0, declaredRaw)
-	buf := bytes.NewBuffer(raw)
-	n, err := io.Copy(buf, io.LimitReader(fr, int64(declaredRaw)+1))
-	if err != nil {
-		return 0, nil, 0, fmt.Errorf("%w: decompress: %v", ErrBadFrame, err)
-	}
-	if n != int64(declaredRaw) {
-		return 0, nil, 0, fmt.Errorf("%w: payload inflates to %d bytes, declared %d", ErrBadFrame, n, declaredRaw)
-	}
-	er := wire.NewReader(buf.Bytes())
-	events = make([]core.Event, 0, count)
-	for i := uint32(0); i < count; i++ {
-		e, err := decodeEvent(er)
-		if err != nil {
-			return 0, nil, 0, fmt.Errorf("%w: event %d: %v", ErrBadFrame, i, err)
+		if errors.Is(err, evcodec.ErrCorrupt) {
+			// Keep the package's historical error shape: structural
+			// corruption surfaces as ErrBadFrame (the codec error rides
+			// along in the chain for detail).
+			return 0, nil, 0, fmt.Errorf("%w: %w", ErrBadFrame, err)
 		}
-		events = append(events, e)
+		return 0, nil, 0, err
 	}
-	if er.Len() != 0 {
-		return 0, nil, 0, fmt.Errorf("%w: %d trailing payload bytes", ErrBadFrame, er.Len())
-	}
-	return seq, events, int(declaredRaw), nil
-}
-
-// encodeEvent appends one event in the fixed field order decodeEvent
-// expects. String fields longer than maxString are truncated — events
-// are bounded upstream (core honeypots excerpt Raw), so truncation here
-// is a belt-and-braces cap, not a normal path.
-func encodeEvent(w *wire.Writer, e core.Event) {
-	w.Uint64LE(uint64(e.Time.UnixNano()))
-	a16 := e.Src.Addr().As16()
-	w.Raw(a16[:])
-	w.Uint16LE(e.Src.Port())
-	putString(w, e.Honeypot.DBMS)
-	w.Uint8(byte(e.Honeypot.Level))
-	w.Uint32LE(uint32(e.Honeypot.Port))
-	w.Uint32LE(uint32(e.Honeypot.Instance))
-	putString(w, e.Honeypot.Config)
-	putString(w, e.Honeypot.Group)
-	putString(w, e.Honeypot.VM)
-	putString(w, e.Honeypot.Region)
-	w.Uint8(byte(e.Kind))
-	putString(w, e.User)
-	putString(w, e.Pass)
-	if e.OK {
-		w.Uint8(1)
-	} else {
-		w.Uint8(0)
-	}
-	putString(w, e.Command)
-	putString(w, e.Raw)
-}
-
-// decodeEvent parses one event; every string read is bounded.
-func decodeEvent(r *wire.Reader) (core.Event, error) {
-	var e core.Event
-	nanos, err := r.Uint64LE()
-	if err != nil {
-		return e, err
-	}
-	e.Time = time.Unix(0, int64(nanos)).UTC()
-	ab, err := r.Bytes(16)
-	if err != nil {
-		return e, err
-	}
-	var a16 [16]byte
-	copy(a16[:], ab)
-	port, err := r.Uint16LE()
-	if err != nil {
-		return e, err
-	}
-	e.Src = netip.AddrPortFrom(netip.AddrFrom16(a16).Unmap(), port)
-	if e.Honeypot.DBMS, err = getString(r); err != nil {
-		return e, err
-	}
-	lvl, err := r.Uint8()
-	if err != nil {
-		return e, err
-	}
-	e.Honeypot.Level = core.Level(lvl)
-	hpPort, err := r.Uint32LE()
-	if err != nil {
-		return e, err
-	}
-	e.Honeypot.Port = int(hpPort)
-	inst, err := r.Uint32LE()
-	if err != nil {
-		return e, err
-	}
-	e.Honeypot.Instance = int(inst)
-	if e.Honeypot.Config, err = getString(r); err != nil {
-		return e, err
-	}
-	if e.Honeypot.Group, err = getString(r); err != nil {
-		return e, err
-	}
-	if e.Honeypot.VM, err = getString(r); err != nil {
-		return e, err
-	}
-	if e.Honeypot.Region, err = getString(r); err != nil {
-		return e, err
-	}
-	kind, err := r.Uint8()
-	if err != nil {
-		return e, err
-	}
-	e.Kind = core.EventKind(kind)
-	if e.User, err = getString(r); err != nil {
-		return e, err
-	}
-	if e.Pass, err = getString(r); err != nil {
-		return e, err
-	}
-	ok, err := r.Uint8()
-	if err != nil {
-		return e, err
-	}
-	e.OK = ok != 0
-	if e.Command, err = getString(r); err != nil {
-		return e, err
-	}
-	if e.Raw, err = getString(r); err != nil {
-		return e, err
-	}
-	return e, nil
-}
-
-// putString appends a uint32-length-prefixed string, truncated to
-// maxString.
-func putString(w *wire.Writer, s string) {
-	if len(s) > maxString {
-		s = s[:maxString]
-	}
-	w.Uint32LE(uint32(len(s)))
-	w.String(s)
-}
-
-// getString reads a uint32-length-prefixed string, bounded by maxString.
-func getString(r *wire.Reader) (string, error) {
-	n, err := r.Uint32LE()
-	if err != nil {
-		return "", err
-	}
-	if int64(n) > maxString {
-		return "", fmt.Errorf("%w: %d-byte string (limit %d)", wire.ErrFrameTooLarge, n, maxString)
-	}
-	b, err := r.Bytes(int(n))
-	if err != nil {
-		return "", err
-	}
-	return string(b), nil
+	return seq, events, rawLen, nil
 }
 
 // putString16 appends a uint16-length-prefixed short string (hello
