@@ -9,6 +9,7 @@
 //	benchjson [-o BENCH.json] [-benchtime 20x] \
 //	    [-min 'NAME:METRIC:FLOOR']... \
 //	    [-maxratio 'NUMER:DENOM:METRIC:RATIO']... \
+//	    [-baseline OLD.json -regress 'NAME:METRIC:FACTOR']... \
 //	    PKG:BENCHREGEX ...
 //
 // Each positional argument names a package and the benchmark regexp to
@@ -58,12 +59,18 @@ func main() {
 	var (
 		out       = flag.String("o", "", "write the JSON report here (default stdout)")
 		benchtime = flag.String("benchtime", "", "go test -benchtime value (e.g. 20x, 1s)")
+		baseline  = flag.String("baseline", "", "prior benchjson report to diff -regress assertions against")
 		mins      multiFlag
 		ratios    multiFlag
+		regress   multiFlag
 	)
 	flag.Var(&mins, "min", "assert a floor: NAME:METRIC:VALUE (repeatable)")
 	flag.Var(&ratios, "maxratio", "assert a ratio ceiling: NUMER:DENOM:METRIC:RATIO (repeatable)")
+	flag.Var(&regress, "regress", "assert against -baseline: NAME:METRIC:FACTOR fails when baseline/current > factor (repeatable)")
 	flag.Parse()
+	if len(regress) > 0 && *baseline == "" {
+		log.Fatal("-regress needs -baseline")
+	}
 	if flag.NArg() == 0 {
 		log.Fatal("no benchmarks requested: want PKG:BENCHREGEX arguments")
 	}
@@ -106,6 +113,34 @@ func main() {
 			failed = true
 		} else {
 			log.Printf("ok: %s %s = %.0f >= %.0f", name, metric, got, floor)
+		}
+	}
+	// Regression checks diff against a committed baseline report: the
+	// metric may drift run to run, but dropping to less than 1/factor of
+	// the baseline means the change being tested broke something. Higher-
+	// is-better metrics only (events/s), matching how -min is used.
+	var baseBench map[string]result
+	if len(regress) > 0 {
+		baseBench = loadBaseline(*baseline)
+	}
+	for _, r := range regress {
+		name, metric, factor, err := splitAssert(r, 3)
+		if err != nil {
+			log.Fatalf("-regress %q: %v", r, err)
+		}
+		base, ok := lookup(baseBench, name, metric)
+		if !ok {
+			log.Fatalf("-regress %q: no metric %q for %q in baseline %s", r, metric, name, *baseline)
+		}
+		got, ok := lookup(rep.Bench, name, metric)
+		if !ok {
+			log.Fatalf("-regress %q: no metric %q for %q in results", r, metric, name)
+		}
+		if got == 0 || base/got > factor {
+			log.Printf("FAIL: %s %s = %.0f, baseline %.0f — regressed more than %.1fx", name, metric, got, base, factor)
+			failed = true
+		} else {
+			log.Printf("ok: %s %s = %.0f vs baseline %.0f (%.2fx, limit %.1fx)", name, metric, got, base, base/got, factor)
 		}
 	}
 	for _, r := range ratios {
@@ -185,6 +220,22 @@ func splitAssert(s string, parts int) (name, metric string, value float64, err e
 		return "", "", 0, err
 	}
 	return ps[0], ps[1], value, nil
+}
+
+// loadBaseline reads a prior benchjson report for -regress diffs.
+func loadBaseline(path string) map[string]result {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("-baseline: %v", err)
+	}
+	var rep output
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		log.Fatalf("-baseline %s: %v", path, err)
+	}
+	if len(rep.Bench) == 0 {
+		log.Fatalf("-baseline %s: no benchmarks in report", path)
+	}
+	return rep.Bench
 }
 
 // lookup fetches a metric for a benchmark by its procs-stripped name.

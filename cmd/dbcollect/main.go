@@ -39,6 +39,7 @@ import (
 	"decoydb/internal/core"
 	"decoydb/internal/evstore"
 	"decoydb/internal/geoip"
+	"decoydb/internal/obs"
 	"decoydb/internal/relay"
 	"decoydb/internal/report"
 )
@@ -53,8 +54,10 @@ func main() {
 		runFor    = flag.Duration("runfor", 0, "stop after this long (0 = until signal)")
 		statsEach = flag.Duration("statsevery", time.Minute, "interval between stats log lines (0 = off)")
 		topCreds  = flag.Int("topcreds", 10, "credential rows in the final snapshot dump")
+		retain    = flag.Duration("retain", 0, "journal retention: expire -store segments older than this, and compact acknowledged batches after the final snapshot dump (0 = keep everything)")
 	)
 	storeFlag := cliflags.RegisterStore(flag.CommandLine)
+	adminFlag := cliflags.RegisterAdmin(flag.CommandLine)
 	flag.Parse()
 	if *token == "" {
 		log.Fatal("-token is required: forwarders authenticate with it")
@@ -90,11 +93,39 @@ func main() {
 		log.Printf("%s", journal.Stats())
 	}
 
+	// With -admin, a trace ring joins the collector's sinks (spans per
+	// relayed session) and the admin plane serves the live store over
+	// /query next to /metrics and /statusz.
+	var traces *obs.TraceRing
+	collSinks := []core.Sink{store, stats}
+	if adminFlag.Enabled() {
+		traces = obs.NewTraceRing(obs.TraceOptions{})
+		collSinks = append(collSinks, traces)
+	}
 	coll, err := relay.NewCollector(relay.CollectorOptions{
 		Token: *token, Farms: farms, Logf: log.Printf,
-	}, store, stats)
+	}, collSinks...)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if adminFlag.Enabled() {
+		reg := obs.NewRegistry()
+		reg.Register(obs.CollectorSource(coll))
+		reg.Register(obs.KindSource(stats))
+		reg.Register(obs.StoreSource(store))
+		if journal != nil {
+			reg.Register(obs.WALSource("collector", journal))
+		}
+		admin, err := adminFlag.Start(obs.ServerOptions{
+			Registry: reg,
+			Traces:   traces,
+			Query:    obs.NewQueryHandler(obs.QueryOptions{Store: store}),
+			Logf:     log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer admin.Close()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -122,6 +153,38 @@ func main() {
 					log.Printf("%s", stats.Counts())
 					if journal != nil {
 						log.Printf("%s", journal.Stats())
+					}
+				}
+			}
+		}()
+	}
+
+	// Age-based journal retention: segments older than -retain expire on
+	// a timer, bounding the disk a long-running collector consumes. The
+	// expired batches leave the replay window (the aggregates they built
+	// live on in the store until the process ends), which is the explicit
+	// trade the flag opts into.
+	if *retain > 0 && journal != nil {
+		interval := *retain / 4
+		if interval < time.Second {
+			interval = time.Second
+		}
+		if interval > time.Hour {
+			interval = time.Hour
+		}
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					removed, err := journal.CompactBefore(time.Now().Add(-*retain))
+					if err != nil {
+						log.Printf("retention: %v", err)
+					} else if removed > 0 {
+						log.Printf("retention: expired %d segments — %s", removed, journal.Stats())
 					}
 				}
 			}
@@ -161,6 +224,16 @@ func main() {
 	log.Printf("final %s", coll.Stats())
 	dump(os.Stdout, coll.Stats(), store, *topCreds)
 	if journal != nil {
+		// The snapshot dump above is the session's durable artefact; with
+		// -retain the journal batches it covers are now compactable, so a
+		// restart does not re-replay a capture that was already reported.
+		if *retain > 0 {
+			if removed, err := journal.Compact(journal.LastSeq()); err != nil {
+				log.Printf("compact after dump: %v", err)
+			} else {
+				log.Printf("compact after dump: %d segments removed", removed)
+			}
+		}
 		log.Printf("final %s", journal.Stats())
 		if err := journal.Close(); err != nil {
 			log.Printf("journal: %v", err)

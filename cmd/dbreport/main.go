@@ -11,18 +11,27 @@
 // loop: run decoydb -store, kill it however rudely, and dbreport shows
 // exactly what survived.
 //
+// With -live ADDR it reports on a *running* collector instead: the
+// admin plane dbcollect serves with -admin (see internal/obs) exposes
+// /statusz and /query over HTTP, and dbreport renders the live capture
+// in the same artefact format — no restart, no WAL replay, just a
+// point-in-time view of a collection session still in flight.
+//
 // Usage:
 //
 //	dbreport [-seed N] [-scale N] [-only T5,T8] [-o report.txt]
 //	dbreport -store DIR [-o report.txt]
+//	dbreport -live 127.0.0.1:9200 [-o report.txt]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -34,6 +43,7 @@ import (
 	"decoydb/internal/evstore"
 	"decoydb/internal/experiments"
 	"decoydb/internal/geoip"
+	"decoydb/internal/obs"
 	"decoydb/internal/relay"
 	"decoydb/internal/report"
 	"decoydb/internal/simnet"
@@ -47,6 +57,7 @@ func main() {
 		scale = flag.Int("scale", simnet.DefaultScale, "brute-force volume divisor (1 = paper volume)")
 		only  = flag.String("only", "", "comma-separated experiment IDs (default: all)")
 		out   = flag.String("o", "", "write the report to a file as well as stdout")
+		live  = flag.String("live", "", "report on a running collector's admin plane at this host:port (dbcollect -admin)")
 	)
 	storeFlag := cliflags.RegisterStore(flag.CommandLine)
 	flag.Parse()
@@ -61,6 +72,12 @@ func main() {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
+	if *live != "" {
+		if err := reportLive(w, *live); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if storeFlag.Enabled() {
 		if err := reportStore(w, storeFlag); err != nil {
 			log.Fatal(err)
@@ -173,6 +190,103 @@ func reportStore(w io.Writer, storeFlag *cliflags.Store) error {
 	}
 	for _, t := range tables {
 		fmt.Fprintf(w, "=== Store — %s ===\n%s\n", t.Title, t)
+	}
+	return nil
+}
+
+// liveLimit is how many source rows a -live report pulls from /query.
+const liveLimit = 20
+
+// fetchJSON GETs url and decodes the body into v.
+func fetchJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// reportLive renders a point-in-time report from a running collector's
+// admin plane: /query carries the store-derived aggregates, /statusz the
+// relay transport counters. Partial planes degrade gracefully — a farm
+// binary serves /statusz but not /query, and the report says so instead
+// of failing.
+func reportLive(w io.Writer, addr string) error {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// statusz is a map of source name -> raw status; only the sections
+	// this report renders are decoded, the rest stay opaque.
+	var status map[string]json.RawMessage
+	if err := fetchJSON(client, base+"/statusz", &status); err != nil {
+		return fmt.Errorf("is the admin plane up (-admin on the collector)? %w", err)
+	}
+	fmt.Fprintf(w, "decoydb live report — %s\n\n", base)
+
+	var tables []*report.Table
+	if raw, ok := status["collector"]; ok {
+		var cst relay.CollectorStats
+		if err := json.Unmarshal(raw, &cst); err != nil {
+			return fmt.Errorf("/statusz collector section: %w", err)
+		}
+		farms := &report.Table{
+			Title:  "Farms",
+			Header: []string{"farm", "last seq", "frames", "events", "dup frames", "dup events"},
+		}
+		for _, f := range cst.Farms {
+			farms.AddRow(f.Name, f.LastSeq, f.Frames, f.Events, f.DupFrames, f.DupEvents)
+		}
+		farms.Note = fmt.Sprintf("transport: %d conns (%d open), %d auth failures, %.2fx compression",
+			cst.Conns, cst.Active, cst.AuthFailures, cst.CompressionRatio())
+		tables = append(tables, farms)
+	}
+
+	var q obs.QueryResponse
+	if err := fetchJSON(client, fmt.Sprintf("%s/query?creds=10&limit=%d", base, liveLimit), &q); err != nil {
+		tables = append(tables, &report.Table{
+			Title:  "Capture",
+			Header: []string{"metric", "value"},
+			Note:   fmt.Sprintf("no /query endpoint here (%v) — farms serve metrics only; point -live at a dbcollect admin address", err),
+		})
+	} else {
+		capture := &report.Table{Title: "Capture", Header: []string{"metric", "value"}}
+		capture.AddRow("events", q.Events)
+		capture.AddRow("unique sources", q.UniqueIPs)
+		capture.AddRow("total logins", q.Logins)
+		capture.AddRow("capture day", q.Days)
+		capture.Note = fmt.Sprintf("snapshot age %s at %s", q.SnapshotAge, q.Now.Format(time.RFC3339))
+
+		creds := &report.Table{
+			Title:  "Top credentials",
+			Header: []string{"dbms", "user", "pass", "count"},
+		}
+		for _, c := range q.Creds {
+			creds.AddRow(c.DBMS, c.User, c.Pass, c.Count)
+		}
+
+		sources := &report.Table{
+			Title:  "Top sources",
+			Header: []string{"addr", "country", "sessions", "logins", "ok", "commands", "days", "verdict"},
+		}
+		for _, r := range q.Records {
+			sources.AddRow(r.Addr, r.Country, r.Sessions, r.Logins, r.LoginOK, r.Commands, r.ActiveDays, r.Verdict)
+		}
+		if q.Total > len(q.Records) {
+			sources.Note = fmt.Sprintf("first %d of %d sources (address order; use /query directly to page)", len(q.Records), q.Total)
+		}
+		tables = append(tables, capture, creds, sources)
+	}
+
+	for _, t := range tables {
+		fmt.Fprintf(w, "=== Live — %s ===\n%s\n", t.Title, t)
 	}
 	return nil
 }

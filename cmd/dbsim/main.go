@@ -34,6 +34,7 @@ import (
 	"decoydb/internal/core"
 	"decoydb/internal/evstore"
 	"decoydb/internal/geoip"
+	"decoydb/internal/obs"
 	"decoydb/internal/pipeline"
 	"decoydb/internal/relay"
 	"decoydb/internal/simnet"
@@ -51,6 +52,7 @@ func main() {
 	busFlags := cliflags.RegisterBus(flag.CommandLine, "block")
 	fwdFlag := cliflags.RegisterForward(flag.CommandLine)
 	storeFlag := cliflags.RegisterStore(flag.CommandLine)
+	adminFlag := cliflags.RegisterAdmin(flag.CommandLine)
 	flag.Parse()
 
 	busOpts, err := busFlags.Options()
@@ -82,9 +84,35 @@ func main() {
 	if fwd != nil {
 		sinks = append(sinks, fwd)
 	}
+
+	// With -admin, the simulation exposes the same observability plane a
+	// live farm would: the trace ring and a kind-count sink ride the bus,
+	// the bus itself registers through the OnBus hook once simnet builds
+	// it. Useful for watching a long full-scale run converge.
+	var onBus func(*bus.Bus)
+	if adminFlag.Enabled() {
+		traces := obs.NewTraceRing(obs.TraceOptions{})
+		kinds := &bus.StatsSink{}
+		sinks = append(sinks, traces, kinds)
+		reg := obs.NewRegistry()
+		reg.Register(obs.KindSource(kinds))
+		if spool != nil {
+			reg.Register(obs.WALSource("spool", spool))
+		}
+		if fwd != nil {
+			reg.Register(obs.ForwardSource(fwd))
+		}
+		onBus = func(b *bus.Bus) { reg.Register(obs.BusSource(b)) }
+		admin, err := adminFlag.Start(obs.ServerOptions{Registry: reg, Traces: traces, Logf: log.Printf})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer admin.Close()
+	}
+
 	fmt.Printf("running 20-day deployment simulation (seed=%d scale=1/%d)...\n", *seed, *scale)
 	res, err := simnet.Run(ctx, simnet.Config{
-		Seed: *seed, Scale: *scale, Bus: busOpts,
+		Seed: *seed, Scale: *scale, Bus: busOpts, OnBus: onBus,
 	}, sinks...)
 	if err != nil {
 		lw.Close()

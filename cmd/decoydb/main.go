@@ -44,6 +44,7 @@ import (
 	"decoydb/internal/bus"
 	"decoydb/internal/cliflags"
 	"decoydb/internal/core"
+	"decoydb/internal/obs"
 	"decoydb/internal/pipeline"
 	"decoydb/internal/relay"
 	"decoydb/internal/simnet"
@@ -68,6 +69,7 @@ func main() {
 	busFlags := cliflags.RegisterBus(flag.CommandLine, "adaptive")
 	fwdFlag := cliflags.RegisterForward(flag.CommandLine)
 	storeFlag := cliflags.RegisterStore(flag.CommandLine)
+	adminFlag := cliflags.RegisterAdmin(flag.CommandLine)
 	flag.Parse()
 
 	busOpts, err := busFlags.Options()
@@ -115,7 +117,36 @@ func main() {
 	if fwd != nil {
 		sinks = append(sinks, fwd)
 	}
+	// The trace ring rides the bus like any other sink, so span updates
+	// cost honeypot sessions nothing beyond the existing batch delivery.
+	var traces *obs.TraceRing
+	if adminFlag.Enabled() {
+		traces = obs.NewTraceRing(obs.TraceOptions{})
+		sinks = append(sinks, traces)
+	}
 	evbus := bus.New(busOpts, sinks...)
+
+	// The admin plane scrapes each subsystem's Stats() on demand: no
+	// hot-path cost, everything visible.
+	if adminFlag.Enabled() {
+		reg := obs.NewRegistry()
+		reg.Register(obs.BusSource(evbus))
+		reg.Register(obs.KindSource(stats))
+		if journal != nil {
+			reg.Register(obs.WALSource("journal", journal))
+		}
+		if spool != nil {
+			reg.Register(obs.WALSource("spool", spool))
+		}
+		if fwd != nil {
+			reg.Register(obs.ForwardSource(fwd))
+		}
+		admin, err := adminFlag.Start(obs.ServerOptions{Registry: reg, Traces: traces, Logf: log.Printf})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer admin.Close()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

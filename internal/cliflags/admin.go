@@ -1,0 +1,41 @@
+package cliflags
+
+import (
+	"flag"
+
+	"decoydb/internal/obs"
+)
+
+// Admin carries the -admin flag value after flag parsing. One flag
+// mounts the whole observability plane: every binary that registers it
+// serves /metrics, /healthz, /statusz and /debug/pprof on the given
+// address, plus whatever extras the binary wires in (dbcollect adds
+// /query, event-handling binaries add /traces).
+type Admin struct {
+	Addr *string
+}
+
+// RegisterAdmin registers the -admin flag on fs.
+func RegisterAdmin(fs *flag.FlagSet) *Admin {
+	return &Admin{
+		Addr: fs.String("admin", "",
+			"serve the admin/observability plane (/metrics /healthz /statusz /debug/pprof) on this address, e.g. 127.0.0.1:9200"),
+	}
+}
+
+// Enabled reports whether the flag was set.
+func (a *Admin) Enabled() bool { return *a.Addr != "" }
+
+// Start builds the admin server from opts and binds it to the flag's
+// address. It returns (nil, nil) when the flag was not set; the caller
+// owns Close on a returned server.
+func (a *Admin) Start(opts obs.ServerOptions) (*obs.Server, error) {
+	if !a.Enabled() {
+		return nil, nil
+	}
+	s := obs.NewServer(opts)
+	if _, err := s.Start(*a.Addr); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// DurationBuckets is the number of DurationHist buckets. Bucket i counts
+// observations at most DurationBucketBound(i); observations above the
+// last bound count toward Count (the implicit +Inf bucket) but no
+// finite bucket.
+const DurationBuckets = 20
+
+// DurationBucketBound returns the inclusive upper bound of bucket i:
+// 1µs << i, so the buckets span 1µs to ~524ms in powers of two — wide
+// enough for a WAL fsync on the low end and a WAN ack round trip on the
+// high end.
+func DurationBucketBound(i int) time.Duration {
+	return time.Microsecond << uint(i)
+}
+
+// DurationHist is a fixed-bucket latency histogram. It is a plain value
+// with no internal locking: producers that already serialise on a mutex
+// (the WAL's append path, the relay forwarder's ack path) call Observe
+// under that lock, and Stats snapshots copy the whole struct. This keeps
+// the hot-path cost to one bucket increment — no allocation, no atomics
+// beyond what the owner's lock already pays.
+type DurationHist struct {
+	Buckets [DurationBuckets]uint64 // cumulative-by-copy at snapshot; bucket i counts d <= bound(i)
+	Count   uint64
+	Sum     time.Duration
+	Max     time.Duration
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *DurationHist) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Count++
+	h.Sum += d
+	if d > h.Max {
+		h.Max = d
+	}
+	for i := 0; i < DurationBuckets; i++ {
+		if d <= DurationBucketBound(i) {
+			h.Buckets[i]++
+			return
+		}
+	}
+	// Above the last finite bound: counted in Count only (+Inf).
+}
+
+// Mean is the mean observed duration (0 when empty).
+func (h DurationHist) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) from
+// the bucket counts: the bound of the first bucket whose cumulative
+// count reaches q*Count. Observations past the last bucket report Max.
+func (h DurationHist) Quantile(q float64) time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i := 0; i < DurationBuckets; i++ {
+		cum += h.Buckets[i]
+		if cum >= target {
+			return DurationBucketBound(i)
+		}
+	}
+	return h.Max
+}
+
+// String renders a compact summary for operational log lines.
+func (h DurationHist) String() string {
+	return fmt.Sprintf("n=%d mean=%s p99<=%s max=%s",
+		h.Count, h.Mean().Round(time.Microsecond),
+		h.Quantile(0.99).Round(time.Microsecond), h.Max.Round(time.Microsecond))
+}

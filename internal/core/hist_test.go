@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDurationHistObserve(t *testing.T) {
+	var h DurationHist
+	h.Observe(500 * time.Nanosecond) // bucket 0 (<= 1µs)
+	h.Observe(time.Microsecond)      // bucket 0 (inclusive bound)
+	h.Observe(3 * time.Microsecond)  // bucket 2 (<= 4µs)
+	h.Observe(-time.Second)          // clamps to 0, bucket 0
+	h.Observe(time.Hour)             // past the last bound: +Inf only
+
+	if h.Count != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count)
+	}
+	if h.Buckets[0] != 3 {
+		t.Fatalf("bucket 0 = %d, want 3", h.Buckets[0])
+	}
+	if h.Buckets[2] != 1 {
+		t.Fatalf("bucket 2 = %d, want 1", h.Buckets[2])
+	}
+	var inBuckets uint64
+	for _, n := range h.Buckets {
+		inBuckets += n
+	}
+	if inBuckets != 4 {
+		t.Fatalf("bucketed observations = %d, want 4 (one +Inf overflow)", inBuckets)
+	}
+	if h.Max != time.Hour {
+		t.Fatalf("Max = %s, want 1h", h.Max)
+	}
+}
+
+func TestDurationHistQuantile(t *testing.T) {
+	var h DurationHist
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty Quantile = %s, want 0", got)
+	}
+	for i := 0; i < 99; i++ {
+		h.Observe(time.Microsecond) // bucket 0
+	}
+	h.Observe(100 * time.Millisecond)
+	if got := h.Quantile(0.5); got != DurationBucketBound(0) {
+		t.Fatalf("p50 = %s, want %s", got, DurationBucketBound(0))
+	}
+	// The p100 must reach the slow observation's bucket.
+	p100 := h.Quantile(1.0)
+	if p100 < 100*time.Millisecond {
+		t.Fatalf("p100 = %s, want >= 100ms", p100)
+	}
+	// An overflow observation pushes the top quantile to Max.
+	h.Observe(time.Hour)
+	if got := h.Quantile(1.0); got != time.Hour {
+		t.Fatalf("p100 with overflow = %s, want 1h", got)
+	}
+}
+
+func TestDurationHistMean(t *testing.T) {
+	var h DurationHist
+	h.Observe(2 * time.Millisecond)
+	h.Observe(4 * time.Millisecond)
+	if got := h.Mean(); got != 3*time.Millisecond {
+		t.Fatalf("Mean = %s, want 3ms", got)
+	}
+}
+
+func TestDurationBucketBoundsMonotonic(t *testing.T) {
+	for i := 1; i < DurationBuckets; i++ {
+		if DurationBucketBound(i) != 2*DurationBucketBound(i-1) {
+			t.Fatalf("bucket %d bound %s is not double bucket %d bound %s",
+				i, DurationBucketBound(i), i-1, DurationBucketBound(i-1))
+		}
+	}
+}

@@ -105,6 +105,18 @@ func (v *Snapshot) Logins(q Query) int64 {
 	return loginSum(v.creds, q)
 }
 
+// Select returns the records matching q, in address order. The records
+// are owned by the snapshot; callers must treat them as read-only.
+func (v *Snapshot) Select(q Query) []*IPRecord {
+	var out []*IPRecord
+	for _, r := range v.recs {
+		if q.matchRecord(r, v.days) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 // UniqueIPs reports the number of sources matching q. The zero Query
 // counts every source seen.
 func (v *Snapshot) UniqueIPs(q Query) int {

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/netip"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+
+	"decoydb/internal/bus"
+	"decoydb/internal/core"
+	"decoydb/internal/evstore"
+	"decoydb/internal/relay"
+)
+
+// TestLiveCollectorPlane is the acceptance test for the observability
+// tentpole: a collector with the full admin plane attached ingests a
+// forwarder flood, and both /metrics and /query — scraped over a real
+// TCP listener — show the counts advancing between waves.
+func TestLiveCollectorPlane(t *testing.T) {
+	store := evstore.NewSharded(traceStart, 20, nil, 2)
+	stats := &bus.StatsSink{}
+	traces := NewTraceRing(TraceOptions{})
+	coll, err := relay.NewCollector(relay.CollectorOptions{Token: "tok"}, store, stats, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- coll.Serve(ln) }()
+	defer func() {
+		coll.Close()
+		if err := <-serveDone; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+
+	reg := NewRegistry()
+	reg.Register(CollectorSource(coll))
+	reg.Register(KindSource(stats))
+	reg.Register(StoreSource(store))
+	srv := NewServer(ServerOptions{
+		Registry: reg,
+		Traces:   traces,
+		Query:    NewQueryHandler(QueryOptions{Store: store}),
+	})
+	admin, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	fwd, err := relay.NewForwardSink(relay.ForwardOptions{
+		Addr: ln.Addr().String(), Token: "tok", Farm: "farm-a",
+		FrameEvents: 32, Block: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fwd.Close()
+
+	flood := func(from, to int) {
+		t.Helper()
+		hp := core.Info{DBMS: core.Redis, Level: core.Low, Group: core.GroupMulti, Config: core.ConfigDefault}
+		var batch []core.Event
+		for i := from; i < to; i++ {
+			src := netip.AddrPortFrom(netip.AddrFrom4([4]byte{203, 0, 113, byte(i)}), 40000)
+			at := traceStart.Add(time.Duration(i) * time.Second)
+			batch = append(batch,
+				core.Event{Time: at, Src: src, Honeypot: hp, Kind: core.EventConnect},
+				core.Event{Time: at.Add(time.Second), Src: src, Honeypot: hp, Kind: core.EventLogin, User: "root", Pass: "123456"},
+			)
+		}
+		if err := fwd.RecordBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		fwd.Flush()
+	}
+	scrape := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", admin, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d %s", path, resp.StatusCode, b)
+		}
+		return string(b)
+	}
+	metric := func(body, name string) float64 {
+		t.Helper()
+		m := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\S+)$`).FindStringSubmatch(body)
+		if m == nil {
+			t.Fatalf("metric %s not in scrape:\n%s", name, body)
+		}
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	query := func() QueryResponse {
+		t.Helper()
+		var resp QueryResponse
+		if err := json.Unmarshal([]byte(scrape("/query?fresh=1")), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Wave one: 10 sources, 20 events, then scrape everything.
+	flood(1, 11)
+	body := scrape("/metrics")
+	ingested1 := metric(body, "decoydb_collector_events_total")
+	if ingested1 != 20 {
+		t.Fatalf("after wave 1: collector ingested %v events, want 20", ingested1)
+	}
+	if got := metric(body, "decoydb_store_events_total"); got != 20 {
+		t.Fatalf("store metric %v, want 20", got)
+	}
+	q1 := query()
+	if q1.Events != 20 || q1.UniqueIPs != 10 || q1.Logins != 10 {
+		t.Fatalf("wave 1 query: events=%d unique=%d logins=%d, want 20/10/10", q1.Events, q1.UniqueIPs, q1.Logins)
+	}
+
+	// Wave two: 5 more sources. Counts must advance between scrapes —
+	// the live-monitoring property the plane exists for.
+	flood(11, 16)
+	body = scrape("/metrics")
+	if got := metric(body, "decoydb_collector_events_total"); got != ingested1+10 {
+		t.Fatalf("after wave 2: collector ingested %v events, want %v", got, ingested1+10)
+	}
+	q2 := query()
+	if q2.Events != 30 || q2.UniqueIPs != 15 {
+		t.Fatalf("wave 2 query: events=%d unique=%d, want 30/15", q2.Events, q2.UniqueIPs)
+	}
+	if len(q2.Creds) == 0 || q2.Creds[0].User != "root" || q2.Creds[0].Count != 15 {
+		t.Fatalf("creds after both waves: %+v, want root x15", q2.Creds)
+	}
+
+	// The trace ring rode along as a collector sink: every source that
+	// logged in has a span, visible in both /metrics and /traces.
+	if got := metric(body, "decoydb_traces_active"); got != 15 {
+		t.Fatalf("active traces %v, want 15", got)
+	}
+	ts := traces.Stats()
+	if ts.Active != 15 {
+		t.Fatalf("trace stats: %+v", ts)
+	}
+
+	// The relay transport's own health shows in the same scrape.
+	if got := metric(body, `decoydb_collector_farm_events_total{farm="farm-a"}`); got != 30 {
+		t.Fatalf("per-farm events %v, want 30", got)
+	}
+}

@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"decoydb/internal/classify"
+	"decoydb/internal/evstore"
+)
+
+// The /query endpoint serves evstore.Query against the live capture on
+// the collector: the same selection semantics dbreport uses offline
+// (DBMS, tier, day range), paged and JSON-rendered for remote readers.
+// Queries run against a cached Store.Snapshot() — building a snapshot
+// locks every store shard for a full copy, so the handler amortises one
+// snapshot across all requests inside MaxAge rather than letting an
+// eager scraper stall ingest.
+
+// QueryOptions configures a QueryHandler.
+type QueryOptions struct {
+	Store *evstore.Store
+	// MaxAge is how long a cached snapshot keeps serving before the next
+	// request rebuilds it. Default 1s; requests can force a rebuild with
+	// ?fresh=1.
+	MaxAge time.Duration
+	// MaxLimit caps the per-request record page size. Default 1000.
+	MaxLimit int
+	// MaxCreds caps the credential rows returned. Default 100.
+	MaxCreds int
+}
+
+func (o QueryOptions) withDefaults() QueryOptions {
+	if o.MaxAge <= 0 {
+		o.MaxAge = time.Second
+	}
+	if o.MaxLimit <= 0 {
+		o.MaxLimit = 1000
+	}
+	if o.MaxCreds <= 0 {
+		o.MaxCreds = 100
+	}
+	return o
+}
+
+// QueryHandler serves /query over a live store. Safe for concurrent use.
+type QueryHandler struct {
+	opts QueryOptions
+
+	mu    sync.Mutex
+	snap  *evstore.Snapshot
+	built time.Time
+}
+
+// NewQueryHandler returns a handler over the given store.
+func NewQueryHandler(opts QueryOptions) *QueryHandler {
+	return &QueryHandler{opts: opts.withDefaults()}
+}
+
+// snapshot returns the cached snapshot, rebuilding when stale or forced.
+func (h *QueryHandler) snapshot(force bool) (*evstore.Snapshot, time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if force || h.snap == nil || time.Since(h.built) > h.opts.MaxAge {
+		h.snap = h.opts.Store.Snapshot()
+		h.built = time.Now()
+	}
+	return h.snap, h.built
+}
+
+// QueryParams echoes the parsed selection back to the caller.
+type QueryParams struct {
+	DBMS string `json:"dbms,omitempty"`
+	Tier string `json:"tier,omitempty"`
+	From int    `json:"from,omitempty"`
+	To   int    `json:"to,omitempty"`
+}
+
+// CredRow is one aggregated credential.
+type CredRow struct {
+	DBMS  string `json:"dbms"`
+	User  string `json:"user"`
+	Pass  string `json:"pass"`
+	Count int64  `json:"count"`
+}
+
+// RecordRow is one source address within the selection. The per-source
+// counters are restricted to the activities the query matches.
+type RecordRow struct {
+	Addr          string    `json:"addr"`
+	Country       string    `json:"country,omitempty"`
+	ASN           uint32    `json:"asn,omitempty"`
+	ASName        string    `json:"as_name,omitempty"`
+	Institutional bool      `json:"institutional,omitempty"`
+	FirstSeen     time.Time `json:"first_seen"`
+	LastSeen      time.Time `json:"last_seen"`
+	Sessions      int       `json:"sessions"`
+	Logins        int64     `json:"logins"`
+	LoginOK       int64     `json:"login_ok"`
+	Commands      int64     `json:"commands"`
+	ActiveDays    int       `json:"active_days"`
+	Verdict       string    `json:"verdict"`
+}
+
+// QueryResponse is the /query payload.
+type QueryResponse struct {
+	Now         time.Time   `json:"now"`
+	SnapshotAge string      `json:"snapshot_age"`
+	Start       time.Time   `json:"start"`
+	Days        int         `json:"days"`
+	Events      int64       `json:"events"`
+	Query       QueryParams `json:"query"`
+	UniqueIPs   int         `json:"unique_ips"`
+	Logins      int64       `json:"logins"`
+	Creds       []CredRow   `json:"creds"`
+	Total       int         `json:"total_records"`
+	Offset      int         `json:"offset"`
+	Records     []RecordRow `json:"records"`
+}
+
+// parseTier maps the ?tier= parameter onto evstore tiers.
+func parseTier(s string) (evstore.Tier, error) {
+	switch s {
+	case "", "all":
+		return evstore.AllTiers, nil
+	case "low":
+		return evstore.LowTier, nil
+	case "mediumhigh", "medium-high", "medium", "high":
+		return evstore.MediumHighTier, nil
+	}
+	return evstore.AllTiers, fmt.Errorf("unknown tier %q (want all, low, or mediumhigh)", s)
+}
+
+// intParam parses an integer query parameter with a default.
+func intParam(r *http.Request, name string, def int) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q: not an integer", name, s)
+	}
+	return v, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (h *QueryHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	tier, err := parseTier(r.URL.Query().Get("tier"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	from, err := intParam(r, "from", 0)
+	if err == nil && from < 0 {
+		err = fmt.Errorf("bad from=%d: negative", from)
+	}
+	var to int
+	if err == nil {
+		to, err = intParam(r, "to", 0)
+	}
+	var limit int
+	if err == nil {
+		limit, err = intParam(r, "limit", 100)
+	}
+	var offset int
+	if err == nil {
+		offset, err = intParam(r, "offset", 0)
+	}
+	var creds int
+	if err == nil {
+		creds, err = intParam(r, "creds", 10)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	if limit > h.opts.MaxLimit {
+		limit = h.opts.MaxLimit
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	if creds < 0 {
+		creds = 0
+	}
+	if creds > h.opts.MaxCreds {
+		creds = h.opts.MaxCreds
+	}
+
+	q := evstore.Query{
+		DBMS: r.URL.Query().Get("dbms"),
+		Tier: tier,
+		Days: evstore.DayRange{From: from, To: to},
+	}
+
+	snap, built := h.snapshot(r.URL.Query().Get("fresh") == "1")
+
+	matched := snap.Select(q)
+	page := matched
+	if offset > len(page) {
+		page = nil
+	} else {
+		page = page[offset:]
+	}
+	if len(page) > limit {
+		page = page[:limit]
+	}
+	records := make([]RecordRow, 0, len(page))
+	for _, rec := range page {
+		row := RecordRow{
+			Addr:          rec.Addr.String(),
+			Country:       rec.Country,
+			ASN:           rec.ASN,
+			ASName:        rec.ASName,
+			Institutional: rec.Institutional,
+			FirstSeen:     rec.FirstSeen,
+			LastSeen:      rec.LastSeen,
+			Verdict:       classify.IP(rec, q).String(),
+		}
+		var mask uint64
+		for k, a := range rec.Per {
+			if !q.MatchKey(k) {
+				continue
+			}
+			row.Sessions += a.Sessions
+			row.Logins += a.Logins
+			row.LoginOK += a.LoginOK
+			row.Commands += a.CommandsRun
+			mask |= a.ActiveDays
+		}
+		for m := mask; m != 0; m &= m - 1 {
+			row.ActiveDays++
+		}
+		records = append(records, row)
+	}
+
+	credCounts := snap.Creds(q)
+	if len(credCounts) > creds {
+		credCounts = credCounts[:creds]
+	}
+	CredRows := make([]CredRow, 0, len(credCounts))
+	for _, c := range credCounts {
+		CredRows = append(CredRows, CredRow{DBMS: c.DBMS, User: c.User, Pass: c.Pass, Count: c.Count})
+	}
+
+	resp := QueryResponse{
+		Now:         time.Now().UTC(),
+		SnapshotAge: time.Since(built).Round(time.Millisecond).String(),
+		Start:       snap.Start(),
+		Days:        snap.Days(),
+		Events:      snap.Events(),
+		Query:       QueryParams{DBMS: q.DBMS, Tier: r.URL.Query().Get("tier"), From: from, To: to},
+		UniqueIPs:   len(matched),
+		Logins:      snap.Logins(q),
+		Creds:       CredRows,
+		Total:       len(matched),
+		Offset:      offset,
+		Records:     records,
+	}
+	writeJSON(w, resp)
+}
+
+// writeJSON renders v with indentation — these endpoints are read by
+// humans with curl at 2am as often as by tooling.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

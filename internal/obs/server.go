@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Server is the admin plane every binary mounts behind -admin: metrics,
+// health, status, profiling, and — where the owning process wires them —
+// session traces and live store queries. It binds a plain TCP listener
+// (port 0 friendly for tests) and shuts down with the process; there is
+// no TLS or auth, so the address should stay on loopback or a
+// management network, like any other pprof port.
+type ServerOptions struct {
+	// Registry backs /metrics and /statusz. Required.
+	Registry *Registry
+	// Traces, when set, serves /traces.
+	Traces *TraceRing
+	// Query, when set, serves /query (the collector wires this).
+	Query *QueryHandler
+	// Logf logs server lifecycle lines; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Server serves the admin endpoints. Create with NewServer, bind with
+// Start, stop with Close.
+type Server struct {
+	opts    ServerOptions
+	mux     *http.ServeMux
+	srv     *http.Server
+	ln      net.Listener
+	started time.Time
+	scrapes atomic.Uint64
+}
+
+// NewServer builds the handler tree. The server registers itself in the
+// registry as source "admin" (scrape count, uptime, goroutines).
+func NewServer(opts ServerOptions) *Server {
+	if opts.Registry == nil {
+		opts.Registry = NewRegistry()
+	}
+	s := &Server{opts: opts, mux: http.NewServeMux(), started: time.Now()}
+	opts.Registry.Register(adminSource{s})
+	if opts.Traces != nil {
+		opts.Registry.Register(opts.Traces)
+	}
+
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statusz", s.handleStatusz)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if opts.Traces != nil {
+		s.mux.HandleFunc("/traces", s.handleTraces)
+	}
+	if opts.Query != nil {
+		s.mux.Handle("/query", opts.Query)
+	}
+	s.mux.HandleFunc("/", s.handleIndex)
+	return s
+}
+
+// Handler exposes the route tree (httptest and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (host:port; port 0 picks a free one) and serves
+// in the background until Close. It returns the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.logf("obs: serve: %v", err)
+		}
+	}()
+	s.logf("obs: admin plane on http://%s (/metrics /healthz /statusz /debug/pprof)", ln.Addr())
+	return ln.Addr(), nil
+}
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.scrapes.Add(1)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.opts.Registry.WriteMetrics(w); err != nil {
+		s.logf("obs: /metrics: %v", err)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status": "ok",
+		"uptime": time.Since(s.started).Round(time.Second).String(),
+	})
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	status := s.opts.Registry.Status()
+	status["now"] = time.Now().UTC()
+	writeJSON(w, status)
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	limit, err := intParam(r, "limit", 100)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	t := s.opts.Traces
+	writeJSON(w, map[string]any{
+		"stats":  t.Stats(),
+		"active": t.Active(limit),
+		"recent": t.Recent(limit),
+	})
+}
+
+// handleIndex lists the mounted endpoints — the page an operator lands
+// on when they curl the bare admin port.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	paths := []string{"/metrics", "/healthz", "/statusz", "/debug/pprof/"}
+	if s.opts.Traces != nil {
+		paths = append(paths, "/traces")
+	}
+	if s.opts.Query != nil {
+		paths = append(paths, "/query")
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "decoydb admin plane")
+	for _, p := range paths {
+		fmt.Fprintln(w, "  "+p)
+	}
+}
+
+// adminSource exposes the server's own counters.
+type adminSource struct{ s *Server }
+
+func (a adminSource) Name() string { return "admin" }
+
+func (a adminSource) Status() any {
+	return map[string]any{
+		"uptime":     time.Since(a.s.started).Round(time.Second).String(),
+		"scrapes":    a.s.scrapes.Load(),
+		"goroutines": runtime.NumGoroutine(),
+	}
+}
+
+func (a adminSource) Collect(e *Emitter) {
+	e.Counter("decoydb_admin_scrapes_total", "Scrapes of /metrics.", float64(a.s.scrapes.Load()))
+	e.Gauge("decoydb_admin_uptime_seconds", "Seconds since the admin server was created.", time.Since(a.s.started).Seconds())
+	e.Gauge("decoydb_admin_goroutines", "Live goroutines in the process.", float64(runtime.NumGoroutine()))
+}

@@ -180,6 +180,7 @@ type spoolFrame struct {
 	events   int
 	body     []byte
 	attempts int
+	sentAt   time.Time // last successful write; zero until first send
 }
 
 // ForwardSink streams events to a relay collector. It implements
@@ -232,7 +233,8 @@ type ForwardSink struct {
 	shed        uint64
 	shedUnattr  uint64
 	shedSrc     map[netip.Addr]uint64
-	droppedFr   uint64 // frames dropped at the retry cap
+	droppedFr   uint64            // frames dropped at the retry cap
+	ackRTT      core.DurationHist // write-to-ack round trips
 }
 
 // NewForwardSink validates opts and starts the connection pump. The
@@ -629,6 +631,7 @@ func (f *ForwardSink) writeLoop(conn net.Conn) {
 		}
 		f.mu.Lock()
 		f.framesSent++
+		fr.sentAt = time.Now()
 		f.mu.Unlock()
 	}
 }
@@ -667,6 +670,9 @@ func (f *ForwardSink) ackLoop(conn net.Conn, done chan<- struct{}) {
 			f.spoolB -= int64(len(fr.body)) + 4
 			f.framesAcked++
 			f.eventsAcked += uint64(fr.events)
+			if !fr.sentAt.IsZero() {
+				f.ackRTT.Observe(time.Since(fr.sentAt))
+			}
 			acked = true
 		}
 		if acked && f.opts.SpoolWAL != nil {
@@ -785,6 +791,11 @@ type Stats struct {
 	// DroppedFrames counts spooled frames dropped at
 	// Options.MaxFrameRetries (their events are included in Shed).
 	DroppedFrames uint64
+	// AckRTT is the distribution of frame write-to-ack round trips —
+	// the live health signal for the farm→collector link (a rising RTT
+	// means the collector or the path is saturating before the spool
+	// ever fills).
+	AckRTT core.DurationHist
 }
 
 // CompressionRatio is uncompressed/compressed payload bytes (0 when
@@ -853,6 +864,7 @@ func (f *ForwardSink) Stats() Stats {
 		Shed:             f.shed,
 		ShedUnattributed: f.shedUnattr,
 		DroppedFrames:    f.droppedFr,
+		AckRTT:           f.ackRTT,
 	}
 	for a, n := range f.shedSrc {
 		if n > 0 {

@@ -49,6 +49,10 @@ type Config struct {
 	// the dataset lossy under load and therefore no longer a pure
 	// function of the seed.
 	Bus bus.Options
+	// OnBus, when set, is called with the event bus right after it is
+	// built, before any session runs — the hook a binary uses to register
+	// the live bus with its observability plane.
+	OnBus func(*bus.Bus)
 }
 
 // DefaultScale balances fidelity and runtime for the default run.
@@ -116,6 +120,9 @@ func Run(ctx context.Context, cfg Config, sinks ...core.Sink) (*Result, error) {
 		busOpts.Shards = cfg.BusShards
 	}
 	evbus := bus.New(busOpts, sinks...)
+	if cfg.OnBus != nil {
+		cfg.OnBus(evbus)
+	}
 
 	// One serial queue per honeypot instance: sessions against the same
 	// stateful honeypot (Redis keyspace, MongoDB store) execute in the

@@ -218,6 +218,8 @@ type Log struct {
 	syncs           uint64
 	rotations       uint64
 	compacted       uint64
+	compactedBytes  uint64
+	appendLat       core.DurationHist
 	recovered       recovery
 }
 
@@ -399,6 +401,7 @@ func (l *Log) Append(events []core.Event, tag []byte) (seq uint64, err error) {
 	if len(tag) > MaxTag {
 		return 0, fmt.Errorf("wal: %d-byte tag exceeds limit %d", len(tag), MaxTag)
 	}
+	began := time.Now()
 	// Compress before taking the lock: the payload carries no sequence
 	// number, so concurrent appenders overlap the expensive part and only
 	// serialise the framed write.
@@ -430,6 +433,7 @@ func (l *Log) Append(events []core.Event, tag []byte) (seq uint64, err error) {
 	seg.batches++
 	l.appendedBatches++
 	l.appendedEvents += uint64(len(events))
+	l.appendLat.Observe(time.Since(began))
 	return seq, nil
 }
 
@@ -500,7 +504,65 @@ func (l *Log) Compact(seq uint64) (removed int, err error) {
 			}
 			removed++
 			l.compacted++
+			l.compactedBytes += uint64(seg.size)
 			l.logf("wal: compacted %s (%d batches, seq<=%d)", filepath.Base(seg.path), seg.batches, l.mark)
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	l.segs = kept
+	return removed, nil
+}
+
+// CompactBefore is the age-based retention policy: it deletes every
+// sealed segment whose last write predates cutoff — a segment is known
+// to be that old when its successor segment was created before cutoff.
+// Unlike Compact, which removes only consumer-acknowledged batches,
+// this is deliberate data expiry: it records the highest removed
+// sequence as the consumer mark so Replay's contract stays consistent,
+// then deletes the segments. The active segment is never deleted. It
+// returns the number of segments removed.
+func (l *Log) CompactBefore(cutoff time.Time) (removed int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	// Find the expiry frontier: the highest batch sequence inside the
+	// expired prefix. Segments age in creation order, so the scan stops
+	// at the first one still inside the retention window.
+	var upTo uint64
+	expired := 0
+	for i, seg := range l.segs {
+		if i == len(l.segs)-1 || !l.segs[i+1].created.Before(cutoff) {
+			break
+		}
+		expired++
+		if seg.maxSeq > upTo {
+			upTo = seg.maxSeq
+		}
+	}
+	if expired == 0 {
+		return 0, nil
+	}
+	if upTo > l.mark {
+		if err := l.appendMarkLocked(upTo); err != nil {
+			return 0, err
+		}
+	}
+	kept := l.segs[:0]
+	for i, seg := range l.segs {
+		if i < expired {
+			if err := os.Remove(seg.path); err != nil {
+				l.noteErrLocked(err)
+				kept = append(kept, seg)
+				continue
+			}
+			removed++
+			l.compacted++
+			l.compactedBytes += uint64(seg.size)
+			l.logf("wal: expired %s (%d batches, sealed before %s)",
+				filepath.Base(seg.path), seg.batches, cutoff.Format(time.RFC3339))
 			continue
 		}
 		kept = append(kept, seg)
@@ -621,7 +683,12 @@ type Stats struct {
 	Marks           uint64 // mark records appended this process
 	Syncs           uint64
 	Rotations       uint64
-	Compacted       uint64 // segments deleted by Compact
+	Compacted       uint64 // segments deleted by Compact/CompactBefore
+	CompactedBytes  uint64 // bytes those segments occupied on disk
+
+	// AppendLatency is the distribution of Append call durations
+	// (compression included), observed under the log mutex.
+	AppendLatency core.DurationHist
 
 	// Recovered is what Open found on disk, including the loss account:
 	// TornBytes/Truncations are the torn tails cut at the last valid
@@ -657,6 +724,8 @@ func (l *Log) Stats() Stats {
 		Syncs:           l.syncs,
 		Rotations:       l.rotations,
 		Compacted:       l.compacted,
+		CompactedBytes:  l.compactedBytes,
+		AppendLatency:   l.appendLat,
 		Recovered:       l.recovered,
 	}
 	if n := len(l.segs); n > 0 {
