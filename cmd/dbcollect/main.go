@@ -19,9 +19,16 @@
 // artefact format the offline report tool produces, even on an error
 // path.
 //
+// In a multi-collector tier (farms spread by rendezvous hashing over
+// several dbcollect processes), -peers lists the other collectors'
+// admin addresses: /query on this collector then merges every peer's
+// results, so dbreport -live pointed anywhere in the tier sees one
+// logical capture.
+//
 // Usage:
 //
 //	dbcollect -token SECRET [-listen :7100] [-store DIR] [-days 20] [-runfor 0] [-statsevery 1m]
+//	dbcollect -token SECRET -admin :9200 -peers host2:9200,host3:9200
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -58,9 +66,13 @@ func main() {
 	)
 	storeFlag := cliflags.RegisterStore(flag.CommandLine)
 	adminFlag := cliflags.RegisterAdmin(flag.CommandLine)
+	peersFlag := cliflags.RegisterPeers(flag.CommandLine)
 	flag.Parse()
 	if *token == "" {
 		log.Fatal("-token is required: forwarders authenticate with it")
+	}
+	if peersFlag.Enabled() && !adminFlag.Enabled() {
+		log.Fatal("-peers requires -admin: the merged /query is served on the admin plane")
 	}
 
 	// The store shares the bus's sharding so concurrent farm connections
@@ -116,10 +128,21 @@ func main() {
 		if journal != nil {
 			reg.Register(obs.WALSource("collector", journal))
 		}
+		// With -peers, the tier fan-in takes the query handler's place:
+		// /query merges this store with every peer's, so any collector
+		// in the tier answers for the whole capture.
+		qh := obs.NewQueryHandler(obs.QueryOptions{Store: store})
+		var query http.Handler = qh
+		if peersFlag.Enabled() {
+			fi := obs.NewFanIn(obs.FanInOptions{Local: qh, Peers: peersFlag.List(), Logf: log.Printf})
+			reg.Register(fi)
+			query = fi
+			log.Printf("tier fan-in over %d peers: %v", len(peersFlag.List()), peersFlag.List())
+		}
 		admin, err := adminFlag.Start(obs.ServerOptions{
 			Registry: reg,
 			Traces:   traces,
-			Query:    obs.NewQueryHandler(obs.QueryOptions{Store: store}),
+			Query:    query,
 			Logf:     log.Printf,
 		})
 		if err != nil {

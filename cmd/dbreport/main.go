@@ -26,12 +26,10 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
-	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -197,46 +195,29 @@ func reportStore(w io.Writer, storeFlag *cliflags.Store) error {
 // liveLimit is how many source rows a -live report pulls from /query.
 const liveLimit = 20
 
-// fetchJSON GETs url and decodes the body into v.
-func fetchJSON(client *http.Client, url string, v any) error {
-	resp, err := client.Get(url)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
-	}
-	return json.NewDecoder(resp.Body).Decode(v)
-}
-
 // reportLive renders a point-in-time report from a running collector's
-// admin plane: /query carries the store-derived aggregates, /statusz the
-// relay transport counters. Partial planes degrade gracefully — a farm
-// binary serves /statusz but not /query, and the report says so instead
-// of failing.
+// admin plane via obs.Client: /query carries the store-derived
+// aggregates, /statusz the relay transport counters. Partial planes
+// degrade gracefully — a farm binary serves /statusz but not /query,
+// and the report says so instead of failing. A collector running with
+// -peers answers /query for its whole tier; the report then carries a
+// "Collector tier" table showing who contributed.
 func reportLive(w io.Writer, addr string) error {
-	base := addr
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
-	}
-	client := &http.Client{Timeout: 10 * time.Second}
+	client := obs.NewClient(addr, 10*time.Second)
+	ctx := context.Background()
 
 	// statusz is a map of source name -> raw status; only the sections
 	// this report renders are decoded, the rest stay opaque.
-	var status map[string]json.RawMessage
-	if err := fetchJSON(client, base+"/statusz", &status); err != nil {
+	status, err := client.Statusz(ctx)
+	if err != nil {
 		return fmt.Errorf("is the admin plane up (-admin on the collector)? %w", err)
 	}
-	fmt.Fprintf(w, "decoydb live report — %s\n\n", base)
+	fmt.Fprintf(w, "decoydb live report — %s\n\n", client.Base())
 
 	var tables []*report.Table
-	if raw, ok := status["collector"]; ok {
-		var cst relay.CollectorStats
-		if err := json.Unmarshal(raw, &cst); err != nil {
-			return fmt.Errorf("/statusz collector section: %w", err)
-		}
+	if cst, ok, err := obs.CollectorFromStatus(status); err != nil {
+		return err
+	} else if ok {
 		farms := &report.Table{
 			Title:  "Farms",
 			Header: []string{"farm", "last seq", "frames", "events", "dup frames", "dup events"},
@@ -249,14 +230,31 @@ func reportLive(w io.Writer, addr string) error {
 		tables = append(tables, farms)
 	}
 
-	var q obs.QueryResponse
-	if err := fetchJSON(client, fmt.Sprintf("%s/query?creds=10&limit=%d", base, liveLimit), &q); err != nil {
+	qr, err := client.Query(ctx, obs.QueryRequest{Creds: 10, Limit: liveLimit})
+	if err != nil {
 		tables = append(tables, &report.Table{
 			Title:  "Capture",
 			Header: []string{"metric", "value"},
 			Note:   fmt.Sprintf("no /query endpoint here (%v) — farms serve metrics only; point -live at a dbcollect admin address", err),
 		})
 	} else {
+		q := *qr
+		if q.Tier != nil {
+			tier := &report.Table{
+				Title:  "Collector tier",
+				Header: []string{"collector", "ok", "events", "error"},
+			}
+			tier.AddRow(client.Base(), true, "(local)", "")
+			for _, p := range q.Tier.Peers {
+				errStr := p.Error
+				if len(errStr) > 60 {
+					errStr = errStr[:57] + "..."
+				}
+				tier.AddRow(p.Addr, p.OK, p.Events, errStr)
+			}
+			tier.Note = fmt.Sprintf("merged view: %d of %d collectors responded", q.Tier.Responded, q.Tier.Collectors)
+			tables = append(tables, tier)
+		}
 		capture := &report.Table{Title: "Capture", Header: []string{"metric", "value"}}
 		capture.AddRow("events", q.Events)
 		capture.AddRow("unique sources", q.UniqueIPs)

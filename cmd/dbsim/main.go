@@ -6,15 +6,16 @@
 //
 // Usage:
 //
-//	dbsim [-seed N] [-scale N] [-logs DIR] [-bus-policy block|drop|adaptive] [-forward ADDR,TOKEN]
+//	dbsim [-seed N] [-scale N] [-logs DIR] [-bus-policy block|drop|adaptive] [-forward SPEC]
 //
 // The default block policy is lossless and keeps the dataset a pure
 // function of the seed; -bus-policy adaptive (with -bus-highwater,
 // -bus-lowwater, -bus-source-budget, -bus-source-window) exercises the
 // per-source shedding a live farm would use under a hostile flood.
 //
-// With -forward host:port,token[,farm] the captured events also stream
-// to a dbcollect collector over the relay protocol. The forwarder runs
+// With -forward "addrs=a:7100|b:7100,token=SECRET[,farm=NAME]" (legacy
+// host:port,token[,farm] still accepted) the captured events also stream
+// to a dbcollect collector tier over the relay protocol. The forwarder runs
 // in blocking (lossless) mode here: a finite capture should arrive
 // complete, so dbsim waits for spool space rather than shedding. Adding
 // -store DIR backs that spool with a write-ahead log under DIR/spool,

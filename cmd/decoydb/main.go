@@ -9,11 +9,14 @@
 // (-bus-policy block|drop|adaptive) and transport counters are logged
 // periodically (-statsevery).
 //
-// With -forward host:port,token[,farm] the farm also streams every event
-// to a central dbcollect collector over the relay protocol: batched,
+// With -forward "addrs=a:7100|b:7100,token=SECRET" (legacy
+// host:port,token[,farm] still accepted) the farm also streams every
+// event to a dbcollect collector tier over the relay protocol: batched,
 // compressed, acknowledged, spooled across collector outages, and shed
 // with per-source accounting when the spool fills — a collector outage
-// costs bounded memory, never a stalled honeypot session.
+// costs bounded memory, never a stalled honeypot session. With several
+// collector addresses the farm picks one by rendezvous hash of its farm
+// name and fails over down the ranking when it dies.
 //
 // With -store DIR the farm becomes durable: every event is journaled to
 // a write-ahead log under DIR/journal before the process acknowledges
@@ -24,7 +27,7 @@
 //
 // Usage:
 //
-//	decoydb [-listen 0.0.0.0] [-services mysql,redis,...] [-logs DIR] [-offset N] [-forward ADDR,TOKEN] [-store DIR]
+//	decoydb [-listen 0.0.0.0] [-services mysql,redis,...] [-logs DIR] [-offset N] [-forward SPEC] [-store DIR]
 //
 // With -offset (e.g. 10000), services bind to port+offset so the farm can
 // run unprivileged: MySQL on 13306, Redis on 16379, and so on.

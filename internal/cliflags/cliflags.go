@@ -7,6 +7,7 @@ package cliflags
 import (
 	"flag"
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -57,39 +58,121 @@ type Forward struct {
 	Spec *string
 }
 
-// RegisterForward registers the -forward flag on fs: "addr,token" with
-// an optional ",farm" naming this sender in the collector's books.
+// RegisterForward registers the -forward flag on fs. The structured
+// form names a whole collector tier; the legacy positional
+// "host:port,token[,farm]" form is still accepted.
 func RegisterForward(fs *flag.FlagSet) *Forward {
 	return &Forward{
-		Spec: fs.String("forward", "", "forward events to a dbcollect collector: host:port,token[,farm]"),
+		Spec: fs.String("forward", "", `forward events to a dbcollect collector tier: "addrs=a:9000|b:9000,token=SECRET[,farm=NAME][,block=BOOL]" (legacy host:port,token[,farm] accepted)`),
 	}
 }
 
 // Enabled reports whether the flag was set.
 func (f *Forward) Enabled() bool { return *f.Spec != "" }
 
-// Sink builds a relay.ForwardSink from the parsed flag, using base for
-// everything the flag does not carry (Block, spool sizes, Logf, ...).
-// It returns (nil, nil) when the flag was not set.
+// ParseForward resolves a -forward spec into relay.ForwardOptions,
+// using base for everything the spec does not carry (spool sizes, Logf,
+// timeouts, ...). Two grammars share the flag:
+//
+//   - Structured: comma-separated key=value pairs — addrs=a:9000|b:9000
+//     (|-separated collector endpoints), token=..., farm=..., and
+//     block=true|false overriding base.Block. addrs and token are
+//     required.
+//   - Legacy positional: host:port,token[,farm] — a single collector,
+//     exactly the pre-tier flag. Detected by the first comma-separated
+//     segment containing no '=' (a host:port never does).
+func ParseForward(spec string, base relay.ForwardOptions) (relay.ForwardOptions, error) {
+	first, _, _ := strings.Cut(spec, ",")
+	if !strings.Contains(first, "=") {
+		// Legacy positional form.
+		addr, rest, ok := strings.Cut(spec, ",")
+		if !ok {
+			return base, fmt.Errorf("-forward: want addrs=...,token=... or host:port,token[,farm], got %q", spec)
+		}
+		token, farm, _ := strings.Cut(rest, ",")
+		if addr == "" || token == "" {
+			return base, fmt.Errorf("-forward: want addrs=...,token=... or host:port,token[,farm], got %q", spec)
+		}
+		base.Addrs, base.Token = []string{addr}, token
+		if farm != "" {
+			base.Farm = farm
+		}
+		return base, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok || val == "" {
+			return base, fmt.Errorf("-forward: bad segment %q (want key=value)", kv)
+		}
+		switch key {
+		case "addrs", "addr":
+			base.Addrs = nil
+			for _, a := range strings.Split(val, "|") {
+				if a = strings.TrimSpace(a); a != "" {
+					base.Addrs = append(base.Addrs, a)
+				}
+			}
+		case "token":
+			base.Token = val
+		case "farm":
+			base.Farm = val
+		case "block":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return base, fmt.Errorf("-forward: block=%q: %v", val, err)
+			}
+			base.Block = b
+		default:
+			return base, fmt.Errorf("-forward: unknown key %q (want addrs, token, farm or block)", key)
+		}
+	}
+	if len(base.Addrs) == 0 || base.Token == "" {
+		return base, fmt.Errorf("-forward: addrs= and token= are required, got %q", spec)
+	}
+	return base, nil
+}
+
+// Sink builds a relay.ForwardSink from the parsed flag via
+// ParseForward. It returns (nil, nil) when the flag was not set.
 func (f *Forward) Sink(base relay.ForwardOptions) (*relay.ForwardSink, error) {
 	if !f.Enabled() {
 		return nil, nil
 	}
-	addr, rest, ok := strings.Cut(*f.Spec, ",")
-	if !ok {
-		return nil, fmt.Errorf("-forward: want host:port,token[,farm], got %q", *f.Spec)
+	opts, err := ParseForward(*f.Spec, base)
+	if err != nil {
+		return nil, err
 	}
-	token, farm, _ := strings.Cut(rest, ",")
-	if addr == "" || token == "" {
-		return nil, fmt.Errorf("-forward: want host:port,token[,farm], got %q", *f.Spec)
-	}
-	base.Addr, base.Token = addr, token
-	if farm != "" {
-		base.Farm = farm
-	}
-	sink, err := relay.NewForwardSink(base)
+	sink, err := relay.NewForwardSink(opts)
 	if err != nil {
 		return nil, fmt.Errorf("-forward: %w", err)
 	}
 	return sink, nil
+}
+
+// Peers carries the -peers flag value after flag parsing — the admin
+// addresses of the other collectors in the tier, whose /query results
+// this collector merges so a reader sees one logical capture.
+type Peers struct {
+	Spec *string
+}
+
+// RegisterPeers registers the -peers flag on fs.
+func RegisterPeers(fs *flag.FlagSet) *Peers {
+	return &Peers{
+		Spec: fs.String("peers", "", "admin addresses (host:port) of peer collectors whose /query results are merged into this one's, comma- or |-separated"),
+	}
+}
+
+// Enabled reports whether the flag was set.
+func (p *Peers) Enabled() bool { return len(p.List()) > 0 }
+
+// List returns the parsed peer addresses.
+func (p *Peers) List() []string {
+	var out []string
+	for _, a := range strings.FieldsFunc(*p.Spec, func(r rune) bool { return r == ',' || r == '|' }) {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }

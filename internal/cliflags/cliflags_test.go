@@ -1,0 +1,176 @@
+package cliflags
+
+import (
+	"flag"
+	"reflect"
+	"strings"
+	"testing"
+
+	"decoydb/internal/relay"
+)
+
+func TestParseForwardStructured(t *testing.T) {
+	cases := []struct {
+		spec  string
+		addrs []string
+		token string
+		farm  string
+		block bool
+	}{
+		{"addrs=a:9000,token=s", []string{"a:9000"}, "s", "", false},
+		{"addrs=a:9000|b:9000|c:9000,token=s", []string{"a:9000", "b:9000", "c:9000"}, "s", "", false},
+		{"addrs=a:9000| b:9000 ,token=s", []string{"a:9000", "b:9000"}, "s", "", false},
+		{"addr=a:9000,token=s", []string{"a:9000"}, "s", "", false},
+		{"addrs=a:9000,token=s,farm=eu-1", []string{"a:9000"}, "s", "eu-1", false},
+		{"addrs=a:9000,token=s,block=true", []string{"a:9000"}, "s", "", true},
+		{"token=s,addrs=a:9000,block=1,farm=x", []string{"a:9000"}, "s", "x", true},
+	}
+	for _, c := range cases {
+		got, err := ParseForward(c.spec, relay.ForwardOptions{})
+		if err != nil {
+			t.Errorf("ParseForward(%q): %v", c.spec, err)
+			continue
+		}
+		if !reflect.DeepEqual(got.Addrs, c.addrs) || got.Token != c.token || got.Farm != c.farm || got.Block != c.block {
+			t.Errorf("ParseForward(%q) = addrs=%v token=%q farm=%q block=%v, want addrs=%v token=%q farm=%q block=%v",
+				c.spec, got.Addrs, got.Token, got.Farm, got.Block, c.addrs, c.token, c.farm, c.block)
+		}
+	}
+}
+
+// TestParseForwardEquivalence pins the redesign contract: every legacy
+// positional spec parses to exactly the options its structured
+// spelling produces.
+func TestParseForwardEquivalence(t *testing.T) {
+	pairs := []struct{ legacy, structured string }{
+		{"collector:9000,hunter2", "addrs=collector:9000,token=hunter2"},
+		{"collector:9000,hunter2,farm-eu-1", "addrs=collector:9000,token=hunter2,farm=farm-eu-1"},
+		{"10.0.0.7:9000,s3cret,edge", "addrs=10.0.0.7:9000,token=s3cret,farm=edge"},
+	}
+	for _, p := range pairs {
+		base := relay.ForwardOptions{Farm: "preset", Block: true}
+		old, err := ParseForward(p.legacy, base)
+		if err != nil {
+			t.Fatalf("legacy %q: %v", p.legacy, err)
+		}
+		niu, err := ParseForward(p.structured, base)
+		if err != nil {
+			t.Fatalf("structured %q: %v", p.structured, err)
+		}
+		if !reflect.DeepEqual(old, niu) {
+			t.Errorf("legacy %q != structured %q:\n  legacy:     %+v\n  structured: %+v", p.legacy, p.structured, old, niu)
+		}
+	}
+}
+
+func TestParseForwardBasePreserved(t *testing.T) {
+	base := relay.ForwardOptions{Farm: "preset", Block: true, FrameEvents: 99}
+	got, err := ParseForward("addrs=a:9000,token=s", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Farm != "preset" || !got.Block || got.FrameEvents != 99 {
+		t.Errorf("base options clobbered: %+v", got)
+	}
+	// block=false must be able to override a true base.
+	got, err = ParseForward("addrs=a:9000,token=s,block=false", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Block {
+		t.Error("block=false did not override base.Block")
+	}
+}
+
+func TestParseForwardErrors(t *testing.T) {
+	specs := []string{
+		"",                           // empty
+		"collector:9000",             // legacy without token
+		",tok",                       // legacy without addr
+		"addrs=a:9000",               // missing token
+		"token=s",                    // missing addrs
+		"addrs=,token=s",             // empty value
+		"addrs=a:9000,token=s,x=1",   // unknown key
+		"addrs=a:9000,token=s,block", // segment without value
+		"addrs=a:9000,token=s,block=maybe", // bad bool
+	}
+	for _, spec := range specs {
+		if _, err := ParseForward(spec, relay.ForwardOptions{}); err == nil {
+			t.Errorf("ParseForward(%q): want error, got nil", spec)
+		}
+	}
+}
+
+func TestForwardFlagSink(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fwd := RegisterForward(fs)
+	if err := fs.Parse([]string{"-forward", "addrs=127.0.0.1:1|127.0.0.1:2,token=s,farm=f"}); err != nil {
+		t.Fatal(err)
+	}
+	if !fwd.Enabled() {
+		t.Fatal("flag set but Enabled() == false")
+	}
+	sink, err := fwd.Sink(relay.ForwardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	st := sink.Stats()
+	if len(st.Endpoints) != 2 {
+		t.Fatalf("endpoints = %d, want 2", len(st.Endpoints))
+	}
+
+	// Unset flag: no sink, no error.
+	fs2 := flag.NewFlagSet("t", flag.ContinueOnError)
+	fwd2 := RegisterForward(fs2)
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if sink2, err := fwd2.Sink(relay.ForwardOptions{}); err != nil || sink2 != nil {
+		t.Fatalf("unset flag: sink=%v err=%v, want nil/nil", sink2, err)
+	}
+}
+
+func TestPeersFlag(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"a:7070", []string{"a:7070"}},
+		{"a:7070,b:7070", []string{"a:7070", "b:7070"}},
+		{"a:7070|b:7070, c:7070", []string{"a:7070", "b:7070", "c:7070"}},
+		{" , ", nil},
+	}
+	for _, c := range cases {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		p := RegisterPeers(fs)
+		args := []string{}
+		if c.in != "" {
+			args = []string{"-peers", c.in}
+		}
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		if got := p.List(); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Peers(%q).List() = %v, want %v", c.in, got, c.want)
+		}
+		if p.Enabled() != (len(c.want) > 0) {
+			t.Errorf("Peers(%q).Enabled() = %v", c.in, p.Enabled())
+		}
+	}
+}
+
+func TestForwardHelpMentionsBothGrammars(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	RegisterForward(fs)
+	var b strings.Builder
+	fs.SetOutput(&b)
+	fs.PrintDefaults()
+	help := b.String()
+	for _, want := range []string{"addrs=", "token=", "legacy"} {
+		if !strings.Contains(help, want) {
+			t.Errorf("-forward help %q missing %q", help, want)
+		}
+	}
+}

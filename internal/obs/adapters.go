@@ -116,7 +116,22 @@ func (s forwardSource) Collect(e *Emitter) {
 	e.Gauge("decoydb_relay_spool_events", "Events in spooled frames.", float64(st.SpoolEvents), l)
 	e.Gauge("decoydb_relay_spool_bytes", "Wire bytes the spool occupies.", float64(st.SpoolBytes), l)
 	e.Gauge("decoydb_relay_pending_events", "Events not yet framed.", float64(st.Pending), l)
+	e.Counter("decoydb_relay_failovers_total", "Cutovers to a different collector.", float64(st.Failovers), l)
 	e.Durations("decoydb_relay_ack_rtt_seconds", "Frame write-to-ack round trip.", st.AckRTT, l)
+	for _, ep := range st.Endpoints {
+		le := L("collector", ep.Addr)
+		cur := 0.0
+		if ep.Current {
+			cur = 1
+		}
+		e.Gauge("decoydb_relay_endpoint_current", "1 on the collector currently serving this farm.", cur, l, le)
+		e.Gauge("decoydb_relay_endpoint_rank", "Rendezvous rank of this collector for this farm (0 = preferred).", float64(ep.Rank), l, le)
+		e.Counter("decoydb_relay_endpoint_dials_total", "Dial attempts, per collector.", float64(ep.Dials), l, le)
+		e.Counter("decoydb_relay_endpoint_dial_errors_total", "Failed dials, per collector.", float64(ep.DialErrors), l, le)
+		e.Counter("decoydb_relay_endpoint_frames_acked_total", "Frames acknowledged, per collector.", float64(ep.FramesAcked), l, le)
+		e.Counter("decoydb_relay_endpoint_events_acked_total", "Events acknowledged, per collector.", float64(ep.EventsAcked), l, le)
+		e.Gauge("decoydb_relay_endpoint_pinned_frames", "Spooled frames pinned to this collector (sent, unacked).", float64(ep.PinnedFrames), l, le)
+	}
 }
 
 // collectorSource adapts *relay.Collector.

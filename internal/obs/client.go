@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"decoydb/internal/relay"
+)
+
+// Client reads a collector's admin plane over HTTP: /query for the
+// store-derived aggregates, /statusz for subsystem counters. It is the
+// one place the admin wire schema is decoded — dbreport -live and the
+// tier fan-in both go through it, so the JSON contract cannot drift
+// between readers.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the admin plane at addr (host:port, or
+// a full http:// URL). timeout bounds each request; 0 means 10s.
+func NewClient(addr string, timeout time.Duration) *Client {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{Timeout: timeout}}
+}
+
+// Base returns the normalized base URL.
+func (c *Client) Base() string { return c.base }
+
+// get fetches base+path and decodes the JSON body into v.
+func (c *Client) get(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s%s: %s: %s", c.base, path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Query runs a /query selection against the collector.
+func (c *Client) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	var resp QueryResponse
+	if err := c.get(ctx, "/query?"+req.Values().Encode(), &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Statusz fetches /statusz as a map of source name to raw status, so a
+// caller decodes only the sections it renders and the rest stay opaque.
+func (c *Client) Statusz(ctx context.Context) (map[string]json.RawMessage, error) {
+	var status map[string]json.RawMessage
+	if err := c.get(ctx, "/statusz", &status); err != nil {
+		return nil, err
+	}
+	return status, nil
+}
+
+// CollectorFromStatus decodes the "collector" section of a /statusz
+// payload. ok is false when the plane has no collector section (a farm
+// binary's admin plane, for instance).
+func CollectorFromStatus(status map[string]json.RawMessage) (st relay.CollectorStats, ok bool, err error) {
+	raw, present := status["collector"]
+	if !present {
+		return st, false, nil
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return st, true, fmt.Errorf("/statusz collector section: %w", err)
+	}
+	return st, true, nil
+}

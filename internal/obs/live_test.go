@@ -59,7 +59,7 @@ func TestLiveCollectorPlane(t *testing.T) {
 	defer srv.Close()
 
 	fwd, err := relay.NewForwardSink(relay.ForwardOptions{
-		Addr: ln.Addr().String(), Token: "tok", Farm: "farm-a",
+		Addrs: []string{ln.Addr().String()}, Token: "tok", Farm: "farm-a",
 		FrameEvents: 32, Block: true,
 	})
 	if err != nil {

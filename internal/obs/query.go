@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync"
 	"time"
@@ -19,6 +20,10 @@ import (
 // locks every store shard for a full copy, so the handler amortises one
 // snapshot across all requests inside MaxAge rather than letting an
 // eager scraper stall ingest.
+//
+// The request/response types double as the wire schema for the
+// collector tier: Client fetches them, FanIn merges them, and dbreport
+// renders them — one decoder, one schema.
 
 // QueryOptions configures a QueryHandler.
 type QueryOptions struct {
@@ -71,6 +76,95 @@ func (h *QueryHandler) snapshot(force bool) (*evstore.Snapshot, time.Time) {
 	return h.snap, h.built
 }
 
+// QueryRequest is one parsed /query selection. The zero value asks for
+// everything with the default page (limit 100, 10 credential rows).
+type QueryRequest struct {
+	DBMS   string // protocol filter ("" = all)
+	Tier   string // interaction tier: "", "all", "low", "mediumhigh"
+	From   int    // first capture day (inclusive, 0 = start)
+	To     int    // last capture day (0 = open)
+	Limit  int    // record page size
+	Offset int    // record page offset
+	Creds  int    // credential rows wanted
+	Fresh  bool   // force a snapshot rebuild
+
+	// Scope selects how much of the tier answers: "" merges across
+	// peers when the serving collector runs a fan-in, ScopeLocal
+	// restricts the response to the serving collector's own store. The
+	// fan-in stamps ScopeLocal on its peer fetches — that is what keeps
+	// a tier of fan-ins from recursing into each other.
+	Scope string
+}
+
+// ScopeLocal asks a collector for its own capture only, bypassing any
+// tier fan-in mounted on its /query.
+const ScopeLocal = "local"
+
+// ParseQueryRequest decodes the URL parameters of a /query request.
+// Errors are client errors (http.StatusBadRequest).
+func ParseQueryRequest(r *http.Request) (QueryRequest, error) {
+	req := QueryRequest{
+		DBMS:  r.URL.Query().Get("dbms"),
+		Tier:  r.URL.Query().Get("tier"),
+		Fresh: r.URL.Query().Get("fresh") == "1",
+		Scope: r.URL.Query().Get("scope"),
+	}
+	if _, err := parseTier(req.Tier); err != nil {
+		return req, err
+	}
+	if req.Scope != "" && req.Scope != ScopeLocal {
+		return req, fmt.Errorf("bad scope=%q: want %q or empty", req.Scope, ScopeLocal)
+	}
+	var err error
+	if req.From, err = intParam(r, "from", 0); err != nil {
+		return req, err
+	}
+	if req.From < 0 {
+		return req, fmt.Errorf("bad from=%d: negative", req.From)
+	}
+	if req.To, err = intParam(r, "to", 0); err != nil {
+		return req, err
+	}
+	if req.Limit, err = intParam(r, "limit", 100); err != nil {
+		return req, err
+	}
+	if req.Offset, err = intParam(r, "offset", 0); err != nil {
+		return req, err
+	}
+	if req.Creds, err = intParam(r, "creds", 10); err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+// Values renders the request back into URL parameters — the inverse of
+// ParseQueryRequest, used by Client to address remote collectors.
+func (q QueryRequest) Values() url.Values {
+	v := url.Values{}
+	if q.DBMS != "" {
+		v.Set("dbms", q.DBMS)
+	}
+	if q.Tier != "" {
+		v.Set("tier", q.Tier)
+	}
+	if q.From != 0 {
+		v.Set("from", strconv.Itoa(q.From))
+	}
+	if q.To != 0 {
+		v.Set("to", strconv.Itoa(q.To))
+	}
+	v.Set("limit", strconv.Itoa(q.Limit))
+	v.Set("offset", strconv.Itoa(q.Offset))
+	v.Set("creds", strconv.Itoa(q.Creds))
+	if q.Fresh {
+		v.Set("fresh", "1")
+	}
+	if q.Scope != "" {
+		v.Set("scope", q.Scope)
+	}
+	return v
+}
+
 // QueryParams echoes the parsed selection back to the caller.
 type QueryParams struct {
 	DBMS string `json:"dbms,omitempty"`
@@ -105,7 +199,23 @@ type RecordRow struct {
 	Verdict       string    `json:"verdict"`
 }
 
-// QueryResponse is the /query payload.
+// PeerStatus is one collector's contribution to a fanned-in query.
+type PeerStatus struct {
+	Addr   string `json:"addr"`
+	OK     bool   `json:"ok"`
+	Error  string `json:"error,omitempty"`
+	Events int64  `json:"events,omitempty"`
+}
+
+// TierInfo describes the collector tier behind a merged QueryResponse.
+type TierInfo struct {
+	Collectors int          `json:"collectors"` // local + peers asked
+	Responded  int          `json:"responded"`  // how many answered
+	Peers      []PeerStatus `json:"peers"`
+}
+
+// QueryResponse is the /query payload. Tier is set only on responses
+// merged across a collector tier (see FanIn).
 type QueryResponse struct {
 	Now         time.Time   `json:"now"`
 	SnapshotAge string      `json:"snapshot_age"`
@@ -119,6 +229,7 @@ type QueryResponse struct {
 	Total       int         `json:"total_records"`
 	Offset      int         `json:"offset"`
 	Records     []RecordRow `json:"records"`
+	Tier        *TierInfo   `json:"tier,omitempty"`
 }
 
 // parseTier maps the ?tier= parameter onto evstore tiers.
@@ -147,37 +258,15 @@ func intParam(r *http.Request, name string, def int) (int, error) {
 	return v, nil
 }
 
-// ServeHTTP implements http.Handler.
-func (h *QueryHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	tier, err := parseTier(r.URL.Query().Get("tier"))
+// Respond runs the selection against the (cached) snapshot and renders
+// the response — the HTTP-free core of the handler, shared by ServeHTTP
+// and the tier fan-in. The error is a client error (bad tier).
+func (h *QueryHandler) Respond(req QueryRequest) (QueryResponse, error) {
+	tier, err := parseTier(req.Tier)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+		return QueryResponse{}, err
 	}
-	from, err := intParam(r, "from", 0)
-	if err == nil && from < 0 {
-		err = fmt.Errorf("bad from=%d: negative", from)
-	}
-	var to int
-	if err == nil {
-		to, err = intParam(r, "to", 0)
-	}
-	var limit int
-	if err == nil {
-		limit, err = intParam(r, "limit", 100)
-	}
-	var offset int
-	if err == nil {
-		offset, err = intParam(r, "offset", 0)
-	}
-	var creds int
-	if err == nil {
-		creds, err = intParam(r, "creds", 10)
-	}
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
+	limit, offset, creds := req.Limit, req.Offset, req.Creds
 	if limit < 0 {
 		limit = 0
 	}
@@ -195,12 +284,12 @@ func (h *QueryHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 
 	q := evstore.Query{
-		DBMS: r.URL.Query().Get("dbms"),
+		DBMS: req.DBMS,
 		Tier: tier,
-		Days: evstore.DayRange{From: from, To: to},
+		Days: evstore.DayRange{From: req.From, To: req.To},
 	}
 
-	snap, built := h.snapshot(r.URL.Query().Get("fresh") == "1")
+	snap, built := h.snapshot(req.Fresh)
 
 	matched := snap.Select(q)
 	page := matched
@@ -245,24 +334,38 @@ func (h *QueryHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if len(credCounts) > creds {
 		credCounts = credCounts[:creds]
 	}
-	CredRows := make([]CredRow, 0, len(credCounts))
+	credRows := make([]CredRow, 0, len(credCounts))
 	for _, c := range credCounts {
-		CredRows = append(CredRows, CredRow{DBMS: c.DBMS, User: c.User, Pass: c.Pass, Count: c.Count})
+		credRows = append(credRows, CredRow{DBMS: c.DBMS, User: c.User, Pass: c.Pass, Count: c.Count})
 	}
 
-	resp := QueryResponse{
+	return QueryResponse{
 		Now:         time.Now().UTC(),
 		SnapshotAge: time.Since(built).Round(time.Millisecond).String(),
 		Start:       snap.Start(),
 		Days:        snap.Days(),
 		Events:      snap.Events(),
-		Query:       QueryParams{DBMS: q.DBMS, Tier: r.URL.Query().Get("tier"), From: from, To: to},
+		Query:       QueryParams{DBMS: q.DBMS, Tier: req.Tier, From: req.From, To: req.To},
 		UniqueIPs:   len(matched),
 		Logins:      snap.Logins(q),
-		Creds:       CredRows,
+		Creds:       credRows,
 		Total:       len(matched),
 		Offset:      offset,
 		Records:     records,
+	}, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (h *QueryHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	req, err := ParseQueryRequest(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := h.Respond(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
 	}
 	writeJSON(w, resp)
 }

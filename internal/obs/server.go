@@ -21,8 +21,10 @@ type ServerOptions struct {
 	Registry *Registry
 	// Traces, when set, serves /traces.
 	Traces *TraceRing
-	// Query, when set, serves /query (the collector wires this).
-	Query *QueryHandler
+	// Query, when set, serves /query (the collector wires this) — a
+	// *QueryHandler for one collector's store, or a *FanIn merging the
+	// whole tier.
+	Query http.Handler
 	// Logf logs server lifecycle lines; nil discards.
 	Logf func(format string, args ...any)
 }

@@ -17,15 +17,21 @@ import (
 	"decoydb/internal/wire"
 )
 
-// ForwardOptions configure a ForwardSink. Addr and Token are required.
+// ForwardOptions configure a ForwardSink. Addrs and Token are required.
 type ForwardOptions struct {
-	// Addr is the collector's host:port.
-	Addr string
+	// Addrs are the collector endpoints. The sink ranks them by
+	// rendezvous hash of the farm name (RankEndpoints) and forwards to
+	// the first-ranked collector, failing over down the list when the
+	// connection dies and failing back when a higher-ranked collector
+	// returns. A single-element slice behaves exactly like the old
+	// single-collector forwarder.
+	Addrs []string
 	// Token is the shared secret presented in the HELLO frame.
 	Token string
 	// Farm names this forwarder in the collector's dedup and stats
-	// tables. Defaults to "farm". Two live farms must use distinct names
-	// or their sequence spaces collide.
+	// tables, and keys the rendezvous ranking over Addrs. Defaults to
+	// "farm". Two live farms must use distinct names or their sequence
+	// spaces collide.
 	Farm string
 
 	// Block, when set, makes RecordBatch wait for spool space instead of
@@ -85,9 +91,21 @@ type ForwardOptions struct {
 	WriteTimeout time.Duration
 	FlushTimeout time.Duration
 	// MinBackoff/MaxBackoff bound the jittered exponential reconnect
-	// backoff. Zero values take the package defaults.
+	// backoff, kept per endpoint. A connection's endpoint resets to
+	// MinBackoff only after the first acked frame on that connection —
+	// a collector that accepts TCP but never acks (auth skew, a
+	// half-dead process) keeps backing off instead of being hammered at
+	// the floor interval. Zero values take the package defaults.
 	MinBackoff time.Duration
 	MaxBackoff time.Duration
+	// FailbackInterval is how often a connected sink probes for a
+	// better endpoint: the owner of the oldest pinned frame first (so
+	// spooled frames drain when their collector returns), else the
+	// highest-ranked collector. A successful probe hands the new
+	// connection over without dropping events; a failed probe costs one
+	// dial and leaves the current connection alone. 0 means
+	// DefaultFailbackInterval; it only matters with multiple Addrs.
+	FailbackInterval time.Duration
 
 	// MaxShedSources bounds the per-source shed-accounting table; sheds
 	// beyond it count as unattributed (totals stay exact). 0 means
@@ -98,23 +116,24 @@ type ForwardOptions struct {
 	TopShedders int
 
 	// Logf, when non-nil, receives operational diagnostics (reconnects,
-	// write failures).
+	// write failures, failovers).
 	Logf func(format string, args ...any)
 }
 
 // Defaults for ForwardOptions.
 const (
-	DefaultFrameEvents     = 512
-	DefaultSpoolFrames     = 1024
-	DefaultSpoolBytes      = 64 << 20
-	DefaultDialTimeout     = 5 * time.Second
-	DefaultWriteTimeout    = 10 * time.Second
-	DefaultFlushTimeout    = 5 * time.Second
-	DefaultMinBackoff      = 100 * time.Millisecond
-	DefaultMaxBackoff      = 5 * time.Second
-	DefaultMaxShedSources  = 4096
-	DefaultTopShedders     = 8
-	DefaultMaxFrameRetries = 8
+	DefaultFrameEvents      = 512
+	DefaultSpoolFrames      = 1024
+	DefaultSpoolBytes       = 64 << 20
+	DefaultDialTimeout      = 5 * time.Second
+	DefaultWriteTimeout     = 10 * time.Second
+	DefaultFlushTimeout     = 5 * time.Second
+	DefaultMinBackoff       = 100 * time.Millisecond
+	DefaultMaxBackoff       = 5 * time.Second
+	DefaultFailbackInterval = 15 * time.Second
+	DefaultMaxShedSources   = 4096
+	DefaultTopShedders      = 8
+	DefaultMaxFrameRetries  = 8
 )
 
 func (o ForwardOptions) withDefaults() ForwardOptions {
@@ -160,6 +179,9 @@ func (o ForwardOptions) withDefaults() ForwardOptions {
 	if o.MaxBackoff < o.MinBackoff {
 		o.MaxBackoff = o.MinBackoff
 	}
+	if o.FailbackInterval <= 0 {
+		o.FailbackInterval = DefaultFailbackInterval
+	}
 	if o.MaxShedSources <= 0 {
 		o.MaxShedSources = DefaultMaxShedSources
 	}
@@ -170,26 +192,52 @@ func (o ForwardOptions) withDefaults() ForwardOptions {
 }
 
 // spoolFrame is one encoded, unacked batch. attempts counts the
-// connections the frame has been written on as the spool head without
-// being acked — a frame the collector rejects at decode always dies at
-// the head, whereas frames merely queued behind it must not accrue
-// blame. Past Options.MaxFrameRetries the head frame is presumed
-// collector-rejected and dropped.
+// connections the frame has been written on as the first frame of the
+// connection without being acked — a frame the collector rejects at
+// decode always leads the retransmission, whereas frames merely queued
+// behind it must not accrue blame. Past Options.MaxFrameRetries such a
+// frame is presumed collector-rejected and dropped.
+//
+// owner pins the frame to the endpoint it was first written to (-1
+// until then). Retransmits only ever go to the owner: after a failover
+// the new collector never sees frames the old one may have ingested
+// without the ack reaching us, so an event is ingested by exactly one
+// collector and the tier-wide merge stays exactly-once. Pinned frames
+// drain when their collector returns (the failback probe seeks the
+// oldest pinned frame's owner); the owner's own journal-restored dedup
+// absorbs the re-send of anything it had already ingested.
 type spoolFrame struct {
 	seq      uint64
 	events   int
 	body     []byte
 	attempts int
+	owner    int       // endpoint index the frame is pinned to; -1 = unowned
 	sentAt   time.Time // last successful write; zero until first send
 }
 
-// ForwardSink streams events to a relay collector. It implements
-// core.Sink, core.BatchSink and core.Flusher, so it registers on the
-// event bus like any local sink; batches arrive on bus worker
+// endpoint is the per-collector dial state and accounting, in
+// rendezvous rank order for this farm.
+type endpoint struct {
+	addr    string
+	backoff time.Duration // next failure sleep; MinBackoff after an acked connection
+	due     time.Time     // earliest next dial; zero = immediately
+
+	dials       uint64
+	dialErrors  uint64
+	framesAcked uint64
+	eventsAcked uint64
+}
+
+// ForwardSink streams events to a tier of relay collectors. It
+// implements core.Sink, core.BatchSink and core.Flusher, so it registers
+// on the event bus like any local sink; batches arrive on bus worker
 // goroutines, are encoded into frames and spooled, and a background pump
-// goroutine owns the TCP connection: dial, HELLO, write frames with a
-// deadline, read cumulative ACKs, reconnect with jittered exponential
-// backoff, retransmitting everything unacked after each reconnect.
+// goroutine owns the TCP connection: rank the endpoints by rendezvous
+// hash, dial the best one due, HELLO, write frames with a deadline, read
+// cumulative ACKs, and on failure fail over to the next-ranked collector
+// while the dead one backs off — retransmitting everything unacked,
+// except that frames already written to one collector stay pinned to it
+// (see spoolFrame.owner).
 //
 // When the spool hits its frame/byte bound (collector down, or slower
 // than the farm), new events are shed with per-source accounting — the
@@ -198,23 +246,29 @@ type spoolFrame struct {
 // pending) and events offered = enqueued + shed.
 type ForwardSink struct {
 	opts ForwardOptions
+	eps  []*endpoint // rendezvous rank order for opts.Farm
 
 	mu   sync.Mutex
 	cond sync.Cond // new data, acks, disconnects, stop
 
 	pending []core.Event  // not yet framed
-	spool   []*spoolFrame // framed, FIFO; [0:sentIdx) written on current conn
-	sentIdx int
+	spool   []*spoolFrame // framed, FIFO by seq
+	scanIdx int           // next spool index the current connection considers
 	spoolEv int
 	spoolB  int64
 	nextSeq uint64
 	epoch   uint64 // per-process session nonce, sent in HELLO
 
-	conn      net.Conn
-	connected bool
-	stopped   bool
-	stopCh    chan struct{}
-	wg        sync.WaitGroup
+	conn       net.Conn
+	connected  bool
+	connAcked  bool // current connection has acked at least one frame
+	cur        int  // endpoint index being served; -1 when disconnected
+	lastServed int  // endpoint of the previous connection; -1 before any
+	handoff    net.Conn
+	handoffIdx int
+	stopped    bool
+	stopCh     chan struct{}
+	wg         sync.WaitGroup
 
 	firstErr error
 
@@ -229,11 +283,13 @@ type ForwardSink struct {
 	dials       uint64
 	dialErrors  uint64
 	reconnects  uint64
+	failovers   uint64
 	writeErrors uint64
 	shed        uint64
 	shedUnattr  uint64
 	shedSrc     map[netip.Addr]uint64
 	droppedFr   uint64            // frames dropped at the retry cap
+	lastCompact uint64            // highest seq handed to SpoolWAL.Compact
 	ackRTT      core.DurationHist // write-to-ack round trips
 }
 
@@ -241,8 +297,25 @@ type ForwardSink struct {
 // sink dials lazily: no connection is attempted until there is an event
 // to ship.
 func NewForwardSink(opts ForwardOptions) (*ForwardSink, error) {
-	if opts.Addr == "" {
-		return nil, fmt.Errorf("relay: forward: empty collector address")
+	var addrs []string
+	for _, a := range opts.Addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		dup := false
+		for _, seen := range addrs {
+			if seen == a {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("relay: forward: no collector addresses")
 	}
 	if opts.Token == "" {
 		return nil, fmt.Errorf("relay: forward: empty token")
@@ -254,10 +327,15 @@ func NewForwardSink(opts ForwardOptions) (*ForwardSink, error) {
 		return nil, fmt.Errorf("relay: forward: farm name is %d bytes, limit %d", len(opts.Farm), MaxName)
 	}
 	f := &ForwardSink{
-		opts:    opts.withDefaults(),
-		stopCh:  make(chan struct{}),
-		shedSrc: make(map[netip.Addr]uint64),
-		epoch:   newEpoch(),
+		opts:       opts.withDefaults(),
+		stopCh:     make(chan struct{}),
+		shedSrc:    make(map[netip.Addr]uint64),
+		epoch:      newEpoch(),
+		cur:        -1,
+		lastServed: -1,
+	}
+	for _, a := range RankEndpoints(f.opts.Farm, addrs) {
+		f.eps = append(f.eps, &endpoint{addr: a, backoff: f.opts.MinBackoff})
 	}
 	f.cond.L = &f.mu
 	if err := f.loadSpoolWAL(); err != nil {
@@ -268,23 +346,34 @@ func NewForwardSink(opts ForwardOptions) (*ForwardSink, error) {
 	return f, nil
 }
 
+// ForwardTo builds a sink that forwards to a single collector.
+//
+// Deprecated: set ForwardOptions.Addrs and call NewForwardSink. Kept
+// for one release for callers of the pre-tier single-address API.
+func ForwardTo(addr string, opts ForwardOptions) (*ForwardSink, error) {
+	opts.Addrs = []string{addr}
+	return NewForwardSink(opts)
+}
+
 // loadSpoolWAL adopts the durable spool: the forwarder's sequence space
 // continues the log's, and every journaled-but-unacked frame (sequence
 // past the persisted ack mark) is re-encoded into the spool so the next
-// connection retransmits it. Runs before the pump starts, so no lock is
-// needed.
+// connection retransmits it. Reloaded frames are unowned — the pinning
+// that prevents cross-collector replay does not survive a farm restart
+// (see DESIGN §14). Runs before the pump starts, so no lock is needed.
 func (f *ForwardSink) loadSpoolWAL() error {
 	w := f.opts.SpoolWAL
 	if w == nil {
 		return nil
 	}
 	f.nextSeq = w.LastSeq()
+	f.lastCompact = w.Mark()
 	err := w.Replay(w.Mark()+1, func(seq uint64, _ []byte, events []core.Event) error {
 		body, rawLen, err := EncodeBatch(seq, events, f.opts.CompressionLevel)
 		if err != nil {
 			return fmt.Errorf("relay: re-encode spooled frame seq %d: %w", seq, err)
 		}
-		fr := &spoolFrame{seq: seq, events: len(events), body: body}
+		fr := &spoolFrame{seq: seq, events: len(events), body: body, owner: -1}
 		f.spool = append(f.spool, fr)
 		f.spoolEv += fr.events
 		f.spoolB += int64(len(body)) + 4
@@ -435,7 +524,7 @@ func (f *ForwardSink) cutFrameLocked() {
 			}
 		}
 		f.nextSeq++
-		fr := &spoolFrame{seq: f.nextSeq, events: n, body: body}
+		fr := &spoolFrame{seq: f.nextSeq, events: n, body: body, owner: -1}
 		f.spool = append(f.spool, fr)
 		f.spoolEv += fr.events
 		f.spoolB += int64(len(body)) + 4
@@ -473,55 +562,141 @@ func (f *ForwardSink) logf(format string, args ...any) {
 	}
 }
 
-// pump owns the connection lifecycle: wait for work, dial (with
-// backoff), serve the connection until it breaks, repeat.
+// preferredLocked is the endpoint the sink would rather be connected
+// to: the owner of the oldest pinned frame (FIFO progress on spooled
+// data — those frames can drain nowhere else), otherwise the
+// highest-ranked collector.
+func (f *ForwardSink) preferredLocked() int {
+	for _, fr := range f.spool {
+		if fr.owner >= 0 {
+			return fr.owner
+		}
+	}
+	return 0
+}
+
+// pickEndpointLocked returns the index of the endpoint to dial now —
+// the preferred one if its backoff has expired, else the best-ranked
+// endpoint that is due — or -1 and the wait until the earliest endpoint
+// comes due.
+func (f *ForwardSink) pickEndpointLocked(now time.Time) (int, time.Duration) {
+	pref := f.preferredLocked()
+	order := make([]int, 0, len(f.eps))
+	order = append(order, pref)
+	for i := range f.eps {
+		if i != pref {
+			order = append(order, i)
+		}
+	}
+	var earliest time.Time
+	for _, i := range order {
+		if !f.eps[i].due.After(now) {
+			return i, 0
+		}
+		if earliest.IsZero() || f.eps[i].due.Before(earliest) {
+			earliest = f.eps[i].due
+		}
+	}
+	return -1, earliest.Sub(now)
+}
+
+// backoffLocked schedules the endpoint's next allowed dial and, when
+// the endpoint failed (dial error, or a connection that died without a
+// single ack), doubles its backoff up to MaxBackoff. The double on
+// ackless connections is the regression-tested half of the contract: a
+// collector that accepts TCP but never acks must not be hammered at the
+// floor interval.
+func (f *ForwardSink) backoffLocked(i int, failed bool) {
+	ep := f.eps[i]
+	ep.due = time.Now().Add(jitter(ep.backoff))
+	if failed {
+		ep.backoff *= 2
+		if ep.backoff > f.opts.MaxBackoff {
+			ep.backoff = f.opts.MaxBackoff
+		}
+	}
+}
+
+// jitter spreads a backoff over [d/2, d] so a farm fleet does not
+// reconnect in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// pump owns the connection lifecycle: wait for work, pick the best due
+// endpoint (rendezvous rank, pinned-frame owner first), dial, serve the
+// connection until it breaks, repeat — failing over to the next-ranked
+// collector while a dead one backs off.
 func (f *ForwardSink) pump() {
 	defer f.wg.Done()
-	backoff := f.opts.MinBackoff
 	for {
 		f.mu.Lock()
-		for !f.stopped && len(f.spool) == 0 && len(f.pending) == 0 {
+		for !f.stopped && f.handoff == nil && len(f.spool) == 0 && len(f.pending) == 0 {
 			f.cond.Wait()
 		}
 		if f.stopped {
 			f.mu.Unlock()
 			return
 		}
-		f.mu.Unlock()
-
-		conn, err := f.dial()
-		if err != nil {
-			// Transient by design: the spool holds the events and the
-			// next attempt retransmits, so a failed dial is a counter
-			// and a log line, not a sink error.
-			f.mu.Lock()
-			f.dialErrors++
+		if f.handoff != nil {
+			// A failback probe already completed the HELLO on a better
+			// endpoint; adopt its connection instead of dialing.
+			conn, idx := f.handoff, f.handoffIdx
+			f.handoff = nil
 			f.mu.Unlock()
-			f.logf("relay: dial %s: %v (backing off)", f.opts.Addr, err)
-			if !f.sleepBackoff(&backoff) {
+			f.serveConn(conn, idx)
+			continue
+		}
+		idx, wait := f.pickEndpointLocked(time.Now())
+		f.mu.Unlock()
+		if idx < 0 {
+			if !f.sleepUntil(wait) {
 				return
 			}
 			continue
 		}
-		backoff = f.opts.MinBackoff
-		f.serveConn(conn)
+		conn, err := f.dialEndpoint(idx)
+		if err != nil {
+			// Transient by design: the spool holds the events and the
+			// next attempt retransmits (possibly to the next-ranked
+			// collector), so a failed dial is a counter and a log line,
+			// not a sink error.
+			f.noteDialError(idx, err)
+			continue
+		}
+		f.serveConn(conn, idx)
 	}
 }
 
-// dial connects and completes the HELLO exchange.
-func (f *ForwardSink) dial() (net.Conn, error) {
-	conn, err := net.DialTimeout("tcp", f.opts.Addr, f.opts.DialTimeout)
+func (f *ForwardSink) noteDialError(idx int, err error) {
+	f.mu.Lock()
+	f.dialErrors++
+	f.eps[idx].dialErrors++
+	f.backoffLocked(idx, true)
+	f.mu.Unlock()
+	f.logf("%v (backing off)", err)
+}
+
+// dialEndpoint connects to one collector and completes the HELLO
+// exchange.
+func (f *ForwardSink) dialEndpoint(idx int) (net.Conn, error) {
+	addr := f.eps[idx].addr
+	conn, err := net.DialTimeout("tcp", addr, f.opts.DialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("relay: dial %s: %w", f.opts.Addr, err)
+		return nil, fmt.Errorf("relay: dial %s: %w", addr, err)
 	}
 	_ = conn.SetWriteDeadline(time.Now().Add(f.opts.WriteTimeout))
 	if err := wire.WriteFrame(conn, encodeHello(f.opts.Token, f.opts.Farm, f.epoch, f.durable())); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("relay: hello to %s: %w", f.opts.Addr, err)
+		return nil, fmt.Errorf("relay: hello to %s: %w", addr, err)
 	}
 	_ = conn.SetWriteDeadline(time.Time{})
 	f.mu.Lock()
 	f.dials++
+	f.eps[idx].dials++
 	if f.dials > 1 {
 		f.reconnects++
 	}
@@ -529,17 +704,13 @@ func (f *ForwardSink) dial() (net.Conn, error) {
 	return conn, nil
 }
 
-// sleepBackoff sleeps the jittered backoff (half fixed, half uniform
-// random) and doubles it up to MaxBackoff. It returns false when the
-// sink was closed during the sleep.
-func (f *ForwardSink) sleepBackoff(d *time.Duration) bool {
-	wait := *d/2 + time.Duration(rand.Int63n(int64(*d/2)+1))
-	*d *= 2
-	if *d > f.opts.MaxBackoff {
-		*d = f.opts.MaxBackoff
+// sleepUntil sleeps d (at least a millisecond) or until Close.
+func (f *ForwardSink) sleepUntil(d time.Duration) bool {
+	if d < time.Millisecond {
+		d = time.Millisecond
 	}
 	select {
-	case <-time.After(wait):
+	case <-time.After(d):
 		return true
 	case <-f.stopCh:
 		return false
@@ -547,62 +718,142 @@ func (f *ForwardSink) sleepBackoff(d *time.Duration) bool {
 }
 
 // serveConn runs one connection: an ack-reader goroutine prunes the
-// spool while the write loop streams frames. Either side failing closes
-// the connection and returns control to the pump, which retransmits
-// every still-spooled frame on the next connection.
-func (f *ForwardSink) serveConn(conn net.Conn) {
+// spool while the write loop streams frames, and (with multiple
+// endpoints) a failback prober looks for a better collector. Any side
+// failing closes the connection and returns control to the pump, which
+// retransmits every still-spooled frame owned here or unowned on the
+// next connection.
+func (f *ForwardSink) serveConn(conn net.Conn, idx int) {
 	f.mu.Lock()
 	f.conn = conn
 	f.connected = true
-	f.sentIdx = 0 // retransmit everything unacked
+	f.connAcked = false
+	f.cur = idx
+	f.scanIdx = 0 // retransmit everything unacked that this endpoint may send
+	if f.lastServed >= 0 && f.lastServed != idx {
+		f.failovers++
+		f.logf("relay: now forwarding to %s (was %s)", f.eps[idx].addr, f.eps[f.lastServed].addr)
+	}
+	f.lastServed = idx
 	f.mu.Unlock()
 
+	probeStop := make(chan struct{})
+	var probeWG sync.WaitGroup
+	if len(f.eps) > 1 {
+		probeWG.Add(1)
+		go f.failbackLoop(conn, idx, probeStop, &probeWG)
+	}
 	ackDone := make(chan struct{})
-	go f.ackLoop(conn, ackDone)
-	f.writeLoop(conn)
+	go f.ackLoop(conn, idx, ackDone)
+	f.writeLoop(conn, idx)
 	conn.Close()
+	close(probeStop)
 	<-ackDone
+	probeWG.Wait()
 
 	f.mu.Lock()
 	f.conn = nil
 	f.connected = false
-	f.sentIdx = 0
+	f.cur = -1
+	f.scanIdx = 0
+	// Throttle the immediate redial: an acked (healthy) connection comes
+	// back after ~MinBackoff, an ackless one keeps doubling — and either
+	// way the pump is free to fail over to the next-ranked collector
+	// right now.
+	f.backoffLocked(idx, !f.connAcked)
 	f.cond.Broadcast()
 	f.mu.Unlock()
 }
 
-// writeLoop streams spooled frames in sequence order, cutting pending
-// events into a fresh frame whenever it catches up — so under light
-// load every batch ships as soon as the previous write returns, without
-// a flush timer.
-func (f *ForwardSink) writeLoop(conn net.Conn) {
+// failbackLoop periodically checks whether a better endpoint than the
+// one being served is due, and if so dials it in the background. Only
+// on a completed HELLO is the current connection closed and the new one
+// handed to the pump — a dead preferred collector costs a probe dial,
+// never the working connection.
+func (f *ForwardSink) failbackLoop(conn net.Conn, idx int, stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	t := time.NewTicker(f.opts.FailbackInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-f.stopCh:
+			return
+		case <-t.C:
+		}
+		f.mu.Lock()
+		want := f.preferredLocked()
+		ok := !f.stopped && f.connected && f.cur == idx && f.handoff == nil &&
+			want != idx && !f.eps[want].due.After(time.Now())
+		f.mu.Unlock()
+		if !ok {
+			continue
+		}
+		probe, err := f.dialEndpoint(want)
+		if err != nil {
+			f.noteDialError(want, err)
+			continue
+		}
+		f.mu.Lock()
+		if f.stopped || !f.connected || f.cur != idx || f.handoff != nil {
+			f.mu.Unlock()
+			probe.Close()
+			return
+		}
+		f.handoff = probe
+		f.handoffIdx = want
+		f.mu.Unlock()
+		f.logf("relay: failing back to %s", f.eps[want].addr)
+		conn.Close() // write/ack loops exit; the pump adopts the probe
+		return
+	}
+}
+
+// writeLoop streams spooled frames in sequence order — skipping frames
+// pinned to other endpoints — and cuts pending events into a fresh
+// frame whenever it catches up, so under light load every batch ships
+// as soon as the previous write returns, without a flush timer.
+func (f *ForwardSink) writeLoop(conn net.Conn, idx int) {
+	first := true
 	for {
 		f.mu.Lock()
-		for !f.stopped && f.connected && f.sentIdx >= len(f.spool) && len(f.pending) == 0 {
+		var fr *spoolFrame
+		for fr == nil {
+			for f.scanIdx < len(f.spool) {
+				cand := f.spool[f.scanIdx]
+				if cand.owner >= 0 && cand.owner != idx {
+					f.scanIdx++ // pinned elsewhere; its owner will drain it
+					continue
+				}
+				fr = cand
+				break
+			}
+			if fr != nil {
+				break
+			}
+			if len(f.pending) > 0 {
+				f.cutFrameLocked() // may shed on encode failure; rescan
+				continue
+			}
+			if f.stopped || !f.connected {
+				f.mu.Unlock()
+				return
+			}
 			f.cond.Wait()
 		}
 		if f.stopped || !f.connected {
 			f.mu.Unlock()
 			return
 		}
-		if f.sentIdx >= len(f.spool) {
-			f.cutFrameLocked()
-			if f.sentIdx >= len(f.spool) { // encode failure shed the batch
-				f.mu.Unlock()
-				continue
-			}
-		}
-		fr := f.spool[f.sentIdx]
 		if fr.attempts >= f.opts.MaxFrameRetries {
-			// Written at the spool head on MaxFrameRetries connections
+			// Led the retransmission on MaxFrameRetries connections
 			// without ever being acked: the collector is rejecting this
 			// frame at decode (limits skew or corruption in transit that
 			// survives TCP). Drop it so the spool drains instead of
 			// replaying the same frame forever; the loss is counted,
 			// never silent.
-			f.spool = append(f.spool[:f.sentIdx], f.spool[f.sentIdx+1:]...)
-			f.spoolEv -= fr.events
-			f.spoolB -= int64(len(fr.body)) + 4
+			f.removeFrameLocked(f.scanIdx)
 			f.enqueued -= uint64(fr.events)
 			f.shed += uint64(fr.events)
 			f.shedUnattr += uint64(fr.events)
@@ -613,20 +864,22 @@ func (f *ForwardSink) writeLoop(conn net.Conn) {
 			f.logf("relay: dropping frame seq=%d (%d events) after %d unacked transmissions", fr.seq, fr.events, fr.attempts)
 			continue
 		}
-		if f.sentIdx == 0 {
+		if first {
 			fr.attempts++
+			first = false
 		}
-		f.sentIdx++
+		fr.owner = idx
+		f.scanIdx++
 		f.mu.Unlock()
 
 		_ = conn.SetWriteDeadline(time.Now().Add(f.opts.WriteTimeout))
 		if err := wire.WriteFrame(conn, fr.body); err != nil {
-			// Also transient: the frame stays spooled and ships again
-			// after the reconnect.
+			// Also transient: the frame stays spooled (now pinned here)
+			// and ships again after the reconnect.
 			f.mu.Lock()
 			f.writeErrors++
 			f.mu.Unlock()
-			f.logf("relay: write to %s: %v (will reconnect)", f.opts.Addr, err)
+			f.logf("relay: write to %s: %v (will reconnect)", f.eps[idx].addr, err)
 			return
 		}
 		f.mu.Lock()
@@ -636,9 +889,24 @@ func (f *ForwardSink) writeLoop(conn net.Conn) {
 	}
 }
 
-// ackLoop reads cumulative ACKs and prunes the spool. A read error
-// closes the connection so the write loop notices.
-func (f *ForwardSink) ackLoop(conn net.Conn, done chan<- struct{}) {
+// removeFrameLocked drops spool[i], keeping the connection's scan
+// cursor pointing at the same next frame.
+func (f *ForwardSink) removeFrameLocked(i int) {
+	fr := f.spool[i]
+	f.spool = append(f.spool[:i], f.spool[i+1:]...)
+	if f.scanIdx > i {
+		f.scanIdx--
+	}
+	f.spoolEv -= fr.events
+	f.spoolB -= int64(len(fr.body)) + 4
+}
+
+// ackLoop reads cumulative ACKs and prunes the spool. An ack from
+// endpoint idx covers exactly the frames pinned to it — a cumulative
+// sequence from one collector says nothing about frames another
+// collector still owes. A read error closes the connection so the write
+// loop notices.
+func (f *ForwardSink) ackLoop(conn net.Conn, idx int, done chan<- struct{}) {
 	defer close(done)
 	for {
 		body, err := wire.ReadFrame(conn, DefaultMaxFrame)
@@ -660,29 +928,54 @@ func (f *ForwardSink) ackLoop(conn net.Conn, done chan<- struct{}) {
 		}
 		f.mu.Lock()
 		acked := false
-		for len(f.spool) > 0 && f.spool[0].seq <= seq {
-			fr := f.spool[0]
-			f.spool = f.spool[1:]
-			if f.sentIdx > 0 {
-				f.sentIdx--
+		for i := 0; i < len(f.spool); {
+			fr := f.spool[i]
+			if fr.seq > seq {
+				break
 			}
-			f.spoolEv -= fr.events
-			f.spoolB -= int64(len(fr.body)) + 4
+			if fr.owner != idx {
+				i++ // another collector's frame; its own ack prunes it
+				continue
+			}
+			f.removeFrameLocked(i)
 			f.framesAcked++
 			f.eventsAcked += uint64(fr.events)
+			f.eps[idx].framesAcked++
+			f.eps[idx].eventsAcked += uint64(fr.events)
 			if !fr.sentAt.IsZero() {
 				f.ackRTT.Observe(time.Since(fr.sentAt))
 			}
 			acked = true
 		}
-		if acked && f.opts.SpoolWAL != nil {
-			// Persist the ack as a mark and reclaim fully-acked segments;
-			// after a restart, Replay(Mark()+1) reloads only what is still
-			// unacked. A mark that fails to persist is harmless to
-			// correctness — the frames replay and the collector's durable
-			// dedup drops them — so the error is only noted.
-			if _, err := f.opts.SpoolWAL.Compact(seq); err != nil {
-				f.noteErrLocked(err)
+		if acked {
+			if !f.connAcked {
+				// First acked frame on this connection: the collector is
+				// demonstrably processing frames, so the endpoint earns
+				// its backoff reset. A successful dial alone does not —
+				// see backoffLocked.
+				f.connAcked = true
+				f.eps[idx].backoff = f.opts.MinBackoff
+			}
+			if f.opts.SpoolWAL != nil {
+				// Persist the contiguous ack floor as a mark and reclaim
+				// fully-acked segments; after a restart, Replay(Mark()+1)
+				// reloads only what is still unacked. The floor — not the
+				// raw acked sequence — because with pinned frames a later
+				// sequence can be acked by one collector while an earlier
+				// frame still awaits another. A mark that fails to persist
+				// is harmless to correctness — the frames replay and the
+				// collector's durable dedup drops them — so the error is
+				// only noted.
+				floor := f.nextSeq
+				if len(f.spool) > 0 {
+					floor = f.spool[0].seq - 1
+				}
+				if floor > f.lastCompact {
+					f.lastCompact = floor
+					if _, err := f.opts.SpoolWAL.Compact(floor); err != nil {
+						f.noteErrLocked(err)
+					}
+				}
 			}
 		}
 		f.cond.Broadcast()
@@ -691,7 +984,7 @@ func (f *ForwardSink) ackLoop(conn net.Conn, done chan<- struct{}) {
 }
 
 // Flush implements core.Flusher: it waits — up to Options.FlushTimeout —
-// for every enqueued event to be acked by the collector. With the
+// for every enqueued event to be acked by the collector tier. With every
 // collector unreachable the timeout expires and the remaining events
 // stay spooled (visible in Stats), which is exactly what the shutdown
 // accounting wants: nothing silently discarded.
@@ -730,11 +1023,16 @@ func (f *ForwardSink) Close() error {
 	}
 	f.stopped = true
 	conn := f.conn
+	handoff := f.handoff
+	f.handoff = nil
 	close(f.stopCh)
 	f.cond.Broadcast()
 	f.mu.Unlock()
 	if conn != nil {
 		conn.Close()
+	}
+	if handoff != nil {
+		handoff.Close()
 	}
 	f.wg.Wait()
 	f.mu.Lock()
@@ -756,6 +1054,27 @@ type SourceShed struct {
 	Shed uint64
 }
 
+// EndpointStats is the per-collector slice of Stats, in rendezvous rank
+// order for this farm (Rank 0 is the collector the farm prefers).
+type EndpointStats struct {
+	Addr    string
+	Rank    int
+	Current bool // the connection being served, if any
+
+	Dials       uint64
+	DialErrors  uint64
+	FramesAcked uint64
+	EventsAcked uint64
+
+	// PinnedFrames counts spooled frames pinned to this endpoint —
+	// frames it may have ingested without the ack arriving, which only
+	// it is allowed to see again.
+	PinnedFrames int
+	// Backoff is the endpoint's next failure sleep; MinBackoff means
+	// healthy.
+	Backoff time.Duration
+}
+
 // Stats is a point-in-time snapshot of forwarder counters. The books
 // always balance: Enqueued = EventsAcked + SpoolEvents + Pending, and
 // offered events split into Enqueued + Shed.
@@ -767,13 +1086,20 @@ type Stats struct {
 	Frames      uint64 // frames encoded
 	FramesSent  uint64 // frame writes completed (retransmits included)
 	FramesAcked uint64
-	EventsAcked uint64 // events the collector has acknowledged
+	EventsAcked uint64 // events the collector tier has acknowledged
 	WireBytes   uint64 // compressed frame bytes produced (incl. prefix)
 	RawBytes    uint64 // uncompressed payload bytes
 
 	Dials      uint64
 	DialErrors uint64
 	Reconnects uint64 // successful dials after the first
+	// Failovers counts connections served by a different endpoint than
+	// the previous one — both emergency cutovers to a lower-ranked
+	// collector and failbacks when a better one returned.
+	Failovers uint64
+
+	// Endpoints is the per-collector breakdown, rank order.
+	Endpoints []EndpointStats
 
 	SpoolFrames int   // frames currently spooled (unacked)
 	SpoolEvents int   // events in those frames
@@ -813,10 +1139,19 @@ func (s Stats) String() string {
 	state := "down"
 	if s.Connected {
 		state = "up"
+		for _, ep := range s.Endpoints {
+			if ep.Current {
+				state = ep.Addr
+				break
+			}
+		}
 	}
 	fmt.Fprintf(&sb, "relay[%s→%s]: enq=%d acked=%d spool=%d/%dev pend=%d frames=%d ratio=%.2f reconn=%d",
 		s.Farm, state, s.Enqueued, s.EventsAcked, s.SpoolFrames, s.SpoolEvents, s.Pending,
 		s.Frames, s.CompressionRatio(), s.Reconnects)
+	if len(s.Endpoints) > 1 {
+		fmt.Fprintf(&sb, " eps=%d failover=%d", len(s.Endpoints), s.Failovers)
+	}
 	if s.DroppedFrames > 0 {
 		fmt.Fprintf(&sb, " dropped=%dfr", s.DroppedFrames)
 	}
@@ -857,6 +1192,7 @@ func (f *ForwardSink) Stats() Stats {
 		Dials:            f.dials,
 		DialErrors:       f.dialErrors,
 		Reconnects:       f.reconnects,
+		Failovers:        f.failovers,
 		SpoolFrames:      len(f.spool),
 		SpoolEvents:      f.spoolEv,
 		SpoolBytes:       f.spoolB,
@@ -865,6 +1201,25 @@ func (f *ForwardSink) Stats() Stats {
 		ShedUnattributed: f.shedUnattr,
 		DroppedFrames:    f.droppedFr,
 		AckRTT:           f.ackRTT,
+	}
+	pinned := make([]int, len(f.eps))
+	for _, fr := range f.spool {
+		if fr.owner >= 0 {
+			pinned[fr.owner]++
+		}
+	}
+	for i, ep := range f.eps {
+		st.Endpoints = append(st.Endpoints, EndpointStats{
+			Addr:         ep.addr,
+			Rank:         i,
+			Current:      f.connected && f.cur == i,
+			Dials:        ep.dials,
+			DialErrors:   ep.dialErrors,
+			FramesAcked:  ep.framesAcked,
+			EventsAcked:  ep.eventsAcked,
+			PinnedFrames: pinned[i],
+			Backoff:      ep.backoff,
+		})
 	}
 	for a, n := range f.shedSrc {
 		if n > 0 {

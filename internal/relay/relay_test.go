@@ -168,6 +168,9 @@ func startCollector(t *testing.T, coll *Collector) (addr string, stop func()) {
 	}
 	done := make(chan error, 1)
 	go func() { done <- coll.Serve(ln) }()
+	// Wait for Serve to register the listener: a Close racing a
+	// just-started Serve leaves the listener running (see Close docs).
+	waitFor(t, 5*time.Second, func() bool { return coll.Stats().Listeners > 0 }, "collector serving")
 	return ln.Addr().String(), func() {
 		coll.Close()
 		if err := <-done; err != nil {
@@ -197,7 +200,7 @@ func TestForwardDelivery(t *testing.T) {
 	addr, stop := startCollector(t, coll)
 	defer stop()
 
-	fwd, err := NewForwardSink(ForwardOptions{Addr: addr, Token: "s3cret", Farm: "farm-a", FrameEvents: 16})
+	fwd, err := NewForwardSink(ForwardOptions{Addrs: []string{addr}, Token: "s3cret", Farm: "farm-a", FrameEvents: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +254,7 @@ func TestCollectorRejectsBadToken(t *testing.T) {
 	defer stop()
 
 	fwd, err := NewForwardSink(ForwardOptions{
-		Addr: addr, Token: "wrong", Farm: "rogue",
+		Addrs: []string{addr}, Token: "wrong", Farm: "rogue",
 		MinBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
 	})
 	if err != nil {
@@ -280,7 +283,7 @@ func TestForwardShedsWhenDown(t *testing.T) {
 	// No collector at all: a tiny spool must fill, then shed with
 	// per-source attribution, without ever blocking RecordBatch.
 	fwd, err := NewForwardSink(ForwardOptions{
-		Addr: "127.0.0.1:1", Token: "t", Farm: "dark",
+		Addrs: []string{"127.0.0.1:1"}, Token: "t", Farm: "dark",
 		FrameEvents: 8, SpoolFrames: 2,
 		MinBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
 	})
@@ -343,7 +346,7 @@ func TestCollectorRestartDedups(t *testing.T) {
 	go func() { done <- coll.Serve(ln) }()
 
 	fwd, err := NewForwardSink(ForwardOptions{
-		Addr: addr, Token: "tok", Farm: "farm-r", FrameEvents: 8,
+		Addrs: []string{addr}, Token: "tok", Farm: "farm-r", FrameEvents: 8,
 		MinBackoff: time.Millisecond, MaxBackoff: 20 * time.Millisecond,
 	})
 	if err != nil {
@@ -429,7 +432,7 @@ func TestFarmRestartResumesIngest(t *testing.T) {
 
 	run := func(n, off int) {
 		t.Helper()
-		fwd, err := NewForwardSink(ForwardOptions{Addr: addr, Token: "tok", Farm: "farm-x", FrameEvents: 8})
+		fwd, err := NewForwardSink(ForwardOptions{Addrs: []string{addr}, Token: "tok", Farm: "farm-x", FrameEvents: 8})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -464,10 +467,10 @@ func TestFarmRestartResumesIngest(t *testing.T) {
 
 func TestRejectsOverlongNames(t *testing.T) {
 	long := strings.Repeat("a", MaxName+1)
-	if _, err := NewForwardSink(ForwardOptions{Addr: "x:1", Token: long}); err == nil {
+	if _, err := NewForwardSink(ForwardOptions{Addrs: []string{"x:1"}, Token: long}); err == nil {
 		t.Fatal("overlong token accepted by NewForwardSink; it would be truncated on the wire and never authenticate")
 	}
-	if _, err := NewForwardSink(ForwardOptions{Addr: "x:1", Token: "t", Farm: long}); err == nil {
+	if _, err := NewForwardSink(ForwardOptions{Addrs: []string{"x:1"}, Token: "t", Farm: long}); err == nil {
 		t.Fatal("overlong farm name accepted by NewForwardSink")
 	}
 	if _, err := NewCollector(CollectorOptions{Token: long}, &memSink{}); err == nil {
@@ -485,7 +488,7 @@ func TestOversizedBatchSplitAndShed(t *testing.T) {
 	defer stop()
 
 	fwd, err := NewForwardSink(ForwardOptions{
-		Addr: addr, Token: "tok", Farm: "big",
+		Addrs: []string{addr}, Token: "tok", Farm: "big",
 		FrameEvents: 16, MaxRaw: 4096,
 		MinBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
 	})
@@ -546,7 +549,7 @@ func TestPoisonFrameDroppedAfterRetries(t *testing.T) {
 	defer stop()
 
 	fwd, err := NewForwardSink(ForwardOptions{
-		Addr: addr, Token: "tok", Farm: "skew",
+		Addrs: []string{addr}, Token: "tok", Farm: "skew",
 		FrameEvents: 4, MaxFrameRetries: 3,
 		MinBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
 	})
@@ -591,7 +594,7 @@ func TestIdleConnectionDropped(t *testing.T) {
 	addr, stop := startCollector(t, coll)
 	defer stop()
 
-	fwd, err := NewForwardSink(ForwardOptions{Addr: addr, Token: "tok", Farm: "quiet"})
+	fwd, err := NewForwardSink(ForwardOptions{Addrs: []string{addr}, Token: "tok", Farm: "quiet"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -648,7 +651,7 @@ func TestAllSinksFailingDefersAck(t *testing.T) {
 	defer stop()
 
 	fwd, err := NewForwardSink(ForwardOptions{
-		Addr: addr, Token: "tok", Farm: "flaky",
+		Addrs: []string{addr}, Token: "tok", Farm: "flaky",
 		MinBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
 	})
 	if err != nil {
@@ -702,7 +705,7 @@ func BenchmarkRelayThroughput(b *testing.B) {
 	defer coll.Close()
 
 	fwd, err := NewForwardSink(ForwardOptions{
-		Addr: ln.Addr().String(), Token: "bench", Farm: "bench",
+		Addrs: []string{ln.Addr().String()}, Token: "bench", Farm: "bench",
 		Block: true, // measure delivered throughput, not shed throughput
 	})
 	if err != nil {

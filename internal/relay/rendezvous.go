@@ -1,0 +1,61 @@
+package relay
+
+import "sort"
+
+// Rendezvous (highest-random-weight) hashing assigns each farm a total
+// order over the collector tier: the farm forwards to the first-ranked
+// collector and fails over down the list when it dies. The properties
+// the tier depends on:
+//
+//   - Deterministic across processes: the score is a fixed FNV-1a
+//     construction over (farm, addr) bytes, so every farm, collector and
+//     operator tool computes the same ranking with no coordination.
+//   - Minimal disruption: removing one collector only remaps the farms
+//     that ranked it first — everyone else's order is unchanged, because
+//     each (farm, addr) score is independent of the rest of the set.
+//   - Spread: scores are effectively uniform, so farms split roughly
+//     evenly across the tier.
+
+// fnv1a64 hashes the rendezvous key. Constants are the standard FNV-1a
+// 64-bit offset basis and prime; spelled out here (rather than
+// hash/fnv) so the wire-stability contract is visible at the call site
+// and the hot path stays allocation-free.
+func fnv1a64(farm, addr string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(farm); i++ {
+		h ^= uint64(farm[i])
+		h *= prime64
+	}
+	h ^= 0 // separator so ("ab","c") and ("a","bc") differ
+	h *= prime64
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= prime64
+	}
+	return h
+}
+
+// RankEndpoints orders collector addresses by descending rendezvous
+// score for the given farm name: index 0 is the collector this farm
+// forwards to, index 1 its first failover, and so on. Ties (possible
+// only with duplicate addresses) break on address order so the result
+// is always a total order. The input slice is not modified.
+func RankEndpoints(farm string, addrs []string) []string {
+	ranked := append([]string(nil), addrs...)
+	scores := make(map[string]uint64, len(ranked))
+	for _, a := range ranked {
+		scores[a] = fnv1a64(farm, a)
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		si, sj := scores[ranked[i]], scores[ranked[j]]
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i] < ranked[j]
+	})
+	return ranked
+}

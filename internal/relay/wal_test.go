@@ -42,7 +42,7 @@ func TestSpoolWALRestartResumes(t *testing.T) {
 
 	w1 := openSpool(t, dir)
 	fwd1, err := NewForwardSink(ForwardOptions{
-		Addr: deadAddr, Token: "tok", Farm: "durable",
+		Addrs: []string{deadAddr}, Token: "tok", Farm: "durable",
 		SpoolWAL: w1, FrameEvents: 32,
 		MinBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
 	})
@@ -77,7 +77,7 @@ func TestSpoolWALRestartResumes(t *testing.T) {
 	w2 := openSpool(t, dir)
 	defer w2.Close()
 	fwd2, err := NewForwardSink(ForwardOptions{
-		Addr: addr, Token: "tok", Farm: "durable",
+		Addrs: []string{addr}, Token: "tok", Farm: "durable",
 		SpoolWAL: w2, FrameEvents: 32,
 		MinBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
 	})
@@ -155,7 +155,7 @@ func TestDurableCrossEpochDedup(t *testing.T) {
 	w2 := openSpool(t, dir)
 	defer w2.Close()
 	fwd, err := NewForwardSink(ForwardOptions{
-		Addr: addr, Token: "tok", Farm: "durable",
+		Addrs: []string{addr}, Token: "tok", Farm: "durable",
 		SpoolWAL:   w2,
 		MinBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
 	})
@@ -228,7 +228,7 @@ func BenchmarkRelayThroughputWAL(b *testing.B) {
 	}
 	defer w.Close()
 	fwd, err := NewForwardSink(ForwardOptions{
-		Addr: ln.Addr().String(), Token: "bench", Farm: "bench",
+		Addrs: []string{ln.Addr().String()}, Token: "bench", Farm: "bench",
 		Block:    true,
 		SpoolWAL: w,
 	})

@@ -117,7 +117,7 @@ func TestCollectorCrashRecoveryExactlyOnce(t *testing.T) {
 		t.Fatal(err)
 	}
 	fwd, err := relay.NewForwardSink(relay.ForwardOptions{
-		Addr: addr, Token: "crashtok", Farm: "crashfarm",
+		Addrs: []string{addr}, Token: "crashtok", Farm: "crashfarm",
 		Block: true, SpoolWAL: spool, FrameEvents: 100,
 		MinBackoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond,
 	})

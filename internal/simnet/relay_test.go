@@ -55,7 +55,7 @@ func TestRelayForwardingSurvivesCollectorRestart(t *testing.T) {
 	go func() { served <- coll.Serve(ln) }()
 
 	fwd, err := relay.NewForwardSink(relay.ForwardOptions{
-		Addr: addr, Token: token, Farm: "sim",
+		Addrs: []string{addr}, Token: token, Farm: "sim",
 		FrameEvents: 32,
 		MinBackoff:  time.Millisecond, MaxBackoff: 20 * time.Millisecond,
 		FlushTimeout: 10 * time.Second,
