@@ -253,11 +253,18 @@ func reportLive(w io.Writer, addr string) error {
 				tier.AddRow(p.Addr, p.OK, p.Events, errStr)
 			}
 			tier.Note = fmt.Sprintf("merged view: %d of %d collectors responded", q.Tier.Responded, q.Tier.Collectors)
+			if q.Tier.Approx {
+				tier.Note += " — unique/total counts are an upper bound (record pages truncated or a peer missing)"
+			}
 			tables = append(tables, tier)
 		}
 		capture := &report.Table{Title: "Capture", Header: []string{"metric", "value"}}
 		capture.AddRow("events", q.Events)
-		capture.AddRow("unique sources", q.UniqueIPs)
+		uniq := fmt.Sprint(q.UniqueIPs)
+		if q.Tier != nil && q.Tier.Approx {
+			uniq = "≤ " + uniq
+		}
+		capture.AddRow("unique sources", uniq)
 		capture.AddRow("total logins", q.Logins)
 		capture.AddRow("capture day", q.Days)
 		capture.Note = fmt.Sprintf("snapshot age %s at %s", q.SnapshotAge, q.Now.Format(time.RFC3339))

@@ -78,12 +78,21 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	fwd, err := fwdFlag.Sink(relay.ForwardOptions{Farm: "dbsim", Block: true, Logf: log.Printf, SpoolWAL: spool})
+	// SpoolWAL is an interface: assign only when the concrete log exists,
+	// or a nil *wal.Log would read as a present (broken) log.
+	fwdBase := relay.ForwardOptions{Farm: "dbsim", Block: true, Logf: log.Printf}
+	if spool != nil {
+		fwdBase.SpoolWAL = spool
+	}
+	fwd, err := fwdFlag.Sink(fwdBase)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if fwd != nil {
 		sinks = append(sinks, fwd)
+		// SIGHUP re-reads -forward-file and re-ranks the collector tier
+		// mid-simulation — the same live reload path a real farm uses.
+		defer fwdFlag.WatchSIGHUP(fwd, fwdBase, log.Printf)()
 	}
 
 	// With -admin, the simulation exposes the same observability plane a
@@ -104,7 +113,11 @@ func main() {
 			reg.Register(obs.ForwardSource(fwd))
 		}
 		onBus = func(b *bus.Bus) { reg.Register(obs.BusSource(b)) }
-		admin, err := adminFlag.Start(obs.ServerOptions{Registry: reg, Traces: traces, Logf: log.Printf})
+		srvOpts := obs.ServerOptions{Registry: reg, Traces: traces, Logf: log.Printf}
+		if fwd != nil {
+			srvOpts.ReloadForward = fwd.SetEndpoints
+		}
+		admin, err := adminFlag.Start(srvOpts)
 		if err != nil {
 			log.Fatal(err)
 		}

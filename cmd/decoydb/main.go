@@ -112,13 +112,22 @@ func main() {
 
 	// Live forwarding must never stall sessions: leave Block unset so a
 	// collector outage degrades to bounded spooling, then accounted
-	// shedding.
-	fwd, err := fwdFlag.Sink(relay.ForwardOptions{Farm: "live", Logf: log.Printf, SpoolWAL: spool})
+	// shedding. SpoolWAL is an interface: assign only when the concrete
+	// log exists, or a nil *wal.Log would read as a present (broken) log.
+	fwdBase := relay.ForwardOptions{Farm: "live", Logf: log.Printf}
+	if spool != nil {
+		fwdBase.SpoolWAL = spool
+	}
+	fwd, err := fwdFlag.Sink(fwdBase)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if fwd != nil {
 		sinks = append(sinks, fwd)
+		// SIGHUP re-reads -forward-file and re-ranks the collector tier
+		// live; with plain -forward the reload re-parses the same spec
+		// (a deliberate no-op) so the handler is always safe to arm.
+		defer fwdFlag.WatchSIGHUP(fwd, fwdBase, log.Printf)()
 	}
 	// The trace ring rides the bus like any other sink, so span updates
 	// cost honeypot sessions nothing beyond the existing batch delivery.
@@ -144,7 +153,11 @@ func main() {
 		if fwd != nil {
 			reg.Register(obs.ForwardSource(fwd))
 		}
-		admin, err := adminFlag.Start(obs.ServerOptions{Registry: reg, Traces: traces, Logf: log.Printf})
+		srvOpts := obs.ServerOptions{Registry: reg, Traces: traces, Logf: log.Printf}
+		if fwd != nil {
+			srvOpts.ReloadForward = fwd.SetEndpoints
+		}
+		admin, err := adminFlag.Start(srvOpts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,8 +7,11 @@ package cliflags
 import (
 	"flag"
 	"fmt"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"decoydb/internal/bus"
@@ -53,22 +56,48 @@ func (b *Bus) Options() (bus.Options, error) {
 	}, nil
 }
 
-// Forward carries the -forward flag value after flag parsing.
+// Forward carries the -forward flag values after flag parsing.
 type Forward struct {
 	Spec *string
+	File *string
+
+	// farm/token from the spec parsed at Sink time, kept so Reload can
+	// warn when a file edit tries to change something only a restart can.
+	farm  string
+	token string
 }
 
-// RegisterForward registers the -forward flag on fs. The structured
+// RegisterForward registers the -forward flags on fs. The structured
 // form names a whole collector tier; the legacy positional
 // "host:port,token[,farm]" form is still accepted.
 func RegisterForward(fs *flag.FlagSet) *Forward {
 	return &Forward{
 		Spec: fs.String("forward", "", `forward events to a dbcollect collector tier: "addrs=a:9000|b:9000,token=SECRET[,farm=NAME][,block=BOOL]" (legacy host:port,token[,farm] accepted)`),
+		File: fs.String("forward-file", "", "read the -forward spec from this file; SIGHUP re-reads it and re-ranks the live forwarder onto the new addrs without a restart"),
 	}
 }
 
-// Enabled reports whether the flag was set.
-func (f *Forward) Enabled() bool { return *f.Spec != "" }
+// Enabled reports whether either forward flag was set.
+func (f *Forward) Enabled() bool { return *f.Spec != "" || *f.File != "" }
+
+// spec resolves the active spec text, reading the file form if set.
+func (f *Forward) spec() (string, error) {
+	if *f.File == "" {
+		return *f.Spec, nil
+	}
+	if *f.Spec != "" {
+		return "", fmt.Errorf("-forward and -forward-file are mutually exclusive")
+	}
+	b, err := os.ReadFile(*f.File)
+	if err != nil {
+		return "", fmt.Errorf("-forward-file: %w", err)
+	}
+	s := strings.TrimSpace(string(b))
+	if s == "" {
+		return "", fmt.Errorf("-forward-file %s: empty spec", *f.File)
+	}
+	return s, nil
+}
 
 // ParseForward resolves a -forward spec into relay.ForwardOptions,
 // using base for everything the spec does not carry (spool sizes, Logf,
@@ -107,8 +136,17 @@ func ParseForward(spec string, base relay.ForwardOptions) (relay.ForwardOptions,
 		switch key {
 		case "addrs", "addr":
 			base.Addrs = nil
+			seen := make(map[string]bool)
 			for _, a := range strings.Split(val, "|") {
 				if a = strings.TrimSpace(a); a != "" {
+					// A duplicate endpoint is always a typo, and a
+					// dangerous one: rendezvous ranking would count the
+					// collector twice, so reject it here rather than
+					// letting the sink quietly dedupe.
+					if seen[a] {
+						return base, fmt.Errorf("-forward: duplicate collector address %q in addrs=%s", a, val)
+					}
+					seen[a] = true
 					base.Addrs = append(base.Addrs, a)
 				}
 			}
@@ -132,21 +170,83 @@ func ParseForward(spec string, base relay.ForwardOptions) (relay.ForwardOptions,
 	return base, nil
 }
 
-// Sink builds a relay.ForwardSink from the parsed flag via
-// ParseForward. It returns (nil, nil) when the flag was not set.
+// Sink builds a relay.ForwardSink from the parsed flags via
+// ParseForward. It returns (nil, nil) when neither flag was set.
 func (f *Forward) Sink(base relay.ForwardOptions) (*relay.ForwardSink, error) {
 	if !f.Enabled() {
 		return nil, nil
 	}
-	opts, err := ParseForward(*f.Spec, base)
+	spec, err := f.spec()
 	if err != nil {
 		return nil, err
 	}
+	opts, err := ParseForward(spec, base)
+	if err != nil {
+		return nil, err
+	}
+	f.farm, f.token = opts.Farm, opts.Token
 	sink, err := relay.NewForwardSink(opts)
 	if err != nil {
 		return nil, fmt.Errorf("-forward: %w", err)
 	}
 	return sink, nil
+}
+
+// Reload re-reads the forward spec — meaningful with -forward-file,
+// where the operator edits the file and signals the process — and
+// re-ranks the live forwarder onto the new collector addresses via
+// SetEndpoints. Farm and token changes cannot be applied to a running
+// sink; they are logged and ignored rather than half-applied.
+func (f *Forward) Reload(fwd *relay.ForwardSink, base relay.ForwardOptions, logf func(string, ...any)) error {
+	if fwd == nil || !f.Enabled() {
+		return nil
+	}
+	spec, err := f.spec()
+	if err != nil {
+		return err
+	}
+	opts, err := ParseForward(spec, base)
+	if err != nil {
+		return err
+	}
+	if logf != nil {
+		if opts.Farm != f.farm {
+			logf("cliflags: -forward reload: farm %q -> %q needs a restart; keeping %q", f.farm, opts.Farm, f.farm)
+		}
+		if opts.Token != f.token {
+			logf("cliflags: -forward reload: token change needs a restart; keeping the old token")
+		}
+	}
+	return fwd.SetEndpoints(opts.Addrs)
+}
+
+// WatchSIGHUP arms a SIGHUP handler that calls Reload, so a farm behind
+// -forward-file can follow collector tier changes without a restart.
+// The returned stop function disarms the handler; it is safe to call
+// with a nil sink (returns a no-op stop).
+func (f *Forward) WatchSIGHUP(fwd *relay.ForwardSink, base relay.ForwardOptions, logf func(string, ...any)) func() {
+	if fwd == nil || !f.Enabled() {
+		return func() {}
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGHUP)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-ch:
+				if err := f.Reload(fwd, base, logf); err != nil && logf != nil {
+					logf("cliflags: -forward reload: %v", err)
+				}
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
 }
 
 // Peers carries the -peers flag value after flag parsing — the admin

@@ -2,9 +2,14 @@ package cliflags
 
 import (
 	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"decoydb/internal/relay"
 )
@@ -172,5 +177,155 @@ func TestForwardHelpMentionsBothGrammars(t *testing.T) {
 		if !strings.Contains(help, want) {
 			t.Errorf("-forward help %q missing %q", help, want)
 		}
+	}
+}
+
+// TestParseForwardRejectsDuplicateAddrs pins the satellite contract: a
+// duplicated collector endpoint in addrs= is always a typo, and letting
+// it through would double-weight the collector in rendezvous ranking —
+// so the parser rejects it instead of deduping silently.
+func TestParseForwardRejectsDuplicateAddrs(t *testing.T) {
+	specs := []string{
+		"addrs=a:9000|b:9000|a:9000,token=s",
+		"addrs=a:9000|a:9000,token=s",
+		"addrs=a:9000| a:9000,token=s", // duplicate after trimming
+	}
+	for _, spec := range specs {
+		_, err := ParseForward(spec, relay.ForwardOptions{})
+		if err == nil {
+			t.Errorf("ParseForward(%q): want duplicate-address error, got nil", spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), "duplicate") {
+			t.Errorf("ParseForward(%q): err = %v, want a duplicate-address error", spec, err)
+		}
+	}
+	// Distinct addresses still parse.
+	if _, err := ParseForward("addrs=a:9000|b:9000,token=s", relay.ForwardOptions{}); err != nil {
+		t.Errorf("distinct addrs rejected: %v", err)
+	}
+}
+
+// TestForwardFile covers the -forward-file path: the spec is read from
+// disk at Sink time, Reload re-reads it and re-ranks the live sink via
+// SetEndpoints, and the mutually-exclusive / empty-file cases error.
+func TestForwardFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "forward.conf")
+	if err := os.WriteFile(path, []byte("addrs=127.0.0.1:1,token=s,farm=f\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fwd := RegisterForward(fs)
+	if err := fs.Parse([]string{"-forward-file", path}); err != nil {
+		t.Fatal(err)
+	}
+	if !fwd.Enabled() {
+		t.Fatal("-forward-file set but Enabled() == false")
+	}
+	sink, err := fwd.Sink(relay.ForwardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	if st := sink.Stats(); len(st.Endpoints) != 1 || st.Endpoints[0].Addr != "127.0.0.1:1" {
+		t.Fatalf("initial endpoints = %+v", st.Endpoints)
+	}
+
+	// Edit the file, reload: the sink re-ranks onto the new tier. A farm
+	// or token change in the same edit is ignored with a warning, not
+	// half-applied.
+	if err := os.WriteFile(path, []byte("addrs=127.0.0.1:1|127.0.0.1:2,token=other,farm=g\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var warned strings.Builder
+	logf := func(format string, args ...any) { fmt.Fprintf(&warned, format+"\n", args...) }
+	if err := fwd.Reload(sink, relay.ForwardOptions{}, logf); err != nil {
+		t.Fatal(err)
+	}
+	st := sink.Stats()
+	if st.Reloads != 1 || len(st.Endpoints) != 2 {
+		t.Fatalf("after reload: Reloads=%d endpoints=%d, want 1/2", st.Reloads, len(st.Endpoints))
+	}
+	if !strings.Contains(warned.String(), "farm") || !strings.Contains(warned.String(), "token") {
+		t.Fatalf("farm/token change not warned about: %q", warned.String())
+	}
+
+	// A reload that parses to garbage errors and leaves the sink alone.
+	if err := os.WriteFile(path, []byte("addrs=a:1|a:1,token=s\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fwd.Reload(sink, relay.ForwardOptions{}, nil); err == nil {
+		t.Fatal("reload of a bad spec did not error")
+	}
+	if st := sink.Stats(); st.Reloads != 1 {
+		t.Fatalf("failed reload still re-ranked (Reloads=%d)", st.Reloads)
+	}
+
+	// Reload with no sink (forwarding disabled) is a no-op.
+	if err := fwd.Reload(nil, relay.ForwardOptions{}, nil); err != nil {
+		t.Fatalf("nil-sink reload: %v", err)
+	}
+
+	// Both flags together is a configuration error.
+	fs2 := flag.NewFlagSet("t", flag.ContinueOnError)
+	fwd2 := RegisterForward(fs2)
+	if err := fs2.Parse([]string{"-forward", "addrs=a:1,token=s", "-forward-file", path}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fwd2.Sink(relay.ForwardOptions{}); err == nil {
+		t.Fatal("-forward plus -forward-file did not error")
+	}
+
+	// An empty spec file is a configuration error, not a silent no-op.
+	empty := filepath.Join(t.TempDir(), "empty.conf")
+	if err := os.WriteFile(empty, []byte(" \n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs3 := flag.NewFlagSet("t", flag.ContinueOnError)
+	fwd3 := RegisterForward(fs3)
+	if err := fs3.Parse([]string{"-forward-file", empty}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fwd3.Sink(relay.ForwardOptions{}); err == nil {
+		t.Fatal("empty -forward-file did not error")
+	}
+}
+
+// TestForwardSIGHUPReload arms the real signal handler and delivers a
+// SIGHUP to the test process: the file edit must be applied to the live
+// sink without any call other than the signal.
+func TestForwardSIGHUPReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "forward.conf")
+	if err := os.WriteFile(path, []byte("addrs=127.0.0.1:1,token=s\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fwd := RegisterForward(fs)
+	if err := fs.Parse([]string{"-forward-file", path}); err != nil {
+		t.Fatal(err)
+	}
+	sink, err := fwd.Sink(relay.ForwardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	stop := fwd.WatchSIGHUP(sink, relay.ForwardOptions{}, t.Logf)
+	defer stop()
+
+	if err := os.WriteFile(path, []byte("addrs=127.0.0.1:1|127.0.0.1:2,token=s\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sink.Stats().Reloads == 0 {
+		if !time.Now().Before(deadline) {
+			t.Fatal("timed out waiting for the SIGHUP reload")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st := sink.Stats(); len(st.Endpoints) != 2 {
+		t.Fatalf("endpoints after SIGHUP = %+v, want 2", st.Endpoints)
 	}
 }

@@ -39,6 +39,10 @@ const (
 	DefaultMaxEvents = 65536
 	// MaxString caps any single string field inside an encoded event.
 	MaxString = 1 << 20
+	// MaxOwnerAddr caps the endpoint address inside an ownership record.
+	// Collector addresses are host:port strings; anything longer than
+	// this is corruption, not configuration.
+	MaxOwnerAddr = 256
 )
 
 // LevelStored selects flate stored (uncompressed) blocks: the payload
@@ -258,6 +262,47 @@ func ReadBatch(r *wire.Reader, lim Limits) (seq uint64, events []core.Event, raw
 		return 0, nil, 0, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, er.Len())
 	}
 	return seq, events, int(declaredRaw), nil
+}
+
+// AppendOwner appends the body of a frame-ownership record — the spool
+// sequence number and the collector address the frame is pinned to
+// (empty = pin released) — shared by the relay's durable spool and the
+// WAL's owner records so the two cannot drift. The address is bounded by
+// MaxOwnerAddr; longer addresses are an error, never truncated (a
+// truncated address would silently pin the frame to a different
+// collector).
+func AppendOwner(buf []byte, seq uint64, addr string) ([]byte, error) {
+	if len(addr) > MaxOwnerAddr {
+		return nil, fmt.Errorf("evcodec: %d-byte owner address (limit %d)", len(addr), MaxOwnerAddr)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(addr)))
+	return append(buf, addr...), nil
+}
+
+// ReadOwner is the symmetric inverse of AppendOwner: it consumes one
+// ownership body from r, bounding the declared address length before
+// allocation. The body must end exactly at the address — trailing bytes
+// are corruption.
+func ReadOwner(r *wire.Reader) (seq uint64, addr string, err error) {
+	if seq, err = r.Uint64LE(); err != nil {
+		return 0, "", fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	n, err := r.Uint16LE()
+	if err != nil {
+		return 0, "", fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if int(n) > MaxOwnerAddr {
+		return 0, "", fmt.Errorf("%w: %d-byte owner address (limit %d)", ErrCorrupt, n, MaxOwnerAddr)
+	}
+	b, err := r.Bytes(int(n))
+	if err != nil {
+		return 0, "", fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if r.Len() != 0 {
+		return 0, "", fmt.Errorf("%w: %d trailing owner bytes", ErrCorrupt, r.Len())
+	}
+	return seq, string(b), nil
 }
 
 // appendEvent appends one event to buf in the fixed field order

@@ -167,6 +167,13 @@ func (f *FanIn) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		creds[credKey(c)] += c.Count
 	}
 	fetchedRecords := len(local.Records)
+	// Overlap subtraction is only exact when every page covered its
+	// collector's full selection: a page cut by the limit can hide a
+	// record that another collector also holds, so the visible overlap
+	// under-counts and subtracting it would turn an upper bound into a
+	// wrong-looking exact number. Capture coverage before the merge loop
+	// mutates the response.
+	covered := len(local.Records) == local.Total
 
 	for _, res := range results {
 		if res.err != nil {
@@ -190,6 +197,7 @@ func (f *FanIn) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			merged.Start = p.Start
 		}
 		fetchedRecords += len(p.Records)
+		covered = covered && len(p.Records) == p.Total
 		for i := range p.Records {
 			rec := p.Records[i]
 			have, seen := byAddr[rec.Addr]
@@ -228,10 +236,22 @@ func (f *FanIn) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Addresses that appeared on more than one collector were counted
-	// once per collector in the summed totals; the pages expose them.
-	overlap := fetchedRecords - len(byAddr)
-	merged.Total -= overlap
-	merged.UniqueIPs -= overlap
+	// once per collector in the summed totals. When every page covered
+	// its selection the pages expose all of the overlap and the merged
+	// counts are exact; otherwise leave the per-collector sums alone
+	// (an honest upper bound) and say so via Tier.Approx. A peer that
+	// failed to answer also makes the counts approximate — that slice
+	// of the tier is missing entirely.
+	if covered {
+		overlap := fetchedRecords - len(byAddr)
+		merged.Total -= overlap
+		merged.UniqueIPs -= overlap
+	} else {
+		tier.Approx = true
+	}
+	if tier.Responded < tier.Collectors {
+		tier.Approx = true
+	}
 
 	// Re-sort merged records by address (the per-collector order) and
 	// cut the page the caller actually asked for.

@@ -232,3 +232,65 @@ func TestFanInPeerFailure(t *testing.T) {
 		t.Fatal("peer error not counted")
 	}
 }
+
+// TestFanInApproxOnTruncatedPages pins the coverage gate on overlap
+// subtraction: when a collector's record page is cut by the limit, the
+// pages cannot expose all cross-collector overlap, so the merged
+// unique/total counts must stay the per-collector sums (an honest upper
+// bound) and the response must say so via Tier.Approx — instead of
+// subtracting the partially-visible overlap and presenting the result
+// as exact.
+func TestFanInApproxOnTruncatedPages(t *testing.T) {
+	// Local covers sources 0..3, the peer 3..7: one overlapping source
+	// (true tier-wide unique count: 8).
+	local := NewQueryHandler(QueryOptions{Store: evstoreWith(t, 0, 4)})
+	peerURL := startPeer(t, 0, 3, 8)
+	fi := NewFanIn(FanInOptions{Local: local, Peers: []string{peerURL}, Logf: t.Logf})
+	srv := NewServer(ServerOptions{Registry: NewRegistry(), Query: fi})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Full pages: every page covers its selection, the overlap is fully
+	// visible, the counts are exact and NOT flagged approximate.
+	full := queryJSON(t, ts, "limit=100")
+	if full.Tier == nil || full.Tier.Approx {
+		t.Fatalf("covered pages flagged approximate: %+v", full.Tier)
+	}
+	if full.UniqueIPs != 8 || full.Total != 8 {
+		t.Fatalf("covered merge: unique=%d total=%d, want 8/8", full.UniqueIPs, full.Total)
+	}
+
+	// limit=2 truncates both pages (local holds 4 records, the peer 5).
+	// The overlapping source is invisible in the fetched pages, so any
+	// subtraction would be fiction: the counts must stay the sums (4+5)
+	// and be flagged.
+	cut := queryJSON(t, ts, "limit=2")
+	if cut.Tier == nil || !cut.Tier.Approx {
+		t.Fatalf("truncated pages not flagged approximate: %+v", cut.Tier)
+	}
+	if cut.UniqueIPs != 9 || cut.Total != 9 {
+		t.Fatalf("truncated merge: unique=%d total=%d, want the 9/9 upper bound", cut.UniqueIPs, cut.Total)
+	}
+	if len(cut.Records) != 2 {
+		t.Fatalf("page size = %d, want 2", len(cut.Records))
+	}
+}
+
+// TestFanInApproxOnPeerFailure: a peer that never answered means a
+// slice of the tier is missing, which also makes the merged counts
+// not-exact — the flag must say so.
+func TestFanInApproxOnPeerFailure(t *testing.T) {
+	local := NewQueryHandler(QueryOptions{Store: evstoreWith(t, 0, 4)})
+	fi := NewFanIn(FanInOptions{
+		Local:   local,
+		Peers:   []string{"127.0.0.1:1"},
+		Timeout: time.Second,
+		Logf:    t.Logf,
+	})
+	srv := NewServer(ServerOptions{Registry: NewRegistry(), Query: fi})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if q := queryJSON(t, ts, ""); q.Tier == nil || !q.Tier.Approx {
+		t.Fatalf("dead peer not flagged approximate: %+v", q.Tier)
+	}
+}

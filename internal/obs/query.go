@@ -211,7 +211,12 @@ type PeerStatus struct {
 type TierInfo struct {
 	Collectors int          `json:"collectors"` // local + peers asked
 	Responded  int          `json:"responded"`  // how many answered
-	Peers      []PeerStatus `json:"peers"`
+	// Approx is set when the merged unique/total counts are an upper
+	// bound rather than exact: some collector's record page was cut by
+	// the limit, so cross-collector overlap beyond the fetched pages
+	// cannot be subtracted.
+	Approx bool         `json:"approx,omitempty"`
+	Peers  []PeerStatus `json:"peers"`
 }
 
 // QueryResponse is the /query payload. Tier is set only on responses

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -25,6 +26,12 @@ type ServerOptions struct {
 	// *QueryHandler for one collector's store, or a *FanIn merging the
 	// whole tier.
 	Query http.Handler
+	// ReloadForward, when set, serves POST /reload/forward — the admin
+	// half of live tier re-ranking. The handler parses addrs=a|b (comma
+	// or pipe separated) and hands the list to this hook, in practice
+	// relay.(*ForwardSink).SetEndpoints, so an operator can point a
+	// running farm at a changed collector tier without a restart.
+	ReloadForward func(addrs []string) error
 	// Logf logs server lifecycle lines; nil discards.
 	Logf func(format string, args ...any)
 }
@@ -65,6 +72,9 @@ func NewServer(opts ServerOptions) *Server {
 	}
 	if opts.Query != nil {
 		s.mux.Handle("/query", opts.Query)
+	}
+	if opts.ReloadForward != nil {
+		s.mux.HandleFunc("/reload/forward", s.handleReloadForward)
 	}
 	s.mux.HandleFunc("/", s.handleIndex)
 	return s
@@ -140,6 +150,37 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReloadForward re-ranks the forwarder onto a new collector set.
+// POST only: the call closes the live connection and rebuilds endpoint
+// state, which is not something a stray GET should trigger.
+func (s *Server) handleReloadForward(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := r.ParseForm(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var addrs []string
+	for _, a := range strings.FieldsFunc(r.Form.Get("addrs"), func(c rune) bool { return c == ',' || c == '|' }) {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		http.Error(w, "addrs=host:port|host:port required", http.StatusBadRequest)
+		return
+	}
+	if err := s.opts.ReloadForward(addrs); err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	s.logf("obs: /reload/forward: endpoints now %v", addrs)
+	writeJSON(w, map[string]any{"ok": true, "addrs": addrs})
+}
+
 // handleIndex lists the mounted endpoints — the page an operator lands
 // on when they curl the bare admin port.
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -153,6 +194,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.opts.Query != nil {
 		paths = append(paths, "/query")
+	}
+	if s.opts.ReloadForward != nil {
+		paths = append(paths, "/reload/forward (POST)")
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "decoydb admin plane")

@@ -266,3 +266,69 @@ func TestServerStart(t *testing.T) {
 		t.Errorf("second scrape missing advanced counter")
 	}
 }
+
+// TestReloadForwardEndpoint covers the admin half of live tier
+// re-ranking: POST /reload/forward parses the address list and hands it
+// to the hook; everything malformed is rejected before the hook runs.
+func TestReloadForwardEndpoint(t *testing.T) {
+	var got [][]string
+	var fail error
+	srv := NewServer(ServerOptions{
+		Registry: NewRegistry(),
+		ReloadForward: func(addrs []string) error {
+			got = append(got, addrs)
+			return fail
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(body string) (int, string) {
+		t.Helper()
+		resp, err := ts.Client().Post(ts.URL+"/reload/forward",
+			"application/x-www-form-urlencoded", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := post("addrs=a:9000|b:9000, c:9000"); code != http.StatusOK {
+		t.Fatalf("reload = %d %q, want 200", code, body)
+	}
+	if len(got) != 1 || len(got[0]) != 3 || got[0][0] != "a:9000" || got[0][2] != "c:9000" {
+		t.Fatalf("hook received %v, want the 3 parsed addrs", got)
+	}
+
+	// GET must not trigger a reload.
+	if code, _ := get(t, ts, "/reload/forward"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /reload/forward = %d, want 405", code)
+	}
+	// Missing addrs is a client error, not a hook call.
+	if code, _ := post(""); code != http.StatusBadRequest {
+		t.Fatalf("empty POST = %d, want 400", code)
+	}
+	if len(got) != 1 {
+		t.Fatalf("hook ran on a rejected request (%d calls)", len(got))
+	}
+	// A hook error (e.g. sink closed) surfaces as 422 with the message.
+	fail = fmt.Errorf("sink closed")
+	if code, body := post("addrs=a:9000"); code != http.StatusUnprocessableEntity || !strings.Contains(body, "sink closed") {
+		t.Fatalf("hook error = %d %q, want 422 with the message", code, body)
+	}
+
+	// The endpoint is advertised on the index, but only when mounted.
+	if _, body := get(t, ts, "/"); !strings.Contains(body, "/reload/forward") {
+		t.Fatal("index does not list /reload/forward")
+	}
+	plain := httptest.NewServer(NewServer(ServerOptions{Registry: NewRegistry()}).Handler())
+	defer plain.Close()
+	if code, _ := get(t, plain, "/reload/forward"); code != http.StatusNotFound {
+		t.Fatalf("unmounted /reload/forward = %d, want 404", code)
+	}
+}

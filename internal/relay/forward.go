@@ -68,17 +68,33 @@ type ForwardOptions struct {
 	SpoolBytes int64
 
 	// SpoolWAL, when non-nil, backs the retransmission spool with a
-	// durable log: every cut frame is journaled before it is spooled,
+	// durable log (in practice a *wal.Log, which satisfies SpoolLog):
+	// every cut frame is journaled before it is spooled, frame ownership
+	// is journaled when a frame is first written to an endpoint,
 	// collector acks are persisted as marks (and compact the log), and a
-	// restarted forwarder reloads every unacked frame from disk and
-	// resumes retransmission under a fresh epoch — so a farm crash costs
-	// nothing that was already framed. Frame sequence numbers are the
-	// WAL's sequence numbers, which survive restarts; the HELLO
-	// advertises this (durable flag) so the collector dedups on sequence
-	// across epochs. The log must be exclusively owned by this sink
-	// while it is open (its sequence space is the frame sequence space);
-	// the caller retains ownership for Close.
-	SpoolWAL *wal.Log
+	// restarted forwarder reloads every unacked frame — with its pinned
+	// endpoint address — from disk and resumes retransmission under a
+	// fresh epoch, so a farm crash costs nothing that was already framed
+	// and never replays a frame to a collector other than its owner.
+	// Frame sequence numbers are the WAL's sequence numbers, which
+	// survive restarts; the HELLO advertises this (durable flag) so the
+	// collector dedups on sequence across epochs. The log must be
+	// exclusively owned by this sink while it is open (its sequence
+	// space is the frame sequence space); the caller retains ownership
+	// for Close. Assign only a non-nil concrete value: a nil *wal.Log
+	// stored in the interface reads as a present (and broken) log.
+	SpoolWAL SpoolLog
+
+	// OrphanRelease, when positive, is how long a spooled frame may stay
+	// pinned to an endpoint that is absent from the current endpoint set
+	// before the pin is released and the frame becomes eligible for any
+	// collector. Zero (the default) never releases: an orphaned frame
+	// waits for its owner to reappear (SetEndpoints, or a restart with
+	// the owner back in Addrs). Releasing trades the exactly-once
+	// guarantee for drain progress — the departed collector may already
+	// hold the events — so it is opt-in, for tiers where removed
+	// collectors are gone for good and their stores are discarded.
+	OrphanRelease time.Duration
 
 	// CompressionLevel is the compress/flate level for batch payloads.
 	// 0 means flate.BestSpeed.
@@ -191,6 +207,31 @@ func (o ForwardOptions) withDefaults() ForwardOptions {
 	return o
 }
 
+// SpoolLog is the durable-spool contract the forwarder journals
+// through. *wal.Log satisfies it; the indirection exists so tests can
+// inject journal faults (a Compact that fails once, an Append that
+// skews) without a real disk misbehaving on cue.
+type SpoolLog interface {
+	// Append journals a batch and returns its sequence number.
+	Append(events []core.Event, tag []byte) (uint64, error)
+	// AppendOwner journals which endpoint the batch with sequence seq is
+	// pinned to; an empty addr releases the pin.
+	AppendOwner(seq uint64, addr string) error
+	// Owners returns the surviving pins (seq → endpoint addr) above the
+	// consumer mark.
+	Owners() map[uint64]string
+	// Replay streams every batch with sequence >= from, in log order.
+	Replay(from uint64, fn func(seq uint64, tag []byte, events []core.Event) error) error
+	// Compact persists seq as the consumer mark and reclaims storage.
+	Compact(seq uint64) (removed int, err error)
+	// Mark returns the highest persisted consumer mark.
+	Mark() uint64
+	// LastSeq returns the highest journaled batch sequence.
+	LastSeq() uint64
+}
+
+var _ SpoolLog = (*wal.Log)(nil)
+
 // spoolFrame is one encoded, unacked batch. attempts counts the
 // connections the frame has been written on as the first frame of the
 // connection without being acked — a frame the collector rejects at
@@ -198,20 +239,26 @@ func (o ForwardOptions) withDefaults() ForwardOptions {
 // behind it must not accrue blame. Past Options.MaxFrameRetries such a
 // frame is presumed collector-rejected and dropped.
 //
-// owner pins the frame to the endpoint it was first written to (-1
-// until then). Retransmits only ever go to the owner: after a failover
-// the new collector never sees frames the old one may have ingested
-// without the ack reaching us, so an event is ingested by exactly one
-// collector and the tier-wide merge stays exactly-once. Pinned frames
-// drain when their collector returns (the failback probe seeks the
-// oldest pinned frame's owner); the owner's own journal-restored dedup
-// absorbs the re-send of anything it had already ingested.
+// owner pins the frame to the address of the endpoint it was first
+// written to (empty until then). Retransmits only ever go to the owner:
+// after a failover the new collector never sees frames the old one may
+// have ingested without the ack reaching us, so an event is ingested by
+// exactly one collector and the tier-wide merge stays exactly-once.
+// Pinned frames drain when their collector returns (the failback probe
+// seeks the oldest pinned frame's owner); the owner's own
+// journal-restored dedup absorbs the re-send of anything it had already
+// ingested. Ownership is keyed by address, not endpoint index, so it
+// survives both a SetEndpoints re-rank and — journaled in the spool WAL
+// — a farm restart. A frame whose owner is absent from the current
+// endpoint set is an orphan: it is never retransmitted elsewhere unless
+// Options.OrphanRelease fires.
 type spoolFrame struct {
 	seq      uint64
 	events   int
 	body     []byte
 	attempts int
-	owner    int       // endpoint index the frame is pinned to; -1 = unowned
+	owner    string    // endpoint address the frame is pinned to; "" = unowned
+	pinnedAt time.Time // when owner was set; orphan-release clock
 	sentAt   time.Time // last successful write; zero until first send
 }
 
@@ -261,11 +308,11 @@ type ForwardSink struct {
 
 	conn       net.Conn
 	connected  bool
-	connAcked  bool // current connection has acked at least one frame
-	cur        int  // endpoint index being served; -1 when disconnected
-	lastServed int  // endpoint of the previous connection; -1 before any
+	connAcked  bool      // current connection has acked at least one frame
+	cur        *endpoint // endpoint being served; nil when disconnected
+	lastServed *endpoint // endpoint of the previous connection; nil before any
 	handoff    net.Conn
-	handoffIdx int
+	handoffEp  *endpoint
 	stopped    bool
 	stopCh     chan struct{}
 	wg         sync.WaitGroup
@@ -289,7 +336,9 @@ type ForwardSink struct {
 	shedUnattr  uint64
 	shedSrc     map[netip.Addr]uint64
 	droppedFr   uint64            // frames dropped at the retry cap
-	lastCompact uint64            // highest seq handed to SpoolWAL.Compact
+	lastCompact uint64            // highest seq successfully compacted
+	reloads     uint64            // SetEndpoints calls that changed the set
+	orphansRel  uint64            // orphaned pins released (OrphanRelease)
 	ackRTT      core.DurationHist // write-to-ack round trips
 }
 
@@ -297,23 +346,7 @@ type ForwardSink struct {
 // sink dials lazily: no connection is attempted until there is an event
 // to ship.
 func NewForwardSink(opts ForwardOptions) (*ForwardSink, error) {
-	var addrs []string
-	for _, a := range opts.Addrs {
-		a = strings.TrimSpace(a)
-		if a == "" {
-			continue
-		}
-		dup := false
-		for _, seen := range addrs {
-			if seen == a {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			addrs = append(addrs, a)
-		}
-	}
+	addrs := cleanAddrs(opts.Addrs)
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("relay: forward: no collector addresses")
 	}
@@ -327,12 +360,10 @@ func NewForwardSink(opts ForwardOptions) (*ForwardSink, error) {
 		return nil, fmt.Errorf("relay: forward: farm name is %d bytes, limit %d", len(opts.Farm), MaxName)
 	}
 	f := &ForwardSink{
-		opts:       opts.withDefaults(),
-		stopCh:     make(chan struct{}),
-		shedSrc:    make(map[netip.Addr]uint64),
-		epoch:      newEpoch(),
-		cur:        -1,
-		lastServed: -1,
+		opts:    opts.withDefaults(),
+		stopCh:  make(chan struct{}),
+		shedSrc: make(map[netip.Addr]uint64),
+		epoch:   newEpoch(),
 	}
 	for _, a := range RankEndpoints(f.opts.Farm, addrs) {
 		f.eps = append(f.eps, &endpoint{addr: a, backoff: f.opts.MinBackoff})
@@ -343,7 +374,73 @@ func NewForwardSink(opts ForwardOptions) (*ForwardSink, error) {
 	}
 	f.wg.Add(1)
 	go f.pump()
+	if f.opts.OrphanRelease > 0 {
+		f.wg.Add(1)
+		go f.orphanLoop()
+	}
 	return f, nil
+}
+
+// orphanLoop periodically applies the opt-in orphan-release policy so
+// an expired orphan is freed even when no traffic makes the write loop
+// rescan the spool — without it, a connected-but-idle sink would hold
+// a releasable frame until the next reconnect. Runs only when
+// Options.OrphanRelease is set.
+func (f *ForwardSink) orphanLoop() {
+	defer f.wg.Done()
+	period := f.opts.OrphanRelease / 2
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	if period > time.Second {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stopCh:
+			return
+		case <-t.C:
+		}
+		f.mu.Lock()
+		released := false
+		for _, fr := range f.spool {
+			if fr.owner != "" && f.releaseOrphanLocked(fr) {
+				released = true
+			}
+		}
+		if released {
+			f.scanIdx = 0 // the serving connection rescans the freed frames
+			f.cond.Broadcast()
+		}
+		f.mu.Unlock()
+	}
+}
+
+// cleanAddrs trims, drops empties and dedupes an address list, keeping
+// first-occurrence order. The strict duplicate check lives at the flag
+// parser (cliflags); here a duplicate is collapsed so programmatic
+// callers cannot corrupt per-endpoint state.
+func cleanAddrs(in []string) []string {
+	var out []string
+	for _, a := range in {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		dup := false
+		for _, seen := range out {
+			if seen == a {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // ForwardTo builds a sink that forwards to a single collector.
@@ -358,9 +455,12 @@ func ForwardTo(addr string, opts ForwardOptions) (*ForwardSink, error) {
 // loadSpoolWAL adopts the durable spool: the forwarder's sequence space
 // continues the log's, and every journaled-but-unacked frame (sequence
 // past the persisted ack mark) is re-encoded into the spool so the next
-// connection retransmits it. Reloaded frames are unowned — the pinning
-// that prevents cross-collector replay does not survive a farm restart
-// (see DESIGN §14). Runs before the pump starts, so no lock is needed.
+// connection retransmits it. Journaled ownership is restored by
+// endpoint address — a frame pinned to collector A before the crash is
+// retransmitted only to A, even if A is currently absent from Addrs
+// (the frame waits as an orphan; see spoolFrame.owner) — which is what
+// keeps the tier-wide merge exactly-once across a farm restart. Runs
+// before the pump starts, so no lock is needed.
 func (f *ForwardSink) loadSpoolWAL() error {
 	w := f.opts.SpoolWAL
 	if w == nil {
@@ -368,12 +468,20 @@ func (f *ForwardSink) loadSpoolWAL() error {
 	}
 	f.nextSeq = w.LastSeq()
 	f.lastCompact = w.Mark()
+	owners := w.Owners()
+	now := time.Now()
+	owned := 0
 	err := w.Replay(w.Mark()+1, func(seq uint64, _ []byte, events []core.Event) error {
 		body, rawLen, err := EncodeBatch(seq, events, f.opts.CompressionLevel)
 		if err != nil {
 			return fmt.Errorf("relay: re-encode spooled frame seq %d: %w", seq, err)
 		}
-		fr := &spoolFrame{seq: seq, events: len(events), body: body, owner: -1}
+		fr := &spoolFrame{seq: seq, events: len(events), body: body}
+		if addr := owners[seq]; addr != "" {
+			fr.owner = addr
+			fr.pinnedAt = now
+			owned++
+		}
 		f.spool = append(f.spool, fr)
 		f.spoolEv += fr.events
 		f.spoolB += int64(len(body)) + 4
@@ -387,8 +495,14 @@ func (f *ForwardSink) loadSpoolWAL() error {
 		return fmt.Errorf("relay: reload spool: %w", err)
 	}
 	if n := len(f.spool); n > 0 {
-		f.logf("relay: reloaded %d unacked frames (%d events, seq %d..%d) from spool WAL",
-			n, f.spoolEv, f.spool[0].seq, f.spool[n-1].seq)
+		orphans := 0
+		for _, fr := range f.spool {
+			if fr.owner != "" && f.endpointByAddrLocked(fr.owner) == nil {
+				orphans++
+			}
+		}
+		f.logf("relay: reloaded %d unacked frames (%d events, seq %d..%d, %d pinned, %d orphaned) from spool WAL",
+			n, f.spoolEv, f.spool[0].seq, f.spool[n-1].seq, owned, orphans)
 	}
 	return nil
 }
@@ -524,7 +638,7 @@ func (f *ForwardSink) cutFrameLocked() {
 			}
 		}
 		f.nextSeq++
-		fr := &spoolFrame{seq: f.nextSeq, events: n, body: body, owner: -1}
+		fr := &spoolFrame{seq: f.nextSeq, events: n, body: body}
 		f.spool = append(f.spool, fr)
 		f.spoolEv += fr.events
 		f.spoolB += int64(len(body)) + 4
@@ -562,42 +676,58 @@ func (f *ForwardSink) logf(format string, args ...any) {
 	}
 }
 
-// preferredLocked is the endpoint the sink would rather be connected
-// to: the owner of the oldest pinned frame (FIFO progress on spooled
-// data — those frames can drain nowhere else), otherwise the
-// highest-ranked collector.
-func (f *ForwardSink) preferredLocked() int {
-	for _, fr := range f.spool {
-		if fr.owner >= 0 {
-			return fr.owner
+// endpointByAddrLocked resolves an endpoint address against the current
+// set; nil when absent (the address owns orphaned frames, or never
+// existed).
+func (f *ForwardSink) endpointByAddrLocked(addr string) *endpoint {
+	for _, ep := range f.eps {
+		if ep.addr == addr {
+			return ep
 		}
 	}
-	return 0
+	return nil
 }
 
-// pickEndpointLocked returns the index of the endpoint to dial now —
-// the preferred one if its backoff has expired, else the best-ranked
-// endpoint that is due — or -1 and the wait until the earliest endpoint
-// comes due.
-func (f *ForwardSink) pickEndpointLocked(now time.Time) (int, time.Duration) {
+// preferredLocked is the endpoint the sink would rather be connected
+// to: the owner of the oldest pinned frame whose owner is present (FIFO
+// progress on spooled data — those frames can drain nowhere else),
+// otherwise the highest-ranked collector. Orphaned frames — owners
+// absent from the current set — cannot steer the dial: there is nothing
+// to dial.
+func (f *ForwardSink) preferredLocked() *endpoint {
+	for _, fr := range f.spool {
+		if fr.owner == "" {
+			continue
+		}
+		if ep := f.endpointByAddrLocked(fr.owner); ep != nil {
+			return ep
+		}
+	}
+	return f.eps[0]
+}
+
+// pickEndpointLocked returns the endpoint to dial now — the preferred
+// one if its backoff has expired, else the best-ranked endpoint that is
+// due — or nil and the wait until the earliest endpoint comes due.
+func (f *ForwardSink) pickEndpointLocked(now time.Time) (*endpoint, time.Duration) {
 	pref := f.preferredLocked()
-	order := make([]int, 0, len(f.eps))
+	order := make([]*endpoint, 0, len(f.eps))
 	order = append(order, pref)
-	for i := range f.eps {
-		if i != pref {
-			order = append(order, i)
+	for _, ep := range f.eps {
+		if ep != pref {
+			order = append(order, ep)
 		}
 	}
 	var earliest time.Time
-	for _, i := range order {
-		if !f.eps[i].due.After(now) {
-			return i, 0
+	for _, ep := range order {
+		if !ep.due.After(now) {
+			return ep, 0
 		}
-		if earliest.IsZero() || f.eps[i].due.Before(earliest) {
-			earliest = f.eps[i].due
+		if earliest.IsZero() || ep.due.Before(earliest) {
+			earliest = ep.due
 		}
 	}
-	return -1, earliest.Sub(now)
+	return nil, earliest.Sub(now)
 }
 
 // backoffLocked schedules the endpoint's next allowed dial and, when
@@ -606,8 +736,7 @@ func (f *ForwardSink) pickEndpointLocked(now time.Time) (int, time.Duration) {
 // ackless connections is the regression-tested half of the contract: a
 // collector that accepts TCP but never acks must not be hammered at the
 // floor interval.
-func (f *ForwardSink) backoffLocked(i int, failed bool) {
-	ep := f.eps[i]
+func (f *ForwardSink) backoffLocked(ep *endpoint, failed bool) {
 	ep.due = time.Now().Add(jitter(ep.backoff))
 	if failed {
 		ep.backoff *= 2
@@ -644,46 +773,46 @@ func (f *ForwardSink) pump() {
 		if f.handoff != nil {
 			// A failback probe already completed the HELLO on a better
 			// endpoint; adopt its connection instead of dialing.
-			conn, idx := f.handoff, f.handoffIdx
+			conn, ep := f.handoff, f.handoffEp
 			f.handoff = nil
 			f.mu.Unlock()
-			f.serveConn(conn, idx)
+			f.serveConn(conn, ep)
 			continue
 		}
-		idx, wait := f.pickEndpointLocked(time.Now())
+		ep, wait := f.pickEndpointLocked(time.Now())
 		f.mu.Unlock()
-		if idx < 0 {
+		if ep == nil {
 			if !f.sleepUntil(wait) {
 				return
 			}
 			continue
 		}
-		conn, err := f.dialEndpoint(idx)
+		conn, err := f.dialEndpoint(ep)
 		if err != nil {
 			// Transient by design: the spool holds the events and the
 			// next attempt retransmits (possibly to the next-ranked
 			// collector), so a failed dial is a counter and a log line,
 			// not a sink error.
-			f.noteDialError(idx, err)
+			f.noteDialError(ep, err)
 			continue
 		}
-		f.serveConn(conn, idx)
+		f.serveConn(conn, ep)
 	}
 }
 
-func (f *ForwardSink) noteDialError(idx int, err error) {
+func (f *ForwardSink) noteDialError(ep *endpoint, err error) {
 	f.mu.Lock()
 	f.dialErrors++
-	f.eps[idx].dialErrors++
-	f.backoffLocked(idx, true)
+	ep.dialErrors++
+	f.backoffLocked(ep, true)
 	f.mu.Unlock()
 	f.logf("%v (backing off)", err)
 }
 
 // dialEndpoint connects to one collector and completes the HELLO
 // exchange.
-func (f *ForwardSink) dialEndpoint(idx int) (net.Conn, error) {
-	addr := f.eps[idx].addr
+func (f *ForwardSink) dialEndpoint(ep *endpoint) (net.Conn, error) {
+	addr := ep.addr
 	conn, err := net.DialTimeout("tcp", addr, f.opts.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("relay: dial %s: %w", addr, err)
@@ -696,7 +825,7 @@ func (f *ForwardSink) dialEndpoint(idx int) (net.Conn, error) {
 	_ = conn.SetWriteDeadline(time.Time{})
 	f.mu.Lock()
 	f.dials++
-	f.eps[idx].dials++
+	ep.dials++
 	if f.dials > 1 {
 		f.reconnects++
 	}
@@ -723,29 +852,30 @@ func (f *ForwardSink) sleepUntil(d time.Duration) bool {
 // failing closes the connection and returns control to the pump, which
 // retransmits every still-spooled frame owned here or unowned on the
 // next connection.
-func (f *ForwardSink) serveConn(conn net.Conn, idx int) {
+func (f *ForwardSink) serveConn(conn net.Conn, ep *endpoint) {
 	f.mu.Lock()
 	f.conn = conn
 	f.connected = true
 	f.connAcked = false
-	f.cur = idx
+	f.cur = ep
 	f.scanIdx = 0 // retransmit everything unacked that this endpoint may send
-	if f.lastServed >= 0 && f.lastServed != idx {
+	if f.lastServed != nil && f.lastServed.addr != ep.addr {
 		f.failovers++
-		f.logf("relay: now forwarding to %s (was %s)", f.eps[idx].addr, f.eps[f.lastServed].addr)
+		f.logf("relay: now forwarding to %s (was %s)", ep.addr, f.lastServed.addr)
 	}
-	f.lastServed = idx
+	f.lastServed = ep
+	multi := len(f.eps) > 1
 	f.mu.Unlock()
 
 	probeStop := make(chan struct{})
 	var probeWG sync.WaitGroup
-	if len(f.eps) > 1 {
+	if multi {
 		probeWG.Add(1)
-		go f.failbackLoop(conn, idx, probeStop, &probeWG)
+		go f.failbackLoop(conn, ep, probeStop, &probeWG)
 	}
 	ackDone := make(chan struct{})
-	go f.ackLoop(conn, idx, ackDone)
-	f.writeLoop(conn, idx)
+	go f.ackLoop(conn, ep, ackDone)
+	f.writeLoop(conn, ep)
 	conn.Close()
 	close(probeStop)
 	<-ackDone
@@ -754,13 +884,13 @@ func (f *ForwardSink) serveConn(conn net.Conn, idx int) {
 	f.mu.Lock()
 	f.conn = nil
 	f.connected = false
-	f.cur = -1
+	f.cur = nil
 	f.scanIdx = 0
 	// Throttle the immediate redial: an acked (healthy) connection comes
 	// back after ~MinBackoff, an ackless one keeps doubling — and either
 	// way the pump is free to fail over to the next-ranked collector
 	// right now.
-	f.backoffLocked(idx, !f.connAcked)
+	f.backoffLocked(ep, !f.connAcked)
 	f.cond.Broadcast()
 	f.mu.Unlock()
 }
@@ -770,7 +900,7 @@ func (f *ForwardSink) serveConn(conn net.Conn, idx int) {
 // on a completed HELLO is the current connection closed and the new one
 // handed to the pump — a dead preferred collector costs a probe dial,
 // never the working connection.
-func (f *ForwardSink) failbackLoop(conn net.Conn, idx int, stop <-chan struct{}, wg *sync.WaitGroup) {
+func (f *ForwardSink) failbackLoop(conn net.Conn, ep *endpoint, stop <-chan struct{}, wg *sync.WaitGroup) {
 	defer wg.Done()
 	t := time.NewTicker(f.opts.FailbackInterval)
 	defer t.Stop()
@@ -784,8 +914,8 @@ func (f *ForwardSink) failbackLoop(conn net.Conn, idx int, stop <-chan struct{},
 		}
 		f.mu.Lock()
 		want := f.preferredLocked()
-		ok := !f.stopped && f.connected && f.cur == idx && f.handoff == nil &&
-			want != idx && !f.eps[want].due.After(time.Now())
+		ok := !f.stopped && f.connected && f.cur == ep && f.handoff == nil &&
+			want != ep && !want.due.After(time.Now())
 		f.mu.Unlock()
 		if !ok {
 			continue
@@ -796,15 +926,15 @@ func (f *ForwardSink) failbackLoop(conn net.Conn, idx int, stop <-chan struct{},
 			continue
 		}
 		f.mu.Lock()
-		if f.stopped || !f.connected || f.cur != idx || f.handoff != nil {
+		if f.stopped || !f.connected || f.cur != ep || f.handoff != nil {
 			f.mu.Unlock()
 			probe.Close()
 			return
 		}
 		f.handoff = probe
-		f.handoffIdx = want
+		f.handoffEp = want
 		f.mu.Unlock()
-		f.logf("relay: failing back to %s", f.eps[want].addr)
+		f.logf("relay: failing back to %s", want.addr)
 		conn.Close() // write/ack loops exit; the pump adopts the probe
 		return
 	}
@@ -813,8 +943,12 @@ func (f *ForwardSink) failbackLoop(conn net.Conn, idx int, stop <-chan struct{},
 // writeLoop streams spooled frames in sequence order — skipping frames
 // pinned to other endpoints — and cuts pending events into a fresh
 // frame whenever it catches up, so under light load every batch ships
-// as soon as the previous write returns, without a flush timer.
-func (f *ForwardSink) writeLoop(conn net.Conn, idx int) {
+// as soon as the previous write returns, without a flush timer. The
+// first write of a frame pins it to this endpoint's address, and on a
+// durable spool the pin is journaled before any byte can reach the
+// collector — so no collector can ever hold a frame the journal does
+// not pin to it.
+func (f *ForwardSink) writeLoop(conn net.Conn, ep *endpoint) {
 	first := true
 	for {
 		f.mu.Lock()
@@ -822,9 +956,11 @@ func (f *ForwardSink) writeLoop(conn net.Conn, idx int) {
 		for fr == nil {
 			for f.scanIdx < len(f.spool) {
 				cand := f.spool[f.scanIdx]
-				if cand.owner >= 0 && cand.owner != idx {
-					f.scanIdx++ // pinned elsewhere; its owner will drain it
-					continue
+				if cand.owner != "" && cand.owner != ep.addr {
+					if !f.releaseOrphanLocked(cand) {
+						f.scanIdx++ // pinned elsewhere; its owner will drain it
+						continue
+					}
 				}
 				fr = cand
 				break
@@ -868,7 +1004,22 @@ func (f *ForwardSink) writeLoop(conn net.Conn, idx int) {
 			fr.attempts++
 			first = false
 		}
-		fr.owner = idx
+		if fr.owner == "" {
+			fr.owner = ep.addr
+			fr.pinnedAt = time.Now()
+			if w := f.opts.SpoolWAL; w != nil {
+				// Journal the pin BEFORE the frame goes on the wire: once
+				// any byte may have reached this collector, a restarted
+				// farm must never offer the frame elsewhere. A journal
+				// write that fails keeps the in-memory pin and degrades
+				// the guarantee to this process's lifetime — noted, never
+				// silent.
+				if err := w.AppendOwner(fr.seq, ep.addr); err != nil {
+					f.noteErrLocked(err)
+					f.logf("relay: journal owner seq=%d -> %s: %v", fr.seq, ep.addr, err)
+				}
+			}
+		}
 		f.scanIdx++
 		f.mu.Unlock()
 
@@ -879,7 +1030,7 @@ func (f *ForwardSink) writeLoop(conn net.Conn, idx int) {
 			f.mu.Lock()
 			f.writeErrors++
 			f.mu.Unlock()
-			f.logf("relay: write to %s: %v (will reconnect)", f.eps[idx].addr, err)
+			f.logf("relay: write to %s: %v (will reconnect)", ep.addr, err)
 			return
 		}
 		f.mu.Lock()
@@ -887,6 +1038,33 @@ func (f *ForwardSink) writeLoop(conn net.Conn, idx int) {
 		fr.sentAt = time.Now()
 		f.mu.Unlock()
 	}
+}
+
+// releaseOrphanLocked applies the opt-in orphan-release policy to a
+// frame pinned to an endpoint absent from the current set: past
+// Options.OrphanRelease the pin is dropped (and the release journaled,
+// so a restart does not resurrect it) and the frame becomes eligible
+// for any collector. With the policy off — the default — it reports
+// false and the frame keeps waiting for its owner.
+func (f *ForwardSink) releaseOrphanLocked(fr *spoolFrame) bool {
+	if f.opts.OrphanRelease <= 0 {
+		return false
+	}
+	if f.endpointByAddrLocked(fr.owner) != nil {
+		return false // owner present; not an orphan
+	}
+	if time.Since(fr.pinnedAt) < f.opts.OrphanRelease {
+		return false
+	}
+	f.logf("relay: releasing frame seq=%d from departed endpoint %s after %s", fr.seq, fr.owner, f.opts.OrphanRelease)
+	fr.owner = ""
+	f.orphansRel++
+	if w := f.opts.SpoolWAL; w != nil {
+		if err := w.AppendOwner(fr.seq, ""); err != nil {
+			f.noteErrLocked(err)
+		}
+	}
+	return true
 }
 
 // removeFrameLocked drops spool[i], keeping the connection's scan
@@ -901,12 +1079,12 @@ func (f *ForwardSink) removeFrameLocked(i int) {
 	f.spoolB -= int64(len(fr.body)) + 4
 }
 
-// ackLoop reads cumulative ACKs and prunes the spool. An ack from
-// endpoint idx covers exactly the frames pinned to it — a cumulative
+// ackLoop reads cumulative ACKs and prunes the spool. An ack from an
+// endpoint covers exactly the frames pinned to it — a cumulative
 // sequence from one collector says nothing about frames another
 // collector still owes. A read error closes the connection so the write
 // loop notices.
-func (f *ForwardSink) ackLoop(conn net.Conn, idx int, done chan<- struct{}) {
+func (f *ForwardSink) ackLoop(conn net.Conn, ep *endpoint, done chan<- struct{}) {
 	defer close(done)
 	for {
 		body, err := wire.ReadFrame(conn, DefaultMaxFrame)
@@ -933,15 +1111,15 @@ func (f *ForwardSink) ackLoop(conn net.Conn, idx int, done chan<- struct{}) {
 			if fr.seq > seq {
 				break
 			}
-			if fr.owner != idx {
+			if fr.owner != ep.addr {
 				i++ // another collector's frame; its own ack prunes it
 				continue
 			}
 			f.removeFrameLocked(i)
 			f.framesAcked++
 			f.eventsAcked += uint64(fr.events)
-			f.eps[idx].framesAcked++
-			f.eps[idx].eventsAcked += uint64(fr.events)
+			ep.framesAcked++
+			ep.eventsAcked += uint64(fr.events)
 			if !fr.sentAt.IsZero() {
 				f.ackRTT.Observe(time.Since(fr.sentAt))
 			}
@@ -954,33 +1132,115 @@ func (f *ForwardSink) ackLoop(conn net.Conn, idx int, done chan<- struct{}) {
 				// its backoff reset. A successful dial alone does not —
 				// see backoffLocked.
 				f.connAcked = true
-				f.eps[idx].backoff = f.opts.MinBackoff
+				ep.backoff = f.opts.MinBackoff
 			}
-			if f.opts.SpoolWAL != nil {
-				// Persist the contiguous ack floor as a mark and reclaim
-				// fully-acked segments; after a restart, Replay(Mark()+1)
-				// reloads only what is still unacked. The floor — not the
-				// raw acked sequence — because with pinned frames a later
-				// sequence can be acked by one collector while an earlier
-				// frame still awaits another. A mark that fails to persist
-				// is harmless to correctness — the frames replay and the
-				// collector's durable dedup drops them — so the error is
-				// only noted.
-				floor := f.nextSeq
-				if len(f.spool) > 0 {
-					floor = f.spool[0].seq - 1
-				}
-				if floor > f.lastCompact {
-					f.lastCompact = floor
-					if _, err := f.opts.SpoolWAL.Compact(floor); err != nil {
-						f.noteErrLocked(err)
-					}
-				}
-			}
+			f.compactSpoolLocked()
 		}
 		f.cond.Broadcast()
 		f.mu.Unlock()
 	}
+}
+
+// compactSpoolLocked persists the contiguous ack floor as a spool WAL
+// mark and reclaims fully-acked segments; after a restart,
+// Replay(Mark()+1) reloads only what is still unacked. The floor — not
+// the raw acked sequence — because with pinned frames a later sequence
+// can be acked by one collector while an earlier frame still awaits
+// another. A mark that fails to persist is harmless to correctness —
+// the frames replay and the collector's durable dedup drops them — so
+// the error is only noted; but lastCompact advances only on success, or
+// one failed compaction would silence every retry at that floor and
+// fully-acked segments would pile up until the process restarted.
+func (f *ForwardSink) compactSpoolLocked() {
+	if f.opts.SpoolWAL == nil {
+		return
+	}
+	floor := f.nextSeq
+	if len(f.spool) > 0 {
+		floor = f.spool[0].seq - 1
+	}
+	if floor > f.lastCompact {
+		if _, err := f.opts.SpoolWAL.Compact(floor); err != nil {
+			f.noteErrLocked(err)
+		} else {
+			f.lastCompact = floor
+		}
+	}
+}
+
+// SetEndpoints re-ranks a live forwarder onto a changed collector tier
+// without a restart: the new address set is rendezvous-ranked for this
+// farm (RankEndpoints), per-endpoint state — dial counters, ack counts,
+// backoff — is carried over for every surviving address (so the
+// decoydb_relay_endpoint_* metrics survive the swap), and fresh state is
+// built for new ones. Frames pinned to a removed address become orphans:
+// they are never retransmitted to a different collector (unless
+// Options.OrphanRelease fires) and drain when the address is added back.
+// If the set actually changed while a connection is up, the connection
+// is closed so the pump immediately re-dials the new preferred endpoint
+// — a deliberate kick that doubles as the failback probe for tiers that
+// grew from one collector (no prober runs on single-endpoint
+// connections). An unchanged set is a no-op. Safe to call concurrently
+// with recording and delivery; returns an error on an empty set or a
+// closed sink.
+func (f *ForwardSink) SetEndpoints(addrs []string) error {
+	cleaned := cleanAddrs(addrs)
+	if len(cleaned) == 0 {
+		return fmt.Errorf("relay: forward: no collector addresses")
+	}
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		return fmt.Errorf("relay: forward: sink closed")
+	}
+	same := len(cleaned) == len(f.eps)
+	if same {
+		for _, a := range cleaned {
+			if f.endpointByAddrLocked(a) == nil {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		f.mu.Unlock()
+		return nil
+	}
+	old := make(map[string]*endpoint, len(f.eps))
+	for _, ep := range f.eps {
+		old[ep.addr] = ep
+	}
+	f.eps = f.eps[:0:0]
+	for _, a := range RankEndpoints(f.opts.Farm, cleaned) {
+		if ep, ok := old[a]; ok {
+			f.eps = append(f.eps, ep)
+		} else {
+			f.eps = append(f.eps, &endpoint{addr: a, backoff: f.opts.MinBackoff})
+		}
+	}
+	f.reloads++
+	conn, handoff := f.conn, f.handoff
+	f.handoff = nil
+	orphans := 0
+	for _, fr := range f.spool {
+		if fr.owner != "" && f.endpointByAddrLocked(fr.owner) == nil {
+			orphans++
+		}
+	}
+	pref := f.preferredLocked()
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	// Close outside the lock: the write/ack loops take f.mu on their way
+	// out. The pump then re-ranks from scratch — preferred endpoint
+	// first — exactly as after any disconnect.
+	if conn != nil {
+		conn.Close()
+	}
+	if handoff != nil {
+		handoff.Close()
+	}
+	f.logf("relay: endpoints reloaded: %v (preferred %s, %d orphaned frames)", cleaned, pref.addr, orphans)
+	return nil
 }
 
 // Flush implements core.Flusher: it waits — up to Options.FlushTimeout —
@@ -1097,9 +1357,18 @@ type Stats struct {
 	// the previous one — both emergency cutovers to a lower-ranked
 	// collector and failbacks when a better one returned.
 	Failovers uint64
+	// Reloads counts SetEndpoints calls that changed the endpoint set.
+	Reloads uint64
 
 	// Endpoints is the per-collector breakdown, rank order.
 	Endpoints []EndpointStats
+
+	// OrphanFrames counts spooled frames pinned to an address absent
+	// from the current endpoint set — held back, never retransmitted
+	// elsewhere, until the owner returns or Options.OrphanRelease fires.
+	OrphanFrames int
+	// OrphansReleased counts pins dropped by the orphan-release policy.
+	OrphansReleased uint64
 
 	SpoolFrames int   // frames currently spooled (unacked)
 	SpoolEvents int   // events in those frames
@@ -1193,6 +1462,8 @@ func (f *ForwardSink) Stats() Stats {
 		DialErrors:       f.dialErrors,
 		Reconnects:       f.reconnects,
 		Failovers:        f.failovers,
+		Reloads:          f.reloads,
+		OrphansReleased:  f.orphansRel,
 		SpoolFrames:      len(f.spool),
 		SpoolEvents:      f.spoolEv,
 		SpoolBytes:       f.spoolB,
@@ -1202,22 +1473,26 @@ func (f *ForwardSink) Stats() Stats {
 		DroppedFrames:    f.droppedFr,
 		AckRTT:           f.ackRTT,
 	}
-	pinned := make([]int, len(f.eps))
+	pinned := make(map[string]int, len(f.eps))
 	for _, fr := range f.spool {
-		if fr.owner >= 0 {
-			pinned[fr.owner]++
+		if fr.owner == "" {
+			continue
+		}
+		pinned[fr.owner]++
+		if f.endpointByAddrLocked(fr.owner) == nil {
+			st.OrphanFrames++
 		}
 	}
 	for i, ep := range f.eps {
 		st.Endpoints = append(st.Endpoints, EndpointStats{
 			Addr:         ep.addr,
 			Rank:         i,
-			Current:      f.connected && f.cur == i,
+			Current:      f.connected && f.cur == ep,
 			Dials:        ep.dials,
 			DialErrors:   ep.dialErrors,
 			FramesAcked:  ep.framesAcked,
 			EventsAcked:  ep.eventsAcked,
-			PinnedFrames: pinned[i],
+			PinnedFrames: pinned[ep.addr],
 			Backoff:      ep.backoff,
 		})
 	}

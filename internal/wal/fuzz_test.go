@@ -2,12 +2,15 @@ package wal
 
 import (
 	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"decoydb/internal/core"
 	"decoydb/internal/evcodec"
+	"decoydb/internal/wire"
 )
 
 // FuzzSegment throws arbitrary bytes at Open as the content of a
@@ -118,5 +121,140 @@ func FuzzSegment(f *testing.F) {
 			t.Fatalf("reopen LastSeq = %d, want %d", st2.LastSeq, seq)
 		}
 		l2.Close()
+	})
+}
+
+// FuzzOwnerRecord throws arbitrary bytes at recovery as the body of a
+// frame-ownership record. Ownership is what keeps a restarted farm from
+// retransmitting an acked frame to the wrong collector, so a corrupt
+// owner record must never half-parse into a wrong pin: for every input,
+// Open must either decode the record exactly as evcodec.ReadOwner would
+// and surface the pin in Owners(), or reject it as a torn tail —
+// counted, physically truncated, with every batch before it intact and
+// the log still live for real pins afterwards. The record is framed
+// with a valid CRC deliberately: the codec, not the checksum, is under
+// test here.
+func FuzzOwnerRecord(f *testing.F) {
+	valid, err := evcodec.AppendOwner(nil, 2, "10.0.0.1:7100")
+	if err != nil {
+		f.Fatal(err)
+	}
+	release, err := evcodec.AppendOwner(nil, 2, "")
+	if err != nil {
+		f.Fatal(err)
+	}
+	maxAddr, err := evcodec.AppendOwner(nil, 7, strings.Repeat("a", evcodec.MaxOwnerAddr))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(release)
+	f.Add(maxAddr)
+	f.Add(valid[:3])                                   // torn mid-seq
+	f.Add(append(append([]byte(nil), valid...), 0xff)) // trailing byte
+	// Declared address length far past MaxOwnerAddr: must be bounded
+	// before allocation, never trusted.
+	huge := binary.LittleEndian.AppendUint64(nil, 9)
+	huge = binary.LittleEndian.AppendUint16(huge, 0xffff)
+	f.Add(huge)
+	zero, err := evcodec.AppendOwner(nil, 0, "pin-below-any-mark")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(zero)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		dir := t.TempDir()
+		l, err := Open(Options{Dir: dir, Sync: SyncBatch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := l.Append([]core.Event{testEvent(i)}, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Hand-frame {recOwner, body...} exactly as writeRecordLocked
+		// would: length (4 BE, counting the CRC), CRC-32 (4 LE), body.
+		rec := append([]byte{recOwner}, body...)
+		framed := binary.BigEndian.AppendUint32(nil, uint32(4+len(rec)))
+		framed = binary.LittleEndian.AppendUint32(framed, crc32.ChecksumIEEE(rec))
+		framed = append(framed, rec...)
+		fh, err := os.OpenFile(filepath.Join(dir, segName(1)), os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fh.Write(framed); err != nil {
+			t.Fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		opts := Options{
+			Dir:            dir,
+			MaxRecordBytes: 1 << 16,
+			Limits:         evcodec.Limits{MaxRaw: 1 << 16, MaxEvents: 256},
+		}
+		l2, err := Open(opts)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		st := l2.Stats()
+		owners := l2.Owners()
+		if st.Recovered.Batches != 2 {
+			t.Fatalf("recovered %d batches, want 2 — the owner record sits after them", st.Recovered.Batches)
+		}
+		wantSeq, wantAddr, decErr := evcodec.ReadOwner(wire.NewReader(body))
+		if decErr == nil {
+			// The record is well-formed: recovery must account it and
+			// reproduce the pin bit-for-bit (releases and pins at or
+			// below the mark — zero here — leave no trace).
+			if st.Recovered.TornBytes != 0 {
+				t.Fatalf("valid owner record cost %d torn bytes", st.Recovered.TornBytes)
+			}
+			if st.Recovered.Owners != 1 {
+				t.Fatalf("recovery accounted %d owner records, want 1", st.Recovered.Owners)
+			}
+			if wantAddr != "" && wantSeq > 0 {
+				if got := owners[wantSeq]; got != wantAddr {
+					t.Fatalf("pin %d recovered as %q, want %q", wantSeq, got, wantAddr)
+				}
+			} else if _, ok := owners[wantSeq]; ok {
+				t.Fatalf("released/below-mark pin %d resurfaced as %q", wantSeq, owners[wantSeq])
+			}
+		} else {
+			// The record is corrupt: it must vanish entirely — no pin,
+			// and the tail counted as torn, never silently skipped.
+			if len(owners) != 0 {
+				t.Fatalf("corrupt owner record (%v) left pins %v", decErr, owners)
+			}
+			if st.Recovered.TornBytes == 0 {
+				t.Fatalf("corrupt owner record (%v) was accepted with no torn bytes", decErr)
+			}
+		}
+		// The log must stay live for real ownership traffic: journal a
+		// pin, reopen, and the pin must round-trip.
+		if err := l2.AppendOwner(2, "10.0.0.2:7100"); err != nil {
+			t.Fatalf("AppendOwner after recovery: %v", err)
+		}
+		if err := l2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		l3, err := Open(opts)
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		if got := l3.Owners()[2]; got != "10.0.0.2:7100" {
+			t.Fatalf("pin journaled after recovery came back as %q", got)
+		}
+		if st3 := l3.Stats(); st3.Recovered.TornBytes != 0 {
+			t.Fatalf("second open found torn bytes %d — truncation was not physical", st3.Recovered.TornBytes)
+		}
+		l3.Close()
 	})
 }

@@ -63,6 +63,14 @@ func (l *Log) recoverDir() error {
 			l.lastSeq = seg.base
 		}
 	}
+	// Ownership pins apply in log order, but a mark in a later segment
+	// retires batches owned in an earlier one: prune once the whole
+	// directory is scanned.
+	for s := range l.owners {
+		if s <= l.mark {
+			delete(l.owners, s)
+		}
+	}
 	return nil
 }
 
@@ -142,6 +150,19 @@ func (l *Log) recoverSegment(seg *segment) error {
 				l.mark = rec.seq
 			}
 			l.recovered.Marks++
+		case recOwner:
+			// Latest record for a sequence wins; an empty address is a
+			// released pin. Pins below the mark are pruned after the
+			// whole directory is scanned (recoverDir).
+			if rec.addr == "" {
+				delete(l.owners, rec.seq)
+			} else {
+				if l.owners == nil {
+					l.owners = make(map[uint64]string)
+				}
+				l.owners[rec.seq] = rec.addr
+			}
+			l.recovered.Owners++
 		}
 	}
 	seg.size = valid
@@ -187,6 +208,7 @@ type record struct {
 	typ    byte
 	seq    uint64
 	tag    []byte
+	addr   string       // ownership records: pinned endpoint address
 	events []core.Event // decoded batch payload (nil unless wantEvents)
 }
 
@@ -267,6 +289,15 @@ func (l *Log) parseRecord(body []byte) (record, error) {
 			return record{}, fmt.Errorf("%w: %d trailing bytes", errTorn, rr.Len())
 		}
 		return record{typ: recMark, seq: seq}, nil
+	case recOwner:
+		// evcodec bounds the declared address length before allocation
+		// and rejects trailing bytes, so a bit-flipped record cannot
+		// over-allocate or half-parse into a wrong pin.
+		seq, addr, err := evcodec.ReadOwner(rr)
+		if err != nil {
+			return record{}, fmt.Errorf("%w: %w", errTorn, err)
+		}
+		return record{typ: recOwner, seq: seq, addr: addr}, nil
 	}
 	return record{}, fmt.Errorf("%w: unknown record type %d", errTorn, typ)
 }

@@ -20,6 +20,7 @@
 //	│ record: len(4 BE) crc32(4 LE) body                   │
 //	│   body: type(1)=batch tagLen(2 LE) tag evcodec-batch │
 //	│   body: type(1)=mark  seq(8 LE)                      │
+//	│   body: type(1)=owner evcodec-owner (seq, addr)      │
 //	│ record: ...                                          │
 //	└──────────────────────────────────────────────────────┘
 //
@@ -30,7 +31,10 @@
 // CRC covers the whole body, so a bit flip anywhere (not just in the
 // compressed payload) is detected before parsing. Mark records persist
 // the consumer's high-water mark (collector acks, for the spool);
-// Compact drops whole segments at or below it.
+// Compact drops whole segments at or below it. Owner records persist
+// which collector endpoint a spooled batch is pinned to (the shared
+// evcodec owner encoding), so a restarted forwarder retransmits each
+// unacked frame only to the collector that may already hold it.
 //
 // Recovery treats the directory as hostile — a crash can tear the tail
 // of the last segment at any byte, and disks corrupt silently: every
@@ -69,6 +73,7 @@ const (
 const (
 	recBatch = 1
 	recMark  = 2
+	recOwner = 3
 )
 
 // Limits and defaults.
@@ -203,6 +208,7 @@ type Log struct {
 	dirty   bool // unsynced appends
 	lastSeq uint64
 	mark    uint64
+	owners  map[uint64]string // unconsumed batch seq → pinned endpoint addr
 	closed  bool
 
 	stopCh chan struct{}
@@ -215,6 +221,7 @@ type Log struct {
 	appendedEvents  uint64
 	appendedBytes   uint64
 	marks           uint64
+	ownerRecs       uint64
 	syncs           uint64
 	rotations       uint64
 	compacted       uint64
@@ -462,7 +469,64 @@ func (l *Log) appendMarkLocked(seq uint64) error {
 	}
 	l.mark = seq
 	l.marks++
+	// A mark means every batch at or below it is consumed; their
+	// ownership pins are moot and must not resurface on the next Open.
+	for s := range l.owners {
+		if s <= seq {
+			delete(l.owners, s)
+		}
+	}
 	return nil
+}
+
+// AppendOwner persists which consumer endpoint the batch with sequence
+// seq is pinned to — for the relay spool, the collector address the
+// frame was first written to, so a restarted forwarder retransmits it
+// only there. An empty addr releases the pin. The latest record for a
+// sequence wins, and pins at or below the consumer mark are no-ops (the
+// batch is already consumed). Owners() returns the surviving map after
+// recovery.
+func (l *Log) AppendOwner(seq uint64, addr string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if seq <= l.mark {
+		return nil
+	}
+	body := make([]byte, 1, 16+len(addr))
+	body[0] = recOwner
+	body, err := evcodec.AppendOwner(body, seq, addr)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.writeRecordLocked(body); err != nil {
+		return err
+	}
+	if addr == "" {
+		delete(l.owners, seq)
+	} else {
+		if l.owners == nil {
+			l.owners = make(map[uint64]string)
+		}
+		l.owners[seq] = addr
+	}
+	l.ownerRecs++
+	return nil
+}
+
+// Owners returns the surviving ownership pins: for each unconsumed
+// batch sequence above the mark with a journaled owner, the endpoint
+// address it is pinned to. The map is a copy.
+func (l *Log) Owners() map[uint64]string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[uint64]string, len(l.owners))
+	for s, a := range l.owners {
+		out[s] = a
+	}
+	return out
 }
 
 // Mark returns the highest persisted consumer mark.
@@ -665,6 +729,7 @@ type recovery struct {
 	Batches     uint64 // valid batch records found
 	Events      uint64 // events inside them
 	Marks       uint64 // valid mark records found
+	Owners      uint64 // valid ownership records found
 	TornBytes   uint64 // bytes truncated after the last valid record
 	Truncations uint64 // segments that lost a tail
 }
@@ -681,6 +746,7 @@ type Stats struct {
 	AppendedEvents  uint64
 	AppendedBytes   uint64
 	Marks           uint64 // mark records appended this process
+	OwnerRecords    uint64 // ownership records appended this process
 	Syncs           uint64
 	Rotations       uint64
 	Compacted       uint64 // segments deleted by Compact/CompactBefore
@@ -721,6 +787,7 @@ func (l *Log) Stats() Stats {
 		AppendedEvents:  l.appendedEvents,
 		AppendedBytes:   l.appendedBytes,
 		Marks:           l.marks,
+		OwnerRecords:    l.ownerRecs,
 		Syncs:           l.syncs,
 		Rotations:       l.rotations,
 		Compacted:       l.compacted,
