@@ -67,6 +67,7 @@ func main() {
 	storeFlag := cliflags.RegisterStore(flag.CommandLine)
 	adminFlag := cliflags.RegisterAdmin(flag.CommandLine)
 	peersFlag := cliflags.RegisterPeers(flag.CommandLine)
+	streamFlag := cliflags.RegisterStream(flag.CommandLine)
 	flag.Parse()
 	if *token == "" {
 		log.Fatal("-token is required: forwarders authenticate with it")
@@ -105,13 +106,19 @@ func main() {
 		log.Printf("%s", journal.Stats())
 	}
 
-	// With -admin, a trace ring joins the collector's sinks (spans per
-	// relayed session) and the admin plane serves the live store over
-	// /query next to /metrics and /statusz.
+	// With -stream, the online analyzer consumes the aggregated tier-wide
+	// feed — the natural place to watch for escalations across every
+	// farm at once. With -admin, a trace ring joins the collector's sinks
+	// (spans per relayed session) and the admin plane serves the live
+	// store over /query next to /metrics and /statusz.
+	analyzer := streamFlag.Analyzer()
 	var traces *obs.TraceRing
 	collSinks := []core.Sink{store, stats}
+	if analyzer != nil {
+		collSinks = append(collSinks, analyzer)
+	}
 	if adminFlag.Enabled() {
-		traces = obs.NewTraceRing(obs.TraceOptions{})
+		traces = obs.NewTraceRing(obs.TraceOptions{Verdicts: cliflags.TraceVerdicts(analyzer)})
 		collSinks = append(collSinks, traces)
 	}
 	coll, err := relay.NewCollector(relay.CollectorOptions{
@@ -142,6 +149,7 @@ func main() {
 		admin, err := adminFlag.Start(obs.ServerOptions{
 			Registry: reg,
 			Traces:   traces,
+			Stream:   analyzer,
 			Query:    query,
 			Logf:     log.Printf,
 		})

@@ -45,6 +45,7 @@ import (
 	"decoydb/internal/relay"
 	"decoydb/internal/report"
 	"decoydb/internal/simnet"
+	"decoydb/internal/stream"
 )
 
 func main() {
@@ -288,6 +289,42 @@ func reportLive(w io.Writer, addr string) error {
 			sources.Note = fmt.Sprintf("first %d of %d sources (address order; use /query directly to page)", len(q.Records), q.Total)
 		}
 		tables = append(tables, capture, creds, sources)
+	}
+
+	// Streaming analysis, when the plane runs with -stream: recent
+	// escalations and the top behaviour clusters. A plane without the
+	// analyzer has no /alerts endpoint; the sections are simply omitted —
+	// same graceful degradation as /query above, but silent, because an
+	// un-wired optional subsystem is not worth a note.
+	if page, err := client.Alerts(ctx, liveLimit); err == nil {
+		alerts := &report.Table{
+			Title:  "Recent escalations",
+			Header: []string{"time", "src", "dbms", "transition", "action"},
+		}
+		for _, a := range page.Alerts {
+			if a.Kind != stream.EscalationAlert {
+				continue
+			}
+			alerts.AddRow(a.Time.Format(time.RFC3339), a.Src, a.DBMS, a.From+"→"+a.To, a.Action)
+		}
+		alerts.Note = fmt.Sprintf("lifetime: %d escalations, %d new clusters, %d shifts over %d events from %d sources",
+			page.Stats.Escalations, page.Stats.NewClusters, page.Stats.Shifts, page.Stats.Events, page.Stats.Sources)
+		tables = append(tables, alerts)
+
+		if cl, err := client.Clusters(ctx); err == nil {
+			clusters := &report.Table{
+				Title:  "Behaviour clusters",
+				Header: []string{"cluster", "members", "assigns", "top actions"},
+			}
+			for i, c := range cl.Clusters {
+				if i >= liveLimit {
+					clusters.Note = fmt.Sprintf("first %d of %d clusters by member count", liveLimit, len(cl.Clusters))
+					break
+				}
+				clusters.AddRow(c.ID, c.Members, c.Assigns, strings.Join(c.TopActions, ", "))
+			}
+			tables = append(tables, clusters)
+		}
 	}
 
 	for _, t := range tables {

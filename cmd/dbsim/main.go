@@ -54,6 +54,7 @@ func main() {
 	fwdFlag := cliflags.RegisterForward(flag.CommandLine)
 	storeFlag := cliflags.RegisterStore(flag.CommandLine)
 	adminFlag := cliflags.RegisterAdmin(flag.CommandLine)
+	streamFlag := cliflags.RegisterStream(flag.CommandLine)
 	flag.Parse()
 
 	busOpts, err := busFlags.Options()
@@ -95,13 +96,21 @@ func main() {
 		defer fwdFlag.WatchSIGHUP(fwd, fwdBase, log.Printf)()
 	}
 
+	// With -stream, the online analyzer rides the bus and classifies the
+	// simulated population as it arrives — the same path a live farm
+	// uses, driven by reproducible traffic.
+	analyzer := streamFlag.Analyzer()
+	if analyzer != nil {
+		sinks = append(sinks, analyzer)
+	}
+
 	// With -admin, the simulation exposes the same observability plane a
 	// live farm would: the trace ring and a kind-count sink ride the bus,
 	// the bus itself registers through the OnBus hook once simnet builds
 	// it. Useful for watching a long full-scale run converge.
 	var onBus func(*bus.Bus)
 	if adminFlag.Enabled() {
-		traces := obs.NewTraceRing(obs.TraceOptions{})
+		traces := obs.NewTraceRing(obs.TraceOptions{Verdicts: cliflags.TraceVerdicts(analyzer)})
 		kinds := &bus.StatsSink{}
 		sinks = append(sinks, traces, kinds)
 		reg := obs.NewRegistry()
@@ -113,7 +122,7 @@ func main() {
 			reg.Register(obs.ForwardSource(fwd))
 		}
 		onBus = func(b *bus.Bus) { reg.Register(obs.BusSource(b)) }
-		srvOpts := obs.ServerOptions{Registry: reg, Traces: traces, Logf: log.Printf}
+		srvOpts := obs.ServerOptions{Registry: reg, Traces: traces, Stream: analyzer, Logf: log.Printf}
 		if fwd != nil {
 			srvOpts.ReloadForward = fwd.SetEndpoints
 		}
@@ -154,6 +163,11 @@ func main() {
 	fmt.Printf("population: %d actors, %d brute-forcers, %d exploiters, %d institutional\n",
 		len(res.Population.Actors), len(res.Population.BruteForcers),
 		len(res.Population.Exploiters), len(res.Population.Institutional))
+	if analyzer != nil {
+		st := analyzer.Stats()
+		fmt.Printf("streaming: %d sources tracked in %d clusters; %d alerts (%d escalations, %d new clusters, %d shifts)\n",
+			st.Sources, st.Clusters, st.Alerts, st.Escalations, st.NewClusters, st.Shifts)
+	}
 
 	store, err := pipeline.Load(*dir, core.ExperimentStart, core.ExperimentDays, geoip.Default())
 	if err != nil {

@@ -73,6 +73,7 @@ func main() {
 	fwdFlag := cliflags.RegisterForward(flag.CommandLine)
 	storeFlag := cliflags.RegisterStore(flag.CommandLine)
 	adminFlag := cliflags.RegisterAdmin(flag.CommandLine)
+	streamFlag := cliflags.RegisterStream(flag.CommandLine)
 	flag.Parse()
 
 	busOpts, err := busFlags.Options()
@@ -129,11 +130,16 @@ func main() {
 		// (a deliberate no-op) so the handler is always safe to arm.
 		defer fwdFlag.WatchSIGHUP(fwd, fwdBase, log.Printf)()
 	}
-	// The trace ring rides the bus like any other sink, so span updates
-	// cost honeypot sessions nothing beyond the existing batch delivery.
+	// The streaming analyzer and the trace ring ride the bus like any
+	// other sink, so live classification and span updates cost honeypot
+	// sessions nothing beyond the existing batch delivery.
+	analyzer := streamFlag.Analyzer()
+	if analyzer != nil {
+		sinks = append(sinks, analyzer)
+	}
 	var traces *obs.TraceRing
 	if adminFlag.Enabled() {
-		traces = obs.NewTraceRing(obs.TraceOptions{})
+		traces = obs.NewTraceRing(obs.TraceOptions{Verdicts: cliflags.TraceVerdicts(analyzer)})
 		sinks = append(sinks, traces)
 	}
 	evbus := bus.New(busOpts, sinks...)
@@ -153,7 +159,7 @@ func main() {
 		if fwd != nil {
 			reg.Register(obs.ForwardSource(fwd))
 		}
-		srvOpts := obs.ServerOptions{Registry: reg, Traces: traces, Logf: log.Printf}
+		srvOpts := obs.ServerOptions{Registry: reg, Traces: traces, Stream: analyzer, Logf: log.Printf}
 		if fwd != nil {
 			srvOpts.ReloadForward = fwd.SetEndpoints
 		}

@@ -9,6 +9,7 @@
 package classify
 
 import (
+	"sort"
 	"strings"
 
 	"decoydb/internal/core"
@@ -77,6 +78,27 @@ var exploitActions = map[string]map[string]bool{
 	core.MSSQL: {
 		"SQLBATCH-PREAUTH": true,
 	},
+	core.MySQL: {
+		"INSERT":          true, // ransom-note drops via the medium honeypot
+		"UPDATE":          true,
+		"DELETE":          true,
+		"DROP TABLE":      true,
+		"DROP DATABASE":   true,
+		"CREATE TABLE":    true,
+		"CREATE DATABASE": true,
+		"ALTER TABLE":     true,
+		"ALTER USER":      true,
+		"CREATE USER":     true,
+	},
+	core.CouchDB: {
+		"CVE-2017-12635 ADMIN-INJECT": true, // _users role injection
+		"DELETE /{db}":                true, // ransom wipes
+		"PUT /{db}":                   true,
+		"PUT /{db}/{doc}":             true, // ransom-note documents
+		"POST /{db}/{doc}":            true,
+		"PUT /_config":                true, // admin-party config writes
+		"DELETE /_config":             true,
+	},
 }
 
 // scoutActions lists informational actions that go beyond mere
@@ -131,7 +153,49 @@ var serviceScanMarkers = []string{
 	"JDWP-Handshake", // Java Debug Wire Protocol
 }
 
-// Activity classifies one (source, honeypot) activity record.
+// Step classifies one normalised action on one DBMS: exploit-grade if
+// the action manipulates the DBMS/data/host, scanning if it is pure
+// protocol housekeeping (unless the raw payload is a deliberate probe
+// for an unrelated service), scouting otherwise. It is the per-action
+// building block shared by the offline Activity fold below and the
+// online incremental classifier in internal/stream — both are folds of
+// Step over an action sequence, so live and post-hoc verdicts cannot
+// drift apart.
+func Step(dbms, action, raw string) Behavior {
+	if exploitActions[dbms][action] {
+		return Exploiting
+	}
+	if scoutActions[dbms][action] {
+		return Scouting
+	}
+	if connectionNoise[action] {
+		for _, m := range serviceScanMarkers {
+			if strings.Contains(raw, m) {
+				return Scouting
+			}
+		}
+		return Scanning
+	}
+	// Unknown deliberate command: the source interacted.
+	return Scouting
+}
+
+// ExploitActions returns the exploit-grade action names for one DBMS in
+// sorted order — the table-form contract the emulation drift tests in
+// internal/simnet assert against: every entry must be producible by the
+// DBMS's protocol package, or the table has drifted from the emulation.
+func ExploitActions(dbms string) []string {
+	out := make([]string, 0, len(exploitActions[dbms]))
+	for name := range exploitActions[dbms] {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Activity classifies one (source, honeypot) activity record: the most
+// intrusive Step over its actions, with any login attempt counting as
+// scouting.
 func Activity(dbms string, act *evstore.Activity) Behavior {
 	if act == nil {
 		return Scanning
@@ -140,28 +204,12 @@ func Activity(dbms string, act *evstore.Activity) Behavior {
 	if act.Logins > 0 {
 		best = Scouting
 	}
-	exp := exploitActions[dbms]
-	scout := scoutActions[dbms]
 	for _, a := range act.Actions {
-		if exp[a.Name] {
-			return Exploiting
+		if best >= Exploiting {
+			break
 		}
-		if best < Scouting {
-			if scout[a.Name] {
-				best = Scouting
-				continue
-			}
-			if connectionNoise[a.Name] {
-				for _, m := range serviceScanMarkers {
-					if strings.Contains(a.Raw, m) {
-						best = Scouting
-						break
-					}
-				}
-				continue
-			}
-			// Unknown deliberate command: the source interacted.
-			best = Scouting
+		if b := Step(dbms, a.Name, a.Raw); b > best {
+			best = b
 		}
 	}
 	return best

@@ -1,0 +1,66 @@
+package cliflags
+
+import (
+	"flag"
+	"net/netip"
+
+	"decoydb/internal/stream"
+)
+
+// Stream carries the -stream flag group after flag parsing. One flag
+// attaches the online classification/clustering analyzer to the event
+// path; the rest tune its bounds. Every event-handling binary (decoydb,
+// dbsim, dbcollect) registers the same group, so the streaming knobs
+// cannot drift between the live farm, the simulator and the collector.
+type Stream struct {
+	Enable      *bool
+	MaxSources  *int
+	AlertRing   *int
+	Radius      *float64
+	RefitEvery  *int
+	MaxClusters *int
+}
+
+// RegisterStream registers the -stream flags on fs.
+func RegisterStream(fs *flag.FlagSet) *Stream {
+	return &Stream{
+		Enable:      fs.Bool("stream", false, "attach the online behaviour analyzer: live classification, centroid clustering and transition alerts (/alerts, /clusters on -admin)"),
+		MaxSources:  fs.Int("stream-sources", 0, "streaming: max sources tracked before LRU eviction (0 = default 65536)"),
+		AlertRing:   fs.Int("stream-alerts", 0, "streaming: transition alerts retained for /alerts (0 = default 1024)"),
+		Radius:      fs.Float64("stream-radius", 0, "streaming: distance beyond which a behaviour vector seeds a new cluster (0 = default 0.5)"),
+		RefitEvery:  fs.Int("stream-refit", 0, "streaming: batches between mini Ward re-fits of the centroid set (0 = default 256)"),
+		MaxClusters: fs.Int("stream-clusters", 0, "streaming: max live behaviour clusters (0 = default 64)"),
+	}
+}
+
+// Enabled reports whether -stream was set.
+func (s *Stream) Enabled() bool { return *s.Enable }
+
+// Analyzer builds the analyzer from the parsed flags, or nil when the
+// group is disabled.
+func (s *Stream) Analyzer() *stream.Analyzer {
+	if !s.Enabled() {
+		return nil
+	}
+	return stream.New(stream.Options{
+		MaxSources:       *s.MaxSources,
+		AlertRing:        *s.AlertRing,
+		NewClusterRadius: *s.Radius,
+		RefitEvery:       *s.RefitEvery,
+		MaxClusters:      *s.MaxClusters,
+	})
+}
+
+// TraceVerdicts adapts an analyzer into the obs.TraceOptions.Verdicts
+// feed, so /traces shows each active span's live streaming verdict. It
+// returns nil for a nil analyzer, which TraceOptions treats as "no
+// feed" — callers can wire it unconditionally.
+func TraceVerdicts(an *stream.Analyzer) func(src netip.Addr) (string, bool) {
+	if an == nil {
+		return nil
+	}
+	return func(src netip.Addr) (string, bool) {
+		b, ok := an.Verdict(src)
+		return b.String(), ok
+	}
+}

@@ -105,7 +105,7 @@ func Agglomerate(vecs []Vector, linkage Linkage) Dendrogram {
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			dist := sqDist(vecs[i], vecs[j])
+			dist := SqDist(vecs[i], vecs[j])
 			d[i][j], d[j][i] = dist, dist
 		}
 	}
@@ -310,7 +310,14 @@ func (r Result) Sizes() []int {
 	return out
 }
 
-func sqDist(a, b Vector) float64 {
+// SqDist returns the squared Euclidean distance between two vectors,
+// treating missing trailing dimensions as zero — so vectors built
+// against vocabularies of different sizes (an online assigner's growing
+// vocabulary versus an offline corpus) compare without padding. It is
+// the distance both the Ward agglomeration here and the incremental
+// centroid assignment in internal/stream measure with; sharing it keeps
+// online and offline assignments agreeing on stable corpora.
+func SqDist(a, b Vector) float64 {
 	la, lb := len(a), len(b)
 	n := la
 	if lb > n {

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"decoydb/internal/stream"
 )
 
 // Server is the admin plane every binary mounts behind -admin: metrics,
@@ -22,6 +24,9 @@ type ServerOptions struct {
 	Registry *Registry
 	// Traces, when set, serves /traces.
 	Traces *TraceRing
+	// Stream, when set, serves /alerts and /clusters from the online
+	// analyzer and registers its scrape-time source.
+	Stream *stream.Analyzer
 	// Query, when set, serves /query (the collector wires this) — a
 	// *QueryHandler for one collector's store, or a *FanIn merging the
 	// whole tier.
@@ -58,6 +63,9 @@ func NewServer(opts ServerOptions) *Server {
 	if opts.Traces != nil {
 		opts.Registry.Register(opts.Traces)
 	}
+	if opts.Stream != nil {
+		opts.Registry.Register(StreamSource(opts.Stream))
+	}
 
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -69,6 +77,10 @@ func NewServer(opts ServerOptions) *Server {
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	if opts.Traces != nil {
 		s.mux.HandleFunc("/traces", s.handleTraces)
+	}
+	if opts.Stream != nil {
+		s.mux.HandleFunc("/alerts", s.handleAlerts)
+		s.mux.HandleFunc("/clusters", s.handleClusters)
 	}
 	if opts.Query != nil {
 		s.mux.Handle("/query", opts.Query)
@@ -191,6 +203,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	paths := []string{"/metrics", "/healthz", "/statusz", "/debug/pprof/"}
 	if s.opts.Traces != nil {
 		paths = append(paths, "/traces")
+	}
+	if s.opts.Stream != nil {
+		paths = append(paths, "/alerts", "/clusters")
 	}
 	if s.opts.Query != nil {
 		paths = append(paths, "/query")

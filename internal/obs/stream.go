@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+
+	"decoydb/internal/stream"
+)
+
+// Streaming-analysis surface of the admin plane: the scrape-time
+// adapter for the online analyzer's counters, the /alerts and /clusters
+// handlers, and the client decoders dbreport -live consumes. Like every
+// other adapter here, the analyzer pays nothing until a scraper or an
+// operator asks — Collect and the handlers take one Stats()/Alerts()/
+// Clusters() snapshot per call.
+
+// streamSource adapts *stream.Analyzer.
+type streamSource struct{ a *stream.Analyzer }
+
+// StreamSource wraps the online analyzer as a registry source named
+// "stream".
+func StreamSource(a *stream.Analyzer) Source { return streamSource{a} }
+
+func (s streamSource) Name() string { return "stream" }
+
+func (s streamSource) Status() any { return s.a.Stats() }
+
+func (s streamSource) Collect(e *Emitter) {
+	st := s.a.Stats()
+	e.Counter("decoydb_stream_events_total", "Events folded into online per-source state.", float64(st.Events))
+	e.Counter("decoydb_stream_batches_total", "Delivery batches settled by the analyzer.", float64(st.Batches))
+	e.Gauge("decoydb_stream_sources", "Sources currently tracked in the LRU.", float64(st.Sources))
+	e.Counter("decoydb_stream_evicted_total", "Sources evicted at the LRU bound.", float64(st.Evicted))
+	e.Counter("decoydb_stream_assigns_total", "Cluster assignment passes over touched sources.", float64(st.Assigns))
+	e.Gauge("decoydb_stream_clusters", "Live behaviour clusters (centroids).", float64(st.Clusters))
+	e.Counter("decoydb_stream_refits_total", "Mini Ward re-fits over the centroid set.", float64(st.Refits))
+	e.Counter("decoydb_stream_merged_total", "Centroids consolidated by re-fits.", float64(st.Merged))
+	e.Counter("decoydb_stream_dropped_total", "Stale empty centroids garbage-collected by re-fits.", float64(st.Dropped))
+	e.Counter("decoydb_stream_capped_total", "Assignments forced to a nearest centroid at the cluster cap.", float64(st.Capped))
+	e.Gauge("decoydb_stream_vocab", "Distinct action tokens in the online vocabulary.", float64(st.Vocab))
+	const name = "decoydb_stream_alerts_total"
+	const help = "Transition alerts emitted, by kind."
+	e.Counter(name, help, float64(st.Escalations), L("kind", stream.EscalationAlert.String()))
+	e.Counter(name, help, float64(st.NewClusters), L("kind", stream.NewClusterAlert.String()))
+	e.Counter(name, help, float64(st.Shifts), L("kind", stream.ClusterShiftAlert.String()))
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	limit, err := intParam(r, "limit", 100)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, AlertsPage{
+		Stats:  s.opts.Stream.Stats(),
+		Alerts: s.opts.Stream.Alerts(limit),
+	})
+}
+
+func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, ClustersPage{Clusters: s.opts.Stream.Clusters()})
+}
+
+// AlertsPage is the /alerts payload.
+type AlertsPage struct {
+	Stats  stream.Stats   `json:"stats"`
+	Alerts []stream.Alert `json:"alerts"`
+}
+
+// ClustersPage is the /clusters payload, largest cluster first.
+type ClustersPage struct {
+	Clusters []stream.ClusterInfo `json:"clusters"`
+}
+
+// Alerts fetches /alerts from the admin plane (limit <= 0 asks for the
+// server default).
+func (c *Client) Alerts(ctx context.Context, limit int) (*AlertsPage, error) {
+	path := "/alerts"
+	if limit > 0 {
+		path += "?limit=" + strconv.Itoa(limit)
+	}
+	var page AlertsPage
+	if err := c.get(ctx, path, &page); err != nil {
+		return nil, err
+	}
+	return &page, nil
+}
+
+// Clusters fetches /clusters from the admin plane.
+func (c *Client) Clusters(ctx context.Context) (*ClustersPage, error) {
+	var page ClustersPage
+	if err := c.get(ctx, "/clusters", &page); err != nil {
+		return nil, err
+	}
+	return &page, nil
+}

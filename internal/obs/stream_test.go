@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"context"
+	"net/http/httptest"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"decoydb/internal/core"
+	"decoydb/internal/stream"
+)
+
+func streamAnalyzer(t *testing.T) *stream.Analyzer {
+	t.Helper()
+	an := stream.New(stream.Options{})
+	hp := core.Info{DBMS: core.Redis, Level: core.Low, Group: core.GroupMulti, Config: core.ConfigDefault}
+	src := netip.AddrPortFrom(netip.AddrFrom4([4]byte{203, 0, 113, 7}), 40000)
+	err := an.RecordBatch([]core.Event{
+		{Time: traceStart, Src: src, Honeypot: hp, Kind: core.EventCommand, Command: "INFO"},
+		{Time: traceStart.Add(time.Second), Src: src, Honeypot: hp, Kind: core.EventCommand, Command: "SLAVEOF"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an
+}
+
+func TestStreamEndpoints(t *testing.T) {
+	an := streamAnalyzer(t)
+	s := NewServer(ServerOptions{Registry: NewRegistry(), Stream: an})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	c := NewClient(srv.URL, time.Second)
+	page, err := c.Alerts(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Stats.Escalations != 1 || page.Stats.NewClusters != 1 {
+		t.Fatalf("alert stats over the wire = %+v", page.Stats)
+	}
+	var esc *stream.Alert
+	for i := range page.Alerts {
+		if page.Alerts[i].Kind == stream.EscalationAlert {
+			esc = &page.Alerts[i]
+		}
+	}
+	if esc == nil || esc.Src != "203.0.113.7" || esc.Action != "SLAVEOF" {
+		t.Fatalf("escalation alert over the wire = %+v", page.Alerts)
+	}
+
+	cl, err := c.Clusters(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Clusters) != 1 || cl.Clusters[0].Members != 1 {
+		t.Fatalf("clusters over the wire = %+v", cl.Clusters)
+	}
+	if len(cl.Clusters[0].TopActions) == 0 {
+		t.Fatalf("cluster has no top actions: %+v", cl.Clusters[0])
+	}
+
+	// The scrape-time source is registered and exposes the alert counters.
+	code, body := get(t, srv, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: %d", code)
+	}
+	if !strings.Contains(body, `decoydb_stream_alerts_total{kind="escalation"} 1`) {
+		t.Fatalf("/metrics missing stream alert counter:\n%s", body)
+	}
+	if !strings.Contains(body, "decoydb_stream_sources 1") {
+		t.Fatalf("/metrics missing stream sources gauge:\n%s", body)
+	}
+
+	// The index advertises the new endpoints.
+	if _, idx := get(t, srv, "/"); !strings.Contains(idx, "/alerts") || !strings.Contains(idx, "/clusters") {
+		t.Fatalf("index missing stream endpoints:\n%s", idx)
+	}
+
+	// Bad limit is a 400, not a panic.
+	if code, _ := get(t, srv, "/alerts?limit=bogus"); code != 400 {
+		t.Fatalf("/alerts?limit=bogus: %d, want 400", code)
+	}
+}
+
+func TestTraceLiveVerdictFeed(t *testing.T) {
+	an := streamAnalyzer(t)
+	tr := NewTraceRing(TraceOptions{
+		Verdicts: func(src netip.Addr) (string, bool) {
+			b, ok := an.Verdict(src)
+			return b.String(), ok
+		},
+	})
+	hp := core.Info{DBMS: core.Redis, Level: core.Low, Group: core.GroupMulti, Config: core.ConfigDefault}
+	tracked := netip.AddrPortFrom(netip.AddrFrom4([4]byte{203, 0, 113, 7}), 41000)
+	unknown := netip.AddrPortFrom(netip.AddrFrom4([4]byte{203, 0, 113, 99}), 41000)
+	// The tracked source opens a fresh session that has produced nothing
+	// yet: the span-local verdict says scanning, but the analyzer already
+	// knows this source escalated in an earlier session.
+	tr.Record(core.Event{Time: traceStart, Src: tracked, Honeypot: hp, Kind: core.EventConnect})
+	tr.Record(core.Event{Time: traceStart, Src: unknown, Honeypot: hp, Kind: core.EventConnect})
+
+	for _, sp := range tr.Active(0) {
+		switch sp.Src {
+		case tracked.String():
+			if sp.Verdict != "scanning" || sp.Live != "exploiting" {
+				t.Fatalf("tracked span: verdict=%q live=%q, want scanning/exploiting", sp.Verdict, sp.Live)
+			}
+		case unknown.String():
+			if sp.Live != "" {
+				t.Fatalf("unknown span has live verdict %q", sp.Live)
+			}
+		}
+	}
+}

